@@ -1,0 +1,77 @@
+//! Encoding-quantization and batch-compression benches, including the
+//! packing-width ablation the paper discusses (r+b slots of 16/32/64
+//! bits; 32 is the paper's recommendation).
+
+use codec::{BatchCodec, Quantizer, QuantizerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64) * 0.37).sin() * 0.9).collect()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    let q = Quantizer::new(QuantizerConfig::paper_default(4)).expect("config");
+    let vs = values(4096);
+    group.throughput(Throughput::Elements(vs.len() as u64));
+    group.bench_function("quantize_4096", |b| {
+        b.iter(|| {
+            for &v in &vs {
+                black_box(q.quantize(black_box(v)).unwrap());
+            }
+        })
+    });
+    group.bench_function("dequantize_4096", |b| {
+        let qs: Vec<u64> = vs.iter().map(|&v| q.quantize(v).unwrap()).collect();
+        b.iter(|| {
+            for &z in &qs {
+                black_box(q.dequantize(black_box(z)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_pack");
+    let vs = values(4096);
+    group.throughput(Throughput::Elements(vs.len() as u64));
+
+    // Packing-width ablation: r + b = 16 / 32 / 56-bit slots at 1024-bit
+    // keys (the paper recommends multiples of 32; slots are capped at the
+    // codec's 62-bit aggregation-headroom limit).
+    for slot in [16u32, 32, 56] {
+        let cfg = QuantizerConfig {
+            alpha: 1.0,
+            r_bits: slot - 2,
+            participants: 4,
+            clip: true,
+        };
+        let codec = BatchCodec::new(cfg, 1024).expect("codec");
+        group.bench_with_input(BenchmarkId::new("pack@1024", slot), &slot, |b, _| {
+            b.iter(|| black_box(codec.pack(black_box(&vs)).unwrap()))
+        });
+        let packed = codec.pack(&vs).unwrap();
+        group.bench_with_input(BenchmarkId::new("unpack@1024", slot), &slot, |b, _| {
+            b.iter(|| black_box(codec.unpack(black_box(&packed), vs.len()).unwrap()))
+        });
+    }
+
+    // Key-size sweep at the paper's 32-bit slots.
+    for key_bits in [1024u32, 2048, 4096] {
+        let codec =
+            BatchCodec::new(QuantizerConfig::paper_default(4), key_bits).expect("codec");
+        group.bench_with_input(BenchmarkId::new("pack@slot32", key_bits), &key_bits, |b, _| {
+            b.iter(|| black_box(codec.pack(black_box(&vs)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize, bench_pack
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench: binary square-and-multiply vs the sliding-window
+//! modular exponentiation the paper integrates (Sec. IV-A3: complexity
+//! `e` → `log_{2^b} e`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpint::{modpow, Natural};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modpow");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    for bits in [512u32, 1024, 2048] {
+        let mut modulus = mpint::random::random_bits(&mut rng, bits);
+        modulus.set_bit(0, true);
+        let base = &mpint::random::random_bits(&mut rng, bits - 1) % &modulus;
+        let exp = mpint::random::random_bits(&mut rng, bits);
+
+        group.bench_with_input(BenchmarkId::new("binary", bits), &bits, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    modpow::mod_pow_binary(black_box(&base), black_box(&exp), &modulus).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sliding_window", bits), &bits, |bench, _| {
+            bench.iter(|| {
+                black_box(modpow::mod_pow(black_box(&base), black_box(&exp), &modulus).unwrap())
+            })
+        });
+    }
+
+    // Short public exponents (RSA encryption path).
+    let mut modulus = mpint::random::random_bits(&mut rng, 1024);
+    modulus.set_bit(0, true);
+    let base = &mpint::random::random_bits(&mut rng, 1000) % &modulus;
+    let e = Natural::from(65_537u64);
+    group.bench_function("sliding_window/e=65537@1024", |bench| {
+        bench.iter(|| black_box(modpow::mod_pow(black_box(&base), &e, &modulus).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_modpow
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Multi-precision multiplication bench: validates the Karatsuba
+//! threshold (DESIGN.md §5.6) across operand sizes around the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpint::Natural;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpint_mul");
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    // Around and past the Karatsuba threshold (24 limbs = 1536 bits).
+    for limbs in [8usize, 16, 24, 32, 64, 128] {
+        let a = mpint::random::random_bits(&mut rng, (limbs * 64) as u32);
+        let b = mpint::random::random_bits(&mut rng, (limbs * 64) as u32);
+        group.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(black_box(&a) * black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("square", limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).square()))
+        });
+    }
+
+    // Division (Knuth D) at cryptographic sizes.
+    let a = mpint::random::random_bits(&mut rng, 4096);
+    let b = mpint::random::random_bits(&mut rng, 2048);
+    group.bench_function("div_rem/4096by2048", |bench| {
+        bench.iter(|| black_box(black_box(&a).div_rem(black_box(&b))))
+    });
+    group.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpint_convert");
+    let mut rng = ChaCha8Rng::seed_from_u64(100);
+    let v = mpint::random::random_bits(&mut rng, 2048);
+    group.bench_function("to_le_bytes/2048", |b| {
+        b.iter(|| black_box(black_box(&v).to_le_bytes()))
+    });
+    let bytes = v.to_le_bytes();
+    group.bench_function("from_le_bytes/2048", |b| {
+        b.iter(|| black_box(Natural::from_le_bytes(black_box(&bytes))))
+    });
+    group.bench_function("to_decimal/2048", |b| {
+        b.iter(|| black_box(black_box(&v).to_decimal_string()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mul, bench_conversions
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Paillier cryptosystem benches: encrypt / decrypt (direct vs the CRT
+//! fast path, an FLBooster design choice) / homomorphic add, plus the
+//! CPU-vs-GPU-simulator batch throughput that underlies Table IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use he::ghe::{CpuHe, GpuHe};
+use he::paillier::PaillierKeyPair;
+use he::HeBackend;
+use gpu_sim::{Device, DeviceConfig};
+use mpint::Natural;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE);
+
+    for bits in [512u32, 1024] {
+        let keys = PaillierKeyPair::generate(&mut rng, bits).expect("keygen");
+        let m = Natural::from(0xDEAD_BEEFu64);
+        let r = Natural::from(0x1234_5677u64);
+        let c1 = keys.public.encrypt(&m, &mut rng).unwrap();
+        let c2 = keys.public.encrypt(&m, &mut rng).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(keys.public.encrypt_with_r(black_box(&m), &r).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt_direct", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(keys.private.decrypt(black_box(&c1)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt_crt", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(keys.private.decrypt_crt(black_box(&c1)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(keys.public.add(black_box(&c1), black_box(&c2))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_batch");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBA);
+    let keys = PaillierKeyPair::generate(&mut rng, 512).expect("keygen");
+    let batch: Vec<Natural> = (0..64u64).map(Natural::from).collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    let cpu = CpuHe::default();
+    group.bench_function("cpu_encrypt_64", |bench| {
+        bench.iter(|| black_box(cpu.encrypt_batch(&keys.public, black_box(&batch), 1).unwrap()))
+    });
+
+    let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())));
+    group.bench_function("gpusim_encrypt_64", |bench| {
+        bench.iter(|| black_box(gpu.encrypt_batch(&keys.public, black_box(&batch), 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_primitives, bench_batch_backends
+}
+criterion_main!(benches);

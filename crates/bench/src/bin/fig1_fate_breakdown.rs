@@ -1,0 +1,52 @@
+//! **Figure 1**: running time per epoch when FATE trains the four
+//! standard FL models at 1024-bit keys, broken into HE operations,
+//! communication, and others.
+//!
+//! The paper's observation to reproduce: HE takes more than 50% of an
+//! epoch and communication more than 40%, for every model.
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin fig1_fate_breakdown [--quick] [--dataset rcv1]
+//! ```
+
+use flbooster_bench::table::{pct, secs, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, DatasetKind, ModelKind, PARTICIPANTS};
+use fl::train::FlEnv;
+use fl::BackendKind;
+
+fn main() {
+    let args = Args::parse();
+    let preset = args.preset();
+    let key_bits = args.get("key").and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let dataset = match args.get("dataset") {
+        Some("avazu") => DatasetKind::Avazu,
+        Some("synthetic") => DatasetKind::Synthetic,
+        _ => DatasetKind::Rcv1,
+    };
+    let cfg = harness_train_config();
+
+    println!(
+        "Figure 1 — FATE per-epoch time breakdown ({} @ {key_bits}-bit keys, {:?} preset)\n",
+        dataset.name(),
+        preset
+    );
+    let mut table = Table::new(["Model", "Epoch (sim s)", "Others", "HE ops", "Communication"]);
+
+    for model_kind in ModelKind::all() {
+        let data = bench_dataset(dataset, preset);
+        let env = FlEnv::new(backend(BackendKind::Fate, key_bits, PARTICIPANTS), cfg.seed);
+        let mut model = model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+        let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
+        let b = result.breakdown;
+        let (others, he, comm) = b.shares();
+        table.row([
+            model_kind.name().to_string(),
+            secs(b.total_seconds()),
+            pct(others),
+            pct(he),
+            pct(comm),
+        ]);
+    }
+    table.print();
+    println!("\nPaper reference: HE > 50% and communication > 40% of every epoch.");
+}

@@ -1,0 +1,67 @@
+//! **Table III**: average running time per epoch for FATE / HAFLO /
+//! FLBooster across the three datasets, four models, and key sizes.
+//!
+//! The paper's claims to reproduce: FLBooster wins everywhere, with
+//! 14.3×–138× speedup over HAFLO; acceleration grows with key size; LR
+//! models accelerate more than SBT.
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin table3_epoch_time -- \
+//!     [--quick] [--keys 1024,2048,4096] [--models homo-lr,...] [--datasets rcv1,...]
+//! ```
+//!
+//! Defaults to key size 1024 only — add `--keys` for the full sweep (the
+//! larger key sizes perform real multi-kilobit crypto on every exchanged
+//! value and take minutes per cell on one core).
+
+use flbooster_bench::table::{secs, speedup, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
+use fl::train::FlEnv;
+use fl::BackendKind;
+
+fn main() {
+    let args = Args::parse();
+    let preset = args.preset();
+    let keys = args.key_sizes_or(&[1024]);
+    let cfg = harness_train_config();
+
+    println!("Table III — average running time per epoch in simulated seconds ({preset:?} preset)\n");
+    let mut table = Table::new([
+        "Dataset", "Model", "Key", "FATE", "HAFLO", "FLBooster", "vs FATE", "vs HAFLO",
+    ]);
+
+    for dataset_kind in args.datasets() {
+        for model_kind in args.models() {
+            for &key_bits in &keys {
+                let mut times = Vec::new();
+                for backend_kind in BackendKind::headline() {
+                    let data = bench_dataset(dataset_kind, preset);
+                    let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
+                    let mut model =
+                        model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+                    let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
+                    times.push(result.breakdown.total_seconds());
+                }
+                table.row([
+                    dataset_kind.name().to_string(),
+                    model_kind.name().to_string(),
+                    key_bits.to_string(),
+                    secs(times[0]),
+                    secs(times[1]),
+                    secs(times[2]),
+                    speedup(times[0] / times[2]),
+                    speedup(times[1] / times[2]),
+                ]);
+                eprintln!(
+                    "  done {} / {} @ {}",
+                    dataset_kind.name(),
+                    model_kind.name(),
+                    key_bits
+                );
+            }
+        }
+    }
+    table.print();
+    println!("\nPaper reference: FLBooster 14.3x-138x over HAFLO; ratios grow with key size;");
+    println!("LR models accelerate more than SBT.");
+}

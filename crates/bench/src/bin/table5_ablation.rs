@@ -1,0 +1,63 @@
+//! **Table V**: ablation — FLBooster vs `w/o GHE` (CPU HE, compression
+//! kept) vs `w/o BC` (GPU HE, compression removed).
+//!
+//! Paper claims to reproduce: removing either module degrades epoch time
+//! substantially; `w/o BC` is the bigger loss (14.3×–126.7×), and both
+//! gaps widen with the key size.
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin table5_ablation -- \
+//!     [--quick] [--keys 1024,...] [--models ...] [--datasets ...]
+//! ```
+
+use flbooster_bench::table::{secs, speedup, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
+use fl::train::FlEnv;
+use fl::BackendKind;
+
+fn main() {
+    let args = Args::parse();
+    let preset = args.preset();
+    let keys = args.key_sizes_or(&[1024]);
+    let cfg = harness_train_config();
+
+    println!("Table V — module ablation, simulated seconds per epoch ({preset:?} preset)\n");
+    let mut table = Table::new([
+        "Dataset", "Model", "Key", "FLBooster", "w/o GHE", "w/o BC", "GHE gain", "BC gain",
+    ]);
+
+    for dataset_kind in args.datasets() {
+        for model_kind in args.models() {
+            for &key_bits in &keys {
+                let mut times = Vec::new();
+                for backend_kind in BackendKind::ablations() {
+                    let data = bench_dataset(dataset_kind, preset);
+                    let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
+                    let mut model =
+                        model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+                    let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
+                    times.push(result.breakdown.total_seconds());
+                }
+                table.row([
+                    dataset_kind.name().to_string(),
+                    model_kind.name().to_string(),
+                    key_bits.to_string(),
+                    secs(times[0]),
+                    secs(times[1]),
+                    secs(times[2]),
+                    speedup(times[1] / times[0]),
+                    speedup(times[2] / times[0]),
+                ]);
+                eprintln!(
+                    "  done {} / {} @ {}",
+                    dataset_kind.name(),
+                    model_kind.name(),
+                    key_bits
+                );
+            }
+        }
+    }
+    table.print();
+    println!("\nPaper reference: w/o BC costs 14.3x-126.7x; w/o GHE costs ~4-9x; both grow");
+    println!("with key size.");
+}

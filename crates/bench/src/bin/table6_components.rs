@@ -1,0 +1,55 @@
+//! **Table VI**: component running-time shares (Others / HE operations /
+//! Communication) for Homo LR at 1024-bit keys on all three datasets and
+//! all three systems.
+//!
+//! Paper reference rows (Homo LR @ 1024):
+//!
+//! ```text
+//! FATE      ≈ 0.1% / 52% / 48%
+//! HAFLO     ≈ 0.2% / 0.6% / 99.2%
+//! FLBooster ≈ 22-48% / 5-7% / 47-72%
+//! ```
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin table6_components -- [--quick]
+//! ```
+
+use flbooster_bench::table::{pct, secs, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, ModelKind, PARTICIPANTS};
+use fl::train::FlEnv;
+use fl::BackendKind;
+
+fn main() {
+    let args = Args::parse();
+    let preset = args.preset();
+    let key_bits = args.get("key").and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let cfg = harness_train_config();
+
+    println!("Table VI — component time shares, Homo LR @ {key_bits}-bit keys ({preset:?} preset)\n");
+    let mut table = Table::new([
+        "Dataset", "Method", "Epoch (sim s)", "Others", "HE operations", "Communication",
+    ]);
+
+    for dataset_kind in args.datasets() {
+        for backend_kind in BackendKind::headline() {
+            let data = bench_dataset(dataset_kind, preset);
+            let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
+            let mut model =
+                ModelKind::HomoLr.build(&data, PARTICIPANTS, &cfg).expect("model build");
+            let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
+            let b = result.breakdown;
+            let (others, he, comm) = b.shares();
+            table.row([
+                dataset_kind.name().to_string(),
+                backend_kind.name().to_string(),
+                secs(b.total_seconds()),
+                pct(others),
+                pct(he),
+                pct(comm),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nPaper reference: FATE ~0.1/52/48; HAFLO ~0.2/0.6/99.2; FLBooster shifts");
+    println!("weight from HE+comm into Others (22-48%).");
+}

@@ -1,0 +1,85 @@
+//! Error types for the quantization/compression layer.
+
+use std::fmt;
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by quantization and batch compression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A gradient value fell outside `[-α, α]` in strict mode, or was not
+    /// finite.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// The configured bound α.
+        alpha: f64,
+    },
+    /// The quantization configuration is unusable.
+    BadConfig(String),
+    /// The key is too small to hold even one slot.
+    KeyTooSmall {
+        /// Key size in bits.
+        key_bits: u32,
+        /// Required slot width in bits.
+        slot_bits: u32,
+    },
+    /// An aggregated slot would exceed its guard bits: more terms were
+    /// added than `2^b` (paper: "a certain number of overflow bits are
+    /// reserved so that no overflow ... occurs").
+    OverflowBitsExhausted {
+        /// Terms requested.
+        terms: u32,
+        /// Maximum safe terms `2^b`.
+        max_terms: u32,
+    },
+    /// Unpack was asked for more values than the packed data holds.
+    NotEnoughData {
+        /// Values requested.
+        requested: usize,
+        /// Values available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ValueOutOfRange { value, alpha } => {
+                write!(f, "value {value} outside the quantization range [-{alpha}, {alpha}]")
+            }
+            Error::BadConfig(msg) => write!(f, "bad quantizer configuration: {msg}"),
+            Error::KeyTooSmall { key_bits, slot_bits } => {
+                write!(f, "{key_bits}-bit key cannot hold a {slot_bits}-bit slot")
+            }
+            Error::OverflowBitsExhausted { terms, max_terms } => write!(
+                f,
+                "aggregating {terms} terms exceeds the {max_terms}-term guard capacity"
+            ),
+            Error::NotEnoughData { requested, available } => {
+                write!(f, "requested {requested} values but only {available} are packed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::ValueOutOfRange { value: 2.0, alpha: 1.0 }.to_string().contains("2"));
+        assert!(Error::KeyTooSmall { key_bits: 16, slot_bits: 32 }.to_string().contains("16"));
+        assert!(
+            Error::OverflowBitsExhausted { terms: 9, max_terms: 8 }
+                .to_string()
+                .contains("9 terms")
+        );
+        assert!(Error::NotEnoughData { requested: 5, available: 3 }.to_string().contains("5"));
+        assert!(Error::BadConfig("r must be positive".into()).to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Encoding-quantization and batch compression (paper Sec. IV-B/IV-C).
+//!
+//! Homomorphic encryption works over unsigned integers, but gradients are
+//! signed floats. Existing systems encrypt the significand and leave the
+//! exponent in plaintext, leaking the value's magnitude; FLBooster instead
+//! quantizes the whole value into `r` bits after a linear shift (Eq. 6–8):
+//!
+//! ```text
+//! e = m + α                    (shift [-α, α] to [0, 2α])
+//! q = e_normalized · (2^r − 1) (amplify into r bits)
+//! z = [0…0][q]                 (b = ⌈log₂ p⌉ guard bits for aggregation)
+//! ```
+//!
+//! Batch compression (Eq. 9) then packs `n = ⌊k / (r + b)⌋` quantized
+//! slots into one `k`-bit plaintext, so a single Paillier operation
+//! carries `n` gradient components and the ciphertext count drops by the
+//! compression ratio of Eq. 11 — 32× at 1024-bit keys with 32-bit slots.
+//!
+//! # Example
+//!
+//! ```
+//! use codec::{BatchCodec, QuantizerConfig};
+//!
+//! let codec = BatchCodec::new(QuantizerConfig::paper_default(4), 1024).unwrap();
+//! let grads = vec![0.5, -0.25, 0.125, -0.999];
+//! let packed = codec.pack(&grads).unwrap();
+//! assert_eq!(packed.len(), 1); // 4 slots fit easily in one 1024-bit word
+//! let back = codec.unpack(&packed, grads.len()).unwrap();
+//! for (a, b) in grads.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-8);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batch;
+mod error;
+mod quantize;
+
+pub use batch::BatchCodec;
+pub use error::{Error, Result};
+pub use quantize::{Quantizer, QuantizerConfig};

@@ -1,0 +1,83 @@
+//! Error type for the platform layer.
+
+use std::fmt;
+
+/// Result alias for platform operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the FLBooster platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A homomorphic-encryption failure.
+    He(he::Error),
+    /// A quantization/compression failure.
+    Codec(codec::Error),
+    /// An arithmetic failure from the multi-precision layer.
+    Arithmetic(mpint::Error),
+    /// Operand arrays of a vectorized API had different lengths.
+    LengthMismatch {
+        /// Left operand length.
+        left: usize,
+        /// Right operand length.
+        right: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::He(e) => write!(f, "homomorphic encryption: {e}"),
+            Error::Codec(e) => write!(f, "codec: {e}"),
+            Error::Arithmetic(e) => write!(f, "arithmetic: {e}"),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "vectorized operands differ in length: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::He(e) => Some(e),
+            Error::Codec(e) => Some(e),
+            Error::Arithmetic(e) => Some(e),
+            Error::LengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<he::Error> for Error {
+    fn from(e: he::Error) -> Self {
+        Error::He(e)
+    }
+}
+
+impl From<codec::Error> for Error {
+    fn from(e: codec::Error) -> Self {
+        Error::Codec(e)
+    }
+}
+
+impl From<mpint::Error> for Error {
+    fn from(e: mpint::Error) -> Self {
+        Error::Arithmetic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = he::Error::KeyMismatch.into();
+        assert!(e.to_string().contains("different keys"));
+        let e: Error = codec::Error::BadConfig("x".into()).into();
+        assert!(e.to_string().contains("codec"));
+        let e: Error = mpint::Error::DivisionByZero.into();
+        assert!(e.to_string().contains("zero"));
+        let e = Error::LengthMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The FLBooster platform (paper Sec. IV–V).
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes (Fig. 3's four layers):
+//!
+//! - **GPU-HE** comes from [`he::ghe`] running on a [`gpu_sim::Device`].
+//! - **Encoding-Quantization** and **Batch Compression** come from
+//!   [`codec`].
+//! - **API Interfaces** (paper Table I) are the vectorized
+//!   multi-precision and cryptographic entry points in [`api`].
+//! - The **pipelined processing** of paper Fig. 4 — data conversion →
+//!   encode/quantize/pack → GPU compute → unpack/decode — lives in
+//!   [`pipeline`], exposed through the [`FlBooster`] platform object.
+//! - The **theoretical analysis** of paper Sec. V-B (Eq. 10–14) is
+//!   implemented in [`analysis`] and cross-checked against the simulator
+//!   in the bench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use flbooster_core::FlBooster;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let platform = FlBooster::builder()
+//!     .key_bits(256)
+//!     .participants(2)
+//!     .build(&mut rng)
+//!     .unwrap();
+//!
+//! let grads = vec![0.25, -0.5, 0.125];
+//! let (cts, _) = platform.encrypt_gradients(&grads, 42).unwrap();
+//! let (back, _) = platform.decrypt_gradients(&cts, grads.len(), 1).unwrap();
+//! for (a, b) in grads.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-6);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod api;
+mod error;
+pub mod pipeline;
+
+pub use error::{Error, Result};
+pub use pipeline::{FlBooster, FlBoosterBuilder, PipelineReport};

@@ -1,0 +1,427 @@
+//! The FLBooster platform object and its pipelined data processing
+//! (paper Sec. V-A, Fig. 4).
+//!
+//! An encryption pass runs: *load gradients → data conversion →
+//! encode/quantize → pad/pack (batch compression) → copy to GPU → compute
+//! → copy back*; decryption runs the mirror image. [`FlBooster`] bundles
+//! the key pair, the simulated device, the GPU-HE backend, and the batch
+//! codec, and reports per-stage timing so the FL trainer can attribute
+//! epoch time to HE / communication / other exactly as the paper's Table
+//! VI does.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_sim::{Device, DeviceConfig};
+use he::ghe::{GpuHe, HeTiming};
+use he::paillier::{Ciphertext, PaillierKeyPair};
+use he::HeBackend;
+use codec::{BatchCodec, QuantizerConfig};
+use mpint::Natural;
+use rand::Rng;
+
+use crate::Result;
+
+/// Per-call stage report (the paper's Fig. 4 stages).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineReport {
+    /// Wall seconds in data conversion + encode/quantize/pack (host side;
+    /// the paper's "Others" component is dominated by this).
+    pub codec_seconds: f64,
+    /// HE timing (simulated device seconds, ops, items).
+    pub he: HeTiming,
+    /// Number of ciphertexts produced/consumed.
+    pub ciphertexts: usize,
+    /// Total ciphertext bytes (what communication would carry).
+    pub ciphertext_bytes: u64,
+    /// Gradient components carried.
+    pub values: usize,
+}
+
+impl PipelineReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &PipelineReport) {
+        self.codec_seconds += other.codec_seconds;
+        self.he.merge(&other.he);
+        self.ciphertexts += other.ciphertexts;
+        self.ciphertext_bytes += other.ciphertext_bytes;
+        self.values += other.values;
+    }
+}
+
+/// Builder for [`FlBooster`].
+#[derive(Debug, Clone)]
+pub struct FlBoosterBuilder {
+    key_bits: u32,
+    participants: u32,
+    quantizer: Option<QuantizerConfig>,
+    device_config: DeviceConfig,
+    batch_compression: bool,
+    chunk_size: usize,
+}
+
+impl Default for FlBoosterBuilder {
+    fn default() -> Self {
+        FlBoosterBuilder {
+            key_bits: 1024,
+            participants: 4,
+            quantizer: None,
+            device_config: DeviceConfig::rtx3090(),
+            batch_compression: true,
+            chunk_size: 4096,
+        }
+    }
+}
+
+impl FlBoosterBuilder {
+    /// Paillier key size in bits (default 1024).
+    pub fn key_bits(mut self, bits: u32) -> Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Number of FL participants (fixes the guard bits; default 4).
+    pub fn participants(mut self, p: u32) -> Self {
+        self.participants = p;
+        self
+    }
+
+    /// Overrides the quantizer configuration (default:
+    /// [`QuantizerConfig::paper_default`]).
+    pub fn quantizer(mut self, cfg: QuantizerConfig) -> Self {
+        self.quantizer = Some(cfg);
+        self
+    }
+
+    /// Overrides the simulated device (default: RTX 3090).
+    pub fn device_config(mut self, cfg: DeviceConfig) -> Self {
+        self.device_config = cfg;
+        self
+    }
+
+    /// Disables batch compression (the paper's `w/o BC` ablation: one
+    /// gradient component per ciphertext).
+    pub fn without_batch_compression(mut self) -> Self {
+        self.batch_compression = false;
+        self
+    }
+
+    /// Kernel chunk size for the pipelined stream (default 4096 items).
+    pub fn chunk_size(mut self, items: usize) -> Self {
+        self.chunk_size = items.max(1);
+        self
+    }
+
+    /// Generates keys and assembles the platform.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Result<FlBooster> {
+        let keys = PaillierKeyPair::generate(rng, self.key_bits)?;
+        self.build_with_keys(keys)
+    }
+
+    /// Assembles the platform around existing keys (deterministic
+    /// harnesses reuse one key pair across backends).
+    pub fn build_with_keys(self, keys: PaillierKeyPair) -> Result<FlBooster> {
+        let qcfg = self
+            .quantizer
+            .unwrap_or_else(|| QuantizerConfig::paper_default(self.participants));
+        let codec = BatchCodec::new(qcfg, self.key_bits)?;
+        let device = Arc::new(Device::new(self.device_config));
+        let ghe = GpuHe::new(Arc::clone(&device));
+        Ok(FlBooster {
+            keys,
+            device,
+            ghe,
+            codec,
+            batch_compression: self.batch_compression,
+            chunk_size: self.chunk_size,
+        })
+    }
+}
+
+/// The assembled FLBooster platform.
+pub struct FlBooster {
+    /// The Paillier key pair.
+    pub keys: PaillierKeyPair,
+    /// The simulated GPU.
+    pub device: Arc<Device>,
+    /// The GPU-HE backend bound to [`FlBooster::device`].
+    pub ghe: GpuHe,
+    /// The encoding-quantization + batch-compression codec.
+    pub codec: BatchCodec,
+    batch_compression: bool,
+    chunk_size: usize,
+}
+
+impl FlBooster {
+    /// Starts a builder with paper defaults.
+    pub fn builder() -> FlBoosterBuilder {
+        FlBoosterBuilder::default()
+    }
+
+    /// Whether batch compression is active.
+    pub fn batch_compression(&self) -> bool {
+        self.batch_compression
+    }
+
+    /// Encryption pipeline (paper Fig. 4 ①–④): quantize, pack, encrypt in
+    /// chunks through the device stream.
+    pub fn encrypt_gradients(
+        &self,
+        gradients: &[f64],
+        seed: u64,
+    ) -> Result<(Vec<Ciphertext>, PipelineReport)> {
+        let t0 = Instant::now();
+        let plaintexts: Vec<Natural> = if self.batch_compression {
+            self.codec.pack(gradients)?
+        } else {
+            // w/o BC: one quantized value per plaintext.
+            gradients
+                .iter()
+                .map(|&g| self.codec.quantizer().quantize(g).map(Natural::from))
+                .collect::<codec::Result<_>>()?
+        };
+        let codec_seconds = t0.elapsed().as_secs_f64();
+
+        let mut cts = Vec::with_capacity(plaintexts.len());
+        let mut he = HeTiming::default();
+        for (i, chunk) in plaintexts.chunks(self.chunk_size).enumerate() {
+            let (mut chunk_cts, t) =
+                self.ghe.encrypt_batch(&self.keys.public, chunk, seed ^ ((i as u64) << 32))?;
+            he.merge(&t);
+            cts.append(&mut chunk_cts);
+        }
+        let bytes: u64 = cts.iter().map(|c| c.wire_size_bytes() as u64).sum();
+        let report = PipelineReport {
+            codec_seconds,
+            he,
+            ciphertexts: cts.len(),
+            ciphertext_bytes: bytes,
+            values: gradients.len(),
+        };
+        Ok((cts, report))
+    }
+
+    /// Homomorphic aggregation (paper Fig. 4 ⑩–⑫): folds every batch into
+    /// the first with pairwise ciphertext multiplication.
+    pub fn aggregate(
+        &self,
+        batches: &[Vec<Ciphertext>],
+    ) -> Result<(Vec<Ciphertext>, PipelineReport)> {
+        let mut iter = batches.iter();
+        let mut acc = iter.next().cloned().unwrap_or_default();
+        let mut he = HeTiming::default();
+        for batch in iter {
+            let (next, t) = self.ghe.add_batch(&self.keys.public, &acc, batch)?;
+            he.merge(&t);
+            acc = next;
+        }
+        let report = PipelineReport {
+            codec_seconds: 0.0,
+            he,
+            ciphertexts: acc.len(),
+            ciphertext_bytes: acc.iter().map(|c| c.wire_size_bytes() as u64).sum(),
+            values: 0,
+        };
+        Ok((acc, report))
+    }
+
+    /// Decryption pipeline (paper Fig. 4 ⑤–⑨): decrypt in chunks, then
+    /// unpack/dequantize `count` values, each slot holding a sum of
+    /// `terms` contributions.
+    pub fn decrypt_gradients(
+        &self,
+        ciphertexts: &[Ciphertext],
+        count: usize,
+        terms: u32,
+    ) -> Result<(Vec<f64>, PipelineReport)> {
+        let mut plaintexts = Vec::with_capacity(ciphertexts.len());
+        let mut he = HeTiming::default();
+        for chunk in ciphertexts.chunks(self.chunk_size) {
+            let (mut ms, t) = self.ghe.decrypt_batch(&self.keys.private, chunk)?;
+            he.merge(&t);
+            plaintexts.append(&mut ms);
+        }
+
+        let t0 = Instant::now();
+        let values: Vec<f64> = if self.batch_compression {
+            self.codec.unpack_sums(&plaintexts, count, terms)?
+        } else {
+            self.codec.quantizer().check_terms(terms)?;
+            if count > plaintexts.len() {
+                return Err(codec::Error::NotEnoughData {
+                    requested: count,
+                    available: plaintexts.len(),
+                }
+                .into());
+            }
+            plaintexts
+                .iter()
+                .take(count)
+                .map(|m| {
+                    self.codec
+                        .quantizer()
+                        .dequantize_sum(m.low_u64(), terms)
+                })
+                .collect()
+        };
+        let codec_seconds = t0.elapsed().as_secs_f64();
+
+        let report = PipelineReport {
+            codec_seconds,
+            he,
+            ciphertexts: ciphertexts.len(),
+            ciphertext_bytes: ciphertexts.iter().map(|c| c.wire_size_bytes() as u64).sum(),
+            values: count,
+        };
+        Ok((values, report))
+    }
+
+    /// Ciphertexts needed to carry `count` gradient components under the
+    /// current compression setting.
+    pub fn ciphertexts_for(&self, count: usize) -> usize {
+        if self.batch_compression {
+            self.codec.words_for(count)
+        } else {
+            count
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn platform(bits: u32) -> FlBooster {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB00);
+        FlBooster::builder().key_bits(bits).participants(4).build(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let p = platform(256);
+        let grads: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.7).sin() * 0.9).collect();
+        let (cts, enc) = p.encrypt_gradients(&grads, 1).unwrap();
+        assert!(enc.ciphertexts < grads.len(), "compression must shrink ciphertext count");
+        let (back, dec) = p.decrypt_gradients(&cts, grads.len(), 1).unwrap();
+        let bound = p.codec.quantizer().max_error();
+        for (a, b) in grads.iter().zip(&back) {
+            assert!((a - b).abs() <= bound);
+        }
+        assert!(dec.he.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn aggregation_of_four_participants() {
+        let p = platform(256);
+        let parties: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..30).map(|i| ((k * 30 + i) as f64 * 0.005) - 0.15).collect())
+            .collect();
+        let batches: Vec<Vec<Ciphertext>> = parties
+            .iter()
+            .enumerate()
+            .map(|(k, g)| p.encrypt_gradients(g, k as u64).unwrap().0)
+            .collect();
+        let (agg, _) = p.aggregate(&batches).unwrap();
+        let (sums, _) = p.decrypt_gradients(&agg, 30, 4).unwrap();
+        let bound = 4.0 * p.codec.quantizer().max_error();
+        for i in 0..30 {
+            let expected: f64 = parties.iter().map(|g| g[i]).sum();
+            assert!((sums[i] - expected).abs() <= bound, "component {i}");
+        }
+    }
+
+    #[test]
+    fn without_bc_uses_one_ciphertext_per_value() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = FlBooster::builder()
+            .key_bits(256)
+            .participants(2)
+            .without_batch_compression()
+            .build(&mut rng)
+            .unwrap();
+        let grads = vec![0.5, -0.5, 0.25];
+        let (cts, _) = p.encrypt_gradients(&grads, 0).unwrap();
+        assert_eq!(cts.len(), 3);
+        let (back, _) = p.decrypt_gradients(&cts, 3, 1).unwrap();
+        for (a, b) in grads.iter().zip(&back) {
+            assert!((a - b).abs() <= p.codec.quantizer().max_error());
+        }
+    }
+
+    #[test]
+    fn bc_reduces_ciphertext_bytes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let keys = PaillierKeyPair::generate(&mut rng, 256).unwrap();
+        let with = FlBooster::builder()
+            .key_bits(256)
+            .build_with_keys(keys.clone())
+            .unwrap();
+        let without = FlBooster::builder()
+            .key_bits(256)
+            .without_batch_compression()
+            .build_with_keys(keys)
+            .unwrap();
+        let grads: Vec<f64> = (0..64).map(|i| (i as f64 / 64.0) - 0.5).collect();
+        let (_, r1) = with.encrypt_gradients(&grads, 0).unwrap();
+        let (_, r2) = without.encrypt_gradients(&grads, 0).unwrap();
+        assert!(
+            r1.ciphertext_bytes * 4 < r2.ciphertext_bytes,
+            "BC bytes {} !<< plain bytes {}",
+            r1.ciphertext_bytes,
+            r2.ciphertext_bytes
+        );
+        assert!(r1.he.items < r2.he.items, "BC must also cut HE operations");
+    }
+
+    #[test]
+    fn ciphertexts_for_matches_encrypt() {
+        let p = platform(256);
+        let grads = vec![0.1; 100];
+        let (cts, _) = p.encrypt_gradients(&grads, 0).unwrap();
+        assert_eq!(cts.len(), p.ciphertexts_for(100));
+    }
+
+    #[test]
+    fn chunked_encryption_matches_single_chunk() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let keys = PaillierKeyPair::generate(&mut rng, 256).unwrap();
+        let small_chunks = FlBooster::builder()
+            .key_bits(256)
+            .chunk_size(2)
+            .build_with_keys(keys.clone())
+            .unwrap();
+        let one_chunk =
+            FlBooster::builder().key_bits(256).build_with_keys(keys).unwrap();
+        let grads: Vec<f64> = (0..40).map(|i| (i as f64 * 0.03) - 0.5).collect();
+        let (c1, _) = small_chunks.encrypt_gradients(&grads, 123).unwrap();
+        let (back1, _) = small_chunks.decrypt_gradients(&c1, 40, 1).unwrap();
+        let (c2, _) = one_chunk.encrypt_gradients(&grads, 123).unwrap();
+        let (back2, _) = one_chunk.decrypt_gradients(&c2, 40, 1).unwrap();
+        assert_eq!(back1, back2);
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = PipelineReport {
+            codec_seconds: 1.0,
+            he: HeTiming { sim_seconds: 2.0, ops: 10, items: 1 },
+            ciphertexts: 3,
+            ciphertext_bytes: 100,
+            values: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.ciphertexts, 6);
+        assert_eq!(a.ciphertext_bytes, 200);
+        assert_eq!(a.values, 10);
+        assert!((a.codec_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_is_empty() {
+        let p = platform(256);
+        let (agg, _) = p.aggregate(&[]).unwrap();
+        assert!(agg.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Datasets: generation, representation, and federated partitioning.
+//!
+//! The paper evaluates on RCV1 (NLP, sparse), Avazu (CTR, very sparse),
+//! and the LEAF Synthetic benchmark (dense). Those exact files are not
+//! available offline, so [`generators`] produces deterministic synthetic
+//! datasets with the same statistical profiles — instance count, feature
+//! dimension, density, and a planted linear concept so that logistic
+//! models actually converge. A `scale` factor shrinks the instance count
+//! for laptop runs without changing the feature geometry that drives the
+//! acceleration results.
+
+mod dataset;
+pub mod generators;
+mod partition;
+
+pub use dataset::{Dataset, SparseRow};
+pub use partition::{horizontal_split, vertical_split, VerticalShard};

@@ -1,0 +1,76 @@
+//! Error type for the federated-learning layer.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or training federated models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A platform-layer failure (HE, codec, arithmetic).
+    Platform(flbooster_core::Error),
+    /// The dataset cannot support the requested configuration.
+    BadDataset(String),
+    /// The federation configuration is invalid (participants, splits...).
+    BadConfig(String),
+    /// The network simulator gave up after exhausting retries.
+    NetworkFailure {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Platform(e) => write!(f, "platform: {e}"),
+            Error::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            Error::NetworkFailure { attempts } => {
+                write!(f, "network send failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flbooster_core::Error> for Error {
+    fn from(e: flbooster_core::Error) -> Self {
+        Error::Platform(e)
+    }
+}
+
+impl From<he::Error> for Error {
+    fn from(e: he::Error) -> Self {
+        Error::Platform(flbooster_core::Error::He(e))
+    }
+}
+
+impl From<codec::Error> for Error {
+    fn from(e: codec::Error) -> Self {
+        Error::Platform(flbooster_core::Error::Codec(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: Error = he::Error::KeyMismatch.into();
+        assert!(e.to_string().contains("platform"));
+        let e: Error = codec::Error::BadConfig("x".into()).into();
+        assert!(matches!(e, Error::Platform(_)));
+        assert!(Error::NetworkFailure { attempts: 3 }.to_string().contains("3"));
+    }
+}

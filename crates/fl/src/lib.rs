@@ -1,0 +1,42 @@
+//! The federated-learning substrate for the FLBooster reproduction.
+//!
+//! The paper evaluates FLBooster by plugging it into FATE and training
+//! four standard FL models on three datasets (Sec. VI). This crate
+//! provides everything that evaluation needs, from scratch:
+//!
+//! - [`data`]: deterministic dataset generators with the statistical
+//!   profiles of RCV1 / Avazu / LEAF-Synthetic, plus horizontal and
+//!   vertical partitioners.
+//! - [`models`]: the four benchmark models — Homo LR, Hetero LR, Hetero
+//!   SBT (SecureBoost), and Hetero NN (split network) — implemented as
+//!   federated training protocols over encrypted exchanges.
+//! - [`optim`]: SGD and Adam with L2 regularization (paper Sec. VI-B
+//!   parameter settings).
+//! - [`net`]: a byte- and message-accurate network simulator
+//!   (Gigabit-Ethernet profile, per-ciphertext serialization overheads,
+//!   optional packet loss with retry).
+//! - [`backend`]: the acceleration systems under test — **FATE** (CPU HE,
+//!   no compression), **HAFLO** (GPU HE, no compression), **FLBooster**
+//!   (GPU HE + batch compression), and the two ablations `w/o GHE` and
+//!   `w/o BC` of the paper's Table V.
+//! - [`train`]: the epoch loop with the HE / communication / other time
+//!   attribution of the paper's Fig. 1 and Table VI.
+//! - [`metrics`]: convergence bias (paper Eq. 15), throughput, and epoch
+//!   summaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod data;
+mod error;
+pub mod metrics;
+pub mod models;
+pub mod net;
+pub mod optim;
+pub mod train;
+
+pub use backend::{Accelerator, BackendKind};
+pub use error::{Error, Result};
+pub use metrics::{EpochBreakdown, TrainReport};
+pub use net::{Network, NetworkConfig};

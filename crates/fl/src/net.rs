@@ -1,0 +1,248 @@
+//! The client↔server network simulator.
+//!
+//! The paper's testbed connects four servers over Gigabit Ethernet
+//! (Sec. VI-B); communication cost there is dominated not by raw
+//! bandwidth but by the *number of ciphertexts* each message carries —
+//! FATE serializes every `PaillierEncryptedNumber` individually, which is
+//! why batch compression (fewer ciphertexts) wins far more than the byte
+//! reduction alone would suggest. The model here charges, per message:
+//!
+//! ```text
+//! t = latency + ciphertexts · per_ciphertext_seconds + bytes / bandwidth
+//! ```
+//!
+//! with optional packet loss (the whole message retries, adding latency
+//! and bytes). All times are simulated; no real sockets are involved, but
+//! every byte that would cross the wire is counted.
+
+use parking_lot::Mutex;
+
+use crate::{Error, Result};
+
+/// Static description of a link and its serialization stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Link bandwidth in bytes/second (Gigabit Ethernet ≈ 125 MB/s).
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way message latency in seconds.
+    pub latency_seconds: f64,
+    /// Serialization/deserialization cost per ciphertext object. This is
+    /// the FATE-style per-object overhead; FLBooster's batched binary
+    /// framing sets it lower (see [`NetworkConfig::flbooster_profile`]).
+    pub per_ciphertext_seconds: f64,
+    /// Probability that a message is dropped and must be retried.
+    pub drop_probability: f64,
+    /// Maximum send attempts before reporting failure.
+    pub max_attempts: u32,
+}
+
+impl NetworkConfig {
+    /// FATE-style profile: Gigabit link, per-object Python serialization.
+    ///
+    /// `per_ciphertext_seconds` is calibrated so that a CPU-HE epoch
+    /// splits ≈50% HE / ≈50% communication at 1024-bit keys (each value
+    /// crosses the NIC several times per aggregation round), matching the
+    /// paper's Fig. 1 / Table VI FATE rows.
+    pub fn fate_profile() -> Self {
+        NetworkConfig {
+            bandwidth_bytes_per_sec: 125.0e6,
+            latency_seconds: 2.0e-4,
+            per_ciphertext_seconds: 4.5e-4,
+            drop_probability: 0.0,
+            max_attempts: 5,
+        }
+    }
+
+    /// FLBooster's transport: same link, but ciphertexts travel in packed
+    /// binary buffers instead of per-object pickles, cutting the
+    /// per-object overhead ~5x (calibrated to the Table VI FLBooster
+    /// component shares).
+    pub fn flbooster_profile() -> Self {
+        NetworkConfig { per_ciphertext_seconds: 8.4e-5, ..Self::fate_profile() }
+    }
+
+    /// A lossy variant for failure-injection tests.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+}
+
+/// Cumulative traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Messages successfully delivered.
+    pub messages: u64,
+    /// Ciphertexts carried.
+    pub ciphertexts: u64,
+    /// Payload bytes carried (including retransmissions).
+    pub bytes: u64,
+    /// Simulated seconds spent communicating.
+    pub seconds: f64,
+    /// Retransmissions performed.
+    pub retries: u64,
+}
+
+/// The simulated link.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    stats: Mutex<NetStats>,
+    /// Deterministic xorshift state for drop decisions.
+    rng_state: Mutex<u64>,
+}
+
+impl Network {
+    /// Creates a link with the given profile and a deterministic seed for
+    /// loss decisions.
+    pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
+        Network { cfg, stats: Mutex::new(NetStats::default()), rng_state: Mutex::new(seed | 1) }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Sends one message carrying `ciphertexts` ciphertext objects and
+    /// `bytes` payload bytes; returns the simulated seconds it took
+    /// (including any retries).
+    pub fn send(&self, ciphertexts: u64, bytes: u64) -> Result<f64> {
+        let per_try = self.cfg.latency_seconds
+            + ciphertexts as f64 * self.cfg.per_ciphertext_seconds
+            + bytes as f64 / self.cfg.bandwidth_bytes_per_sec;
+        let mut total = 0.0;
+        let mut sent_bytes = 0u64;
+        let mut retries = 0u64;
+        for attempt in 1..=self.cfg.max_attempts {
+            total += per_try;
+            sent_bytes += bytes;
+            if !self.drop() {
+                let mut s = self.stats.lock();
+                s.messages += 1;
+                s.ciphertexts += ciphertexts;
+                s.bytes += sent_bytes;
+                s.seconds += total;
+                s.retries += retries;
+                return Ok(total);
+            }
+            retries += 1;
+            let _ = attempt;
+        }
+        Err(Error::NetworkFailure { attempts: self.cfg.max_attempts })
+    }
+
+    /// Broadcast: the server sends the same message to `receivers` peers
+    /// (sequentially on one NIC, as a parameter server does).
+    pub fn broadcast(&self, receivers: u32, ciphertexts: u64, bytes: u64) -> Result<f64> {
+        let mut total = 0.0;
+        for _ in 0..receivers {
+            total += self.send(ciphertexts, bytes)?;
+        }
+        Ok(total)
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// Clears the traffic counters.
+    pub fn reset(&self) {
+        *self.stats.lock() = NetStats::default();
+    }
+
+    fn drop(&self) -> bool {
+        if self.cfg.drop_probability <= 0.0 {
+            return false;
+        }
+        let mut s = self.rng_state.lock();
+        // xorshift64*
+        let mut x = *s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *s = x;
+        let u = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.cfg.drop_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_time_formula() {
+        let net = Network::new(NetworkConfig::fate_profile(), 1);
+        let t = net.send(10, 125_000_000).unwrap();
+        // latency + 10 * 0.45ms + 1 second of bytes
+        let expected = 2.0e-4 + 10.0 * 4.5e-4 + 1.0;
+        assert!((t - expected).abs() < 1e-9);
+        let s = net.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.ciphertexts, 10);
+        assert_eq!(s.bytes, 125_000_000);
+    }
+
+    #[test]
+    fn per_ciphertext_cost_dominates_small_payloads() {
+        // The BC insight: 32 ciphertexts cost ~32x one ciphertext even at
+        // equal byte volume.
+        let net = Network::new(NetworkConfig::fate_profile(), 1);
+        let many = net.send(32, 8192).unwrap();
+        let one = net.send(1, 8192).unwrap();
+        assert!(many > 20.0 * one, "many={many} one={one}");
+    }
+
+    #[test]
+    fn broadcast_multiplies() {
+        let net = Network::new(NetworkConfig::fate_profile(), 1);
+        let single = net.send(1, 100).unwrap();
+        let bcast = net.broadcast(4, 1, 100).unwrap();
+        assert!((bcast - 4.0 * single).abs() < 1e-12);
+        assert_eq!(net.stats().messages, 5);
+    }
+
+    #[test]
+    fn lossy_link_retries_and_counts() {
+        let cfg = NetworkConfig::fate_profile().with_drop_probability(0.5);
+        let net = Network::new(cfg, 42);
+        let mut retried = false;
+        for _ in 0..100 {
+            match net.send(1, 100) {
+                Ok(_) => {}
+                Err(Error::NetworkFailure { attempts }) => assert_eq!(attempts, 5),
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        if net.stats().retries > 0 {
+            retried = true;
+        }
+        assert!(retried, "a 50% lossy link must retry within 100 sends");
+    }
+
+    #[test]
+    fn hopeless_link_fails() {
+        let cfg = NetworkConfig::fate_profile().with_drop_probability(1.0);
+        let net = Network::new(cfg, 7);
+        assert_eq!(net.send(1, 1), Err(Error::NetworkFailure { attempts: 5 }));
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let net = Network::new(NetworkConfig::fate_profile(), 1);
+        net.send(1, 1).unwrap();
+        net.reset();
+        assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn flbooster_profile_is_cheaper_per_ciphertext() {
+        let f = NetworkConfig::fate_profile();
+        let b = NetworkConfig::flbooster_profile();
+        assert!(b.per_ciphertext_seconds < f.per_ciphertext_seconds);
+        assert_eq!(b.bandwidth_bytes_per_sec, f.bandwidth_bytes_per_sec);
+    }
+}

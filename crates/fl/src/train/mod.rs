@@ -1,0 +1,205 @@
+//! The federated training loop and its cost-accounted environment.
+//!
+//! [`FlEnv`] wraps an [`Accelerator`] and a [`Network`] and provides the
+//! communication patterns the four models share — secure aggregation
+//! rounds and pairwise encrypted exchanges — charging every simulated
+//! second to the proper component of the paper's Others / HE /
+//! Communication breakdown. [`train`] runs epochs until the paper's
+//! stopping rule ("if the loss difference between two successive epochs
+//! is less than 1e-6, the model reaches convergence") or an epoch cap.
+
+use crate::backend::{Accelerator, EncryptedVector};
+use crate::metrics::{EpochBreakdown, EpochResult, TrainReport};
+use crate::net::Network;
+use crate::Result;
+
+/// Training hyper-parameters (paper Sec. VI-B defaults).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Mini-batch size (paper: 1024).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 penalty coefficient (paper: 0.01).
+    pub l2: f64,
+    /// Epoch cap.
+    pub max_epochs: usize,
+    /// Convergence tolerance on successive losses (paper: 1e-6).
+    pub tolerance: f64,
+    /// Seed for batching/blinding randomness.
+    pub seed: u64,
+    /// Simulated seconds per local floating-point operation — the cost
+    /// model for the "Others" component (calibrated to FATE's effective
+    /// local-compute rate).
+    pub sec_per_flop: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 1024,
+            learning_rate: 0.1,
+            l2: 0.01,
+            max_epochs: 20,
+            tolerance: 1e-6,
+            seed: 0xF1,
+            sec_per_flop: 4.0e-9,
+        }
+    }
+}
+
+/// The execution environment one model trains in.
+pub struct FlEnv {
+    /// The acceleration backend under test.
+    pub accel: Accelerator,
+    /// The simulated client↔server link.
+    pub network: Network,
+}
+
+impl FlEnv {
+    /// Builds an environment; the network profile follows the backend.
+    pub fn new(accel: Accelerator, seed: u64) -> Self {
+        let network = Network::new(accel.network_profile(), seed);
+        FlEnv { accel, network }
+    }
+
+    /// One secure-aggregation round (the paper's Fig. 2): every party
+    /// encrypts its vector and uploads it; the server folds them
+    /// homomorphically and broadcasts the result; each party decrypts.
+    ///
+    /// Clients run in parallel on their own machines, so client-side HE
+    /// is charged once (they are symmetric); server-side aggregation and
+    /// all NIC traffic are serial.
+    ///
+    /// Returns element-wise sums (divide by party count for the mean).
+    pub fn aggregation_round(
+        &self,
+        parties: &[Vec<f64>],
+        seed: u64,
+        breakdown: &mut EpochBreakdown,
+    ) -> Result<Vec<f64>> {
+        let p = parties.len();
+        if p == 0 {
+            return Ok(Vec::new());
+        }
+        let values = parties[0].len() as u64;
+
+        // Parallel client-side encryption: charge one client's share
+        // (clients are symmetric and run on their own machines).
+        self.accel.take_timing(); // drop any stale scratch
+        let encrypted: Result<Vec<EncryptedVector>> = parties
+            .iter()
+            .enumerate()
+            .map(|(k, v)| self.accel.encrypt(v, seed.wrapping_add(k as u64)))
+            .collect();
+        let encrypted = encrypted?;
+        let enc_t = self.accel.take_timing();
+        breakdown.he_seconds += enc_t.he_seconds / p as f64;
+        breakdown.other_seconds += enc_t.codec_seconds / p as f64;
+        breakdown.he_values += values;
+
+        // Uploads: p messages hit the server NIC serially.
+        for ev in &encrypted {
+            let t = self.network.send(ev.ciphertext_count(), ev.bytes())?;
+            breakdown.comm_seconds += t;
+            breakdown.comm_bytes += ev.bytes();
+            breakdown.ciphertexts += ev.ciphertext_count();
+        }
+
+        // Server-side homomorphic fold (serial).
+        let agg = self.accel.aggregate(&encrypted)?;
+        let agg_t = self.accel.take_timing();
+        breakdown.he_seconds += agg_t.he_seconds;
+
+        // Broadcast the aggregate back to every party.
+        let t = self.network.broadcast(p as u32, agg.ciphertext_count(), agg.bytes())?;
+        breakdown.comm_seconds += t;
+        breakdown.comm_bytes += p as u64 * agg.bytes();
+        breakdown.ciphertexts += p as u64 * agg.ciphertext_count();
+
+        // Parallel client-side decryption: one client's cost.
+        let sums = self.accel.decrypt_sum(&agg, p as u32)?;
+        let dec_t = self.accel.take_timing();
+        breakdown.he_seconds += dec_t.he_seconds;
+        breakdown.other_seconds += dec_t.codec_seconds;
+
+        Ok(sums)
+    }
+
+    /// Pairwise encrypted exchange: one party encrypts `values` and sends
+    /// them; the receiver (or arbiter) decrypts. Returns the values after
+    /// their quantize→encrypt→decrypt round trip — the exact degradation
+    /// the receiving party trains on.
+    pub fn encrypted_exchange(
+        &self,
+        values: &[f64],
+        seed: u64,
+        breakdown: &mut EpochBreakdown,
+    ) -> Result<Vec<f64>> {
+        self.accel.take_timing(); // drop any stale scratch
+        let ev = self.accel.encrypt(values, seed)?;
+        let t = self.network.send(ev.ciphertext_count(), ev.bytes())?;
+        breakdown.comm_seconds += t;
+        breakdown.comm_bytes += ev.bytes();
+        breakdown.ciphertexts += ev.ciphertext_count();
+        let out = self.accel.decrypt_sum(&ev, 1)?;
+        let he_t = self.accel.take_timing();
+        breakdown.he_seconds += he_t.he_seconds;
+        breakdown.other_seconds += he_t.codec_seconds;
+        breakdown.he_values += values.len() as u64;
+        Ok(out)
+    }
+
+    /// Charges `flops` of local model computation to "Others".
+    pub fn charge_local_compute(
+        &self,
+        flops: u64,
+        cfg: &TrainConfig,
+        breakdown: &mut EpochBreakdown,
+    ) {
+        breakdown.other_seconds += flops as f64 * cfg.sec_per_flop;
+    }
+}
+
+/// A federated model trainable epoch-by-epoch.
+pub trait FlModel {
+    /// Display name matching the paper ("Homo LR", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs one epoch, returning its timing and post-epoch loss.
+    fn run_epoch(&mut self, env: &FlEnv, cfg: &TrainConfig, epoch: usize) -> Result<EpochResult>;
+
+    /// Current global training loss.
+    fn loss(&self) -> f64;
+
+    /// Dataset name the model was built on.
+    fn dataset_name(&self) -> &str;
+}
+
+/// Trains to the paper's stopping rule and assembles the report.
+pub fn train(model: &mut dyn FlModel, env: &FlEnv, cfg: &TrainConfig) -> Result<TrainReport> {
+    let mut epochs = Vec::new();
+    let mut prev_loss = f64::INFINITY;
+    let mut converged = false;
+    for e in 0..cfg.max_epochs {
+        let result = model.run_epoch(env, cfg, e)?;
+        let loss = result.loss;
+        epochs.push(result);
+        if (prev_loss - loss).abs() < cfg.tolerance {
+            converged = true;
+            break;
+        }
+        prev_loss = loss;
+    }
+    Ok(TrainReport {
+        model: model.name().to_string(),
+        dataset: model.dataset_name().to_string(),
+        backend: env.accel.name().to_string(),
+        key_bits: env.accel.key_bits(),
+        epochs,
+        converged,
+    })
+}
+
+mod shared;
+pub use shared::{logloss, sigmoid};

@@ -1,0 +1,75 @@
+//! Shared training math.
+
+/// Numerically-stable logistic function.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Mean binary cross-entropy of predictions against {0,1} labels,
+/// clamped away from log(0).
+pub fn logloss(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let sum: f64 = predictions
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    sum / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        for z in [-50.0, -1.0, 0.3, 10.0, 100.0] {
+            let s = sigmoid(z);
+            assert!(s > 0.0 && s < 1.0 || (s - 1.0).abs() < 1e-15, "z={z}");
+            assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(!sigmoid(-1000.0).is_nan());
+    }
+
+    #[test]
+    fn logloss_perfect_predictions_near_zero() {
+        let l = logloss(&[1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]);
+        assert!(l < 1e-10);
+    }
+
+    #[test]
+    fn logloss_uninformative_is_ln2() {
+        let l = logloss(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logloss_penalizes_confident_errors() {
+        assert!(logloss(&[0.01], &[1.0]) > logloss(&[0.4], &[1.0]));
+        assert!(logloss(&[0.0], &[1.0]).is_finite(), "clamping avoids inf");
+    }
+
+    #[test]
+    fn empty_logloss_is_zero() {
+        assert_eq!(logloss(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the FL substrate: partitioning conservation,
+//! secure aggregation correctness, and network-model monotonicity.
+
+use fl::data::generators::DatasetSpec;
+use fl::data::{horizontal_split, vertical_split, Dataset, SparseRow};
+use fl::{Accelerator, BackendKind, Network, NetworkConfig};
+use he::paillier::PaillierKeyPair;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+fn keys() -> &'static PaillierKeyPair {
+    static KEYS: OnceLock<PaillierKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(0xF1), 128).unwrap()
+    })
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..64, 8usize..60, any::<u64>()).prop_map(|(features, instances, seed)| {
+        let mut spec = DatasetSpec::rcv1();
+        spec.features = features;
+        spec.nnz_per_row = (features / 2).max(1);
+        spec.instances = instances;
+        spec.seed = seed;
+        spec.generate(1.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn horizontal_split_conserves_everything(data in arb_dataset(), parts in 1u32..8) {
+        let split = horizontal_split(&data, parts);
+        prop_assert_eq!(split.len(), parts as usize);
+        let total: usize = split.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, data.len());
+        let label_sum: f64 = data.labels.iter().sum();
+        let split_sum: f64 = split.iter().flat_map(|p| p.labels.iter()).sum();
+        prop_assert!((label_sum - split_sum).abs() < 1e-9);
+        let sizes: Vec<usize> = split.iter().map(|p| p.len()).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn vertical_split_partitions_features(data in arb_dataset(), parts in 1u32..4) {
+        prop_assume!(data.num_features >= parts as usize);
+        let shards = vertical_split(&data, parts);
+        // Ranges tile [0, num_features).
+        prop_assert_eq!(shards[0].feature_range.0, 0);
+        prop_assert_eq!(shards.last().unwrap().feature_range.1 as usize, data.num_features);
+        // Reassembling rows from shards reproduces the originals.
+        for (i, row) in data.rows.iter().enumerate() {
+            let mut rebuilt: Vec<(u32, f64)> = Vec::new();
+            for shard in &shards {
+                let (lo, _) = shard.feature_range;
+                for (j, &idx) in shard.rows[i].indices.iter().enumerate() {
+                    rebuilt.push((idx + lo, shard.rows[i].values[j]));
+                }
+            }
+            let original: Vec<(u32, f64)> =
+                row.indices.iter().copied().zip(row.values.iter().copied()).collect();
+            prop_assert_eq!(rebuilt, original, "row {} not conserved", i);
+        }
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense(indices in proptest::collection::btree_set(0u32..64, 0..20),
+                                 seed in any::<u64>()) {
+        let indices: Vec<u32> = indices.into_iter().collect();
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        };
+        let values: Vec<f64> = indices.iter().map(|_| next()).collect();
+        let weights: Vec<f64> = (0..64).map(|_| next()).collect();
+        let row = SparseRow::new(indices.clone(), values.clone());
+        let mut dense = vec![0.0; 64];
+        for (&i, &v) in indices.iter().zip(&values) {
+            dense[i as usize] = v;
+        }
+        let expected: f64 = dense.iter().zip(&weights).map(|(a, b)| a * b).sum();
+        prop_assert!((row.dot(&weights) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secure_sum_is_correct_for_any_party_count(
+        values in proptest::collection::vec(-0.9f64..0.9, 1..40),
+        parties in 1usize..4,
+    ) {
+        let acc = Accelerator::new(BackendKind::FlBooster, keys().clone(), 4).unwrap();
+        prop_assume!(parties <= 4);
+        let vectors: Vec<Vec<f64>> = (0..parties)
+            .map(|k| values.iter().map(|v| v * (k as f64 + 1.0) / parties as f64).collect())
+            .collect();
+        let sums = acc.secure_sum(&vectors, 99).unwrap();
+        let bound = parties as f64 * acc.codec().quantizer().max_error() + 1e-12;
+        for (i, s) in sums.iter().enumerate() {
+            let expected: f64 = vectors.iter().map(|v| v[i]).sum();
+            prop_assert!((s - expected).abs() <= bound, "component {}: {} vs {}", i, s, expected);
+        }
+    }
+
+    #[test]
+    fn network_time_is_monotone(cts in 0u64..1000, bytes in 0u64..1_000_000, extra in 1u64..100) {
+        let net = Network::new(NetworkConfig::fate_profile(), 1);
+        let base = net.send(cts, bytes).unwrap();
+        let more_cts = net.send(cts + extra, bytes).unwrap();
+        let more_bytes = net.send(cts, bytes + extra * 1000).unwrap();
+        prop_assert!(more_cts > base);
+        prop_assert!(more_bytes > base);
+    }
+}

@@ -1,0 +1,299 @@
+//! The simulated device: kernel launches, transfers, and accounting.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::config::DeviceConfig;
+use crate::kernel::{ItemOutcome, KernelSpec, LaunchReport};
+use crate::memory::{DevicePtr, MemoryError, MemoryTable};
+use crate::resource::ResourceManager;
+use crate::stats::DeviceStats;
+
+/// Device heap size used when none is specified (matches the RTX 3090's
+/// 24 GB of GDDR6X).
+const DEFAULT_HEAP_BYTES: u64 = 24 * 1024 * 1024 * 1024;
+
+/// Compute-slowdown factor for a divergent warp whose branches the
+/// resource manager recombines (small residual cost) versus lets split
+/// (both arms execute serially).
+const COMBINED_BRANCH_PENALTY: f64 = 1.05;
+const SPLIT_BRANCH_PENALTY: f64 = 2.0;
+
+/// A simulated GPU.
+///
+/// Kernel bodies run *for real* on the host thread pool (so results are
+/// exact), while the launch is *accounted* under the GPU execution model:
+/// the resource manager plans a grid, occupancy and utilization are
+/// derived from the plan, and simulated H2D/compute/D2H times follow the
+/// three-stage model of the paper's Sec. V-B.
+pub struct Device {
+    config: DeviceConfig,
+    manager: ResourceManager,
+    memory: Mutex<MemoryTable>,
+    stats: Mutex<DeviceStats>,
+}
+
+impl Device {
+    /// Creates a device with the default FLBooster resource manager.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self::with_manager(config, ResourceManager::new())
+    }
+
+    /// Creates a device with an explicit resource manager (used by the
+    /// resource-manager ablation bench).
+    pub fn with_manager(config: DeviceConfig, manager: ResourceManager) -> Self {
+        let heap = if config.name == "test-tiny" { 1 << 20 } else { DEFAULT_HEAP_BYTES };
+        Device {
+            config,
+            manager,
+            memory: Mutex::new(MemoryTable::new(heap)),
+            stats: Mutex::new(DeviceStats::default()),
+        }
+    }
+
+    /// The device description.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The active resource manager.
+    pub fn manager(&self) -> &ResourceManager {
+        &self.manager
+    }
+
+    /// Allocates device memory through the resource manager's table.
+    pub fn alloc(&self, len: u64) -> Result<DevicePtr, MemoryError> {
+        self.memory.lock().alloc(len)
+    }
+
+    /// Frees a device allocation (the mark is retained for reuse).
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), MemoryError> {
+        self.memory.lock().free(ptr)
+    }
+
+    /// Launches `spec` over `items`, transferring `bytes_in` to the device
+    /// beforehand and `bytes_out` back afterwards.
+    ///
+    /// Each item runs `body(index, &item)` on the host pool; outputs are
+    /// returned in item order alongside the full [`LaunchReport`].
+    pub fn launch<I, O, F>(
+        &self,
+        spec: &KernelSpec,
+        items: &[I],
+        bytes_in: u64,
+        bytes_out: u64,
+        body: F,
+    ) -> (Vec<O>, LaunchReport)
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> ItemOutcome<O> + Sync,
+    {
+        let plan = self.manager.plan(&self.config, spec, items.len());
+
+        let started = Instant::now();
+        let outcomes: Vec<ItemOutcome<O>> = items
+            .par_iter()
+            .enumerate()
+            .map(|(i, item)| body(i, item))
+            .collect();
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let mut outputs = Vec::with_capacity(outcomes.len());
+        let mut total_ops: u64 = 0;
+        let mut divergent_items: u64 = 0;
+        let mut penalized_ops: f64 = 0.0;
+        let branch_penalty = if self.manager.branch_combining() {
+            COMBINED_BRANCH_PENALTY
+        } else {
+            SPLIT_BRANCH_PENALTY
+        };
+        for o in outcomes {
+            total_ops += o.thread_ops;
+            penalized_ops += if o.divergent {
+                divergent_items += 1;
+                o.thread_ops as f64 * branch_penalty
+            } else {
+                o.thread_ops as f64
+            };
+            outputs.push(o.output);
+        }
+
+        // Simulated three-stage timing (paper Sec. V-B): copy in, compute
+        // in parallel over the concurrently resident threads, copy out.
+        let sim_h2d = bytes_in as f64 / self.config.transfer_bytes_per_sec;
+        let sim_d2h = bytes_out as f64 / self.config.transfer_bytes_per_sec;
+        let concurrent = plan.concurrent_threads(&self.config).max(1) as f64;
+        let sim_kernel = penalized_ops / concurrent * self.config.sec_per_thread_op;
+
+        // SM utilization = occupancy × wave fill (the tail wave of a small
+        // grid leaves SMs idle).
+        let device_resident =
+            (plan.resident_threads_per_sm as u64 * self.config.num_sms as u64).max(1);
+        let fill = plan.total_threads as f64 / (plan.waves.max(1) as u64 * device_resident) as f64;
+        let sm_utilization = (plan.occupancy * fill.min(1.0)).min(1.0);
+
+        let divergent_fraction = if items.is_empty() {
+            0.0
+        } else {
+            divergent_items as f64 / items.len() as f64
+        };
+
+        let report = LaunchReport {
+            name: spec.name,
+            items: items.len(),
+            plan,
+            wall_seconds,
+            sim_h2d_seconds: sim_h2d,
+            sim_kernel_seconds: sim_kernel,
+            sim_d2h_seconds: sim_d2h,
+            bytes_in,
+            bytes_out,
+            total_thread_ops: total_ops,
+            divergent_fraction,
+            sm_utilization,
+        };
+        self.stats.lock().record(&report);
+        (outputs, report)
+    }
+
+    /// Snapshot of accumulated statistics (memory counters refreshed).
+    pub fn stats(&self) -> DeviceStats {
+        let mut s = self.stats.lock().clone();
+        s.memory = self.memory.lock().counters();
+        s
+    }
+
+    /// Clears accumulated launch statistics (memory table is untouched).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DeviceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    fn spec() -> KernelSpec {
+        KernelSpec::simple("square")
+    }
+
+    #[test]
+    fn launch_returns_outputs_in_order() {
+        let d = device();
+        let items: Vec<u64> = (0..100).collect();
+        let (out, report) =
+            d.launch(&spec(), &items, 800, 800, |_, &x| ItemOutcome::new(x * x, 1));
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(report.items, 100);
+        assert_eq!(report.total_thread_ops, 100);
+    }
+
+    #[test]
+    fn transfer_times_follow_bandwidth() {
+        let d = device();
+        let items = [0u8];
+        let (_, r) = d.launch(&spec(), &items, 1_000_000_000, 500_000_000, |_, _| {
+            ItemOutcome::new((), 1)
+        });
+        // test_tiny bandwidth = 1e9 B/s
+        assert!((r.sim_h2d_seconds - 1.0).abs() < 1e-9);
+        assert!((r.sim_d2h_seconds - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_scales_inverse_with_parallelism() {
+        let cfg = DeviceConfig::test_tiny();
+        let d = Device::new(cfg);
+        // Few items: low parallelism. Many items: full device.
+        let small: Vec<u32> = (0..4).collect();
+        let large: Vec<u32> = (0..4096).collect();
+        let (_, rs) = d.launch(&spec(), &small, 0, 0, |_, _| ItemOutcome::new((), 1000));
+        let (_, rl) = d.launch(&spec(), &large, 0, 0, |_, _| ItemOutcome::new((), 1000));
+        // 1024x the work but only ~64x the time (device has 256 slots).
+        let ratio = rl.sim_kernel_seconds / rs.sim_kernel_seconds;
+        assert!(ratio < 1024.0 * 0.5, "parallel speedup missing: ratio {ratio}");
+    }
+
+    #[test]
+    fn utilization_reflects_underfilled_device() {
+        let d = device();
+        let tiny: Vec<u32> = (0..2).collect(); // 2 threads on a 256-slot device
+        let (_, r) = d.launch(&spec(), &tiny, 0, 0, |_, _| ItemOutcome::new((), 1));
+        assert!(r.sm_utilization < 0.1, "utilization {}", r.sm_utilization);
+        let full: Vec<u32> = (0..10_000).collect();
+        let (_, r2) = d.launch(&spec(), &full, 0, 0, |_, _| ItemOutcome::new((), 1));
+        assert!(r2.sm_utilization > r.sm_utilization);
+    }
+
+    #[test]
+    fn divergence_penalty_depends_on_manager() {
+        let items: Vec<u32> = (0..256).collect();
+        let run = |d: &Device| {
+            let mut s = spec();
+            s.divergence = 1.0;
+            let (_, r) = d.launch(&s, &items, 0, 0, |i, _| ItemOutcome {
+                output: (),
+                thread_ops: 100,
+                divergent: i % 2 == 0,
+            });
+            r
+        };
+        let combining = Device::new(DeviceConfig::test_tiny());
+        let splitting = Device::with_manager(
+            DeviceConfig::test_tiny(),
+            ResourceManager::new().without_branch_combining(),
+        );
+        let rc = run(&combining);
+        let rs = run(&splitting);
+        assert!((rc.divergent_fraction - 0.5).abs() < 1e-12);
+        assert!(
+            rs.sim_kernel_seconds > rc.sim_kernel_seconds,
+            "split branches must cost more: {} vs {}",
+            rs.sim_kernel_seconds,
+            rc.sim_kernel_seconds
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_launches() {
+        let d = device();
+        let items = [1u8, 2, 3];
+        for _ in 0..3 {
+            d.launch(&spec(), &items, 10, 20, |_, _| ItemOutcome::new((), 5));
+        }
+        let s = d.stats();
+        assert_eq!(s.launches, 3);
+        assert_eq!(s.items, 9);
+        assert_eq!(s.bytes_in, 30);
+        assert_eq!(s.bytes_out, 60);
+        assert_eq!(s.thread_ops, 45);
+        d.reset_stats();
+        assert_eq!(d.stats().launches, 0);
+    }
+
+    #[test]
+    fn device_memory_flows_through_table() {
+        let d = device();
+        let p = d.alloc(512).unwrap();
+        d.free(p).unwrap();
+        let q = d.alloc(512).unwrap();
+        assert_eq!(p.addr, q.addr);
+        assert_eq!(d.stats().memory.reuse_hits, 1);
+    }
+
+    #[test]
+    fn empty_launch_is_harmless() {
+        let d = device();
+        let items: [u8; 0] = [];
+        let (out, r) = d.launch(&spec(), &items, 0, 0, |_, _| ItemOutcome::new(0u8, 1));
+        assert!(out.is_empty());
+        assert_eq!(r.divergent_fraction, 0.0);
+    }
+}

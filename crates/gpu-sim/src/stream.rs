@@ -1,0 +1,161 @@
+//! Stream pipelining: overlapping transfers with compute.
+//!
+//! FLBooster processes encryption/decryption in a staged pipeline (paper
+//! Fig. 4): while chunk `i` computes on the device, chunk `i+1` copies in
+//! and chunk `i-1` copies out. A [`Stream`] folds per-chunk launch reports
+//! into the pipelined makespan, so the platform layer can report both the
+//! serial and the overlapped simulated time.
+
+use crate::kernel::LaunchReport;
+
+/// Accumulates chunked launches into a pipelined timing model.
+#[derive(Debug, Default, Clone)]
+pub struct Stream {
+    chunks: Vec<(f64, f64, f64)>, // (h2d, kernel, d2h) per chunk
+}
+
+impl Stream {
+    /// New empty stream.
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// Adds one chunk's launch report to the stream.
+    pub fn push(&mut self, report: &LaunchReport) {
+        self.chunks.push((
+            report.sim_h2d_seconds,
+            report.sim_kernel_seconds,
+            report.sim_d2h_seconds,
+        ));
+    }
+
+    /// Number of chunks queued.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Serial (unpipelined) makespan: every stage of every chunk in
+    /// sequence.
+    pub fn serial_seconds(&self) -> f64 {
+        self.chunks.iter().map(|(a, b, c)| a + b + c).sum()
+    }
+
+    /// Pipelined makespan under a classic three-stage pipeline: the copy
+    /// engine and the compute engine each process chunks in order, a
+    /// chunk's stage starts when both its predecessor stage and the
+    /// engine are free.
+    ///
+    /// Models one H2D engine, one compute engine, and one D2H engine —
+    /// the copy/compute overlap a dual-copy-engine GPU provides.
+    pub fn pipelined_seconds(&self) -> f64 {
+        let mut h2d_free = 0.0f64;
+        let mut kern_free = 0.0f64;
+        let mut d2h_free = 0.0f64;
+        for &(h, k, d) in &self.chunks {
+            let h_done = h2d_free + h;
+            h2d_free = h_done;
+            let k_done = h_done.max(kern_free) + k;
+            kern_free = k_done;
+            let d_done = k_done.max(d2h_free) + d;
+            d2h_free = d_done;
+        }
+        d2h_free
+    }
+
+    /// Speedup of pipelining over serial execution (1.0 when empty).
+    pub fn overlap_speedup(&self) -> f64 {
+        let p = self.pipelined_seconds();
+        if p == 0.0 {
+            1.0
+        } else {
+            self.serial_seconds() / p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{LaunchPlan, OccupancyLimit};
+
+    fn report(h2d: f64, kernel: f64, d2h: f64) -> LaunchReport {
+        LaunchReport {
+            name: "chunk",
+            items: 1,
+            plan: LaunchPlan {
+                threads_per_block: 32,
+                num_blocks: 1,
+                total_threads: 32,
+                blocks_per_sm: 1,
+                resident_threads_per_sm: 32,
+                occupancy: 1.0,
+                effective_registers_per_thread: 32,
+                limited_by: OccupancyLimit::Threads,
+                waves: 1,
+            },
+            wall_seconds: 0.0,
+            sim_h2d_seconds: h2d,
+            sim_kernel_seconds: kernel,
+            sim_d2h_seconds: d2h,
+            bytes_in: 0,
+            bytes_out: 0,
+            total_thread_ops: 0,
+            divergent_fraction: 0.0,
+            sm_utilization: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = Stream::new();
+        assert!(s.is_empty());
+        assert_eq!(s.serial_seconds(), 0.0);
+        assert_eq!(s.pipelined_seconds(), 0.0);
+        assert_eq!(s.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn single_chunk_has_no_overlap() {
+        let mut s = Stream::new();
+        s.push(&report(1.0, 2.0, 1.0));
+        assert_eq!(s.serial_seconds(), 4.0);
+        assert_eq!(s.pipelined_seconds(), 4.0);
+    }
+
+    #[test]
+    fn balanced_chunks_approach_3x() {
+        let mut s = Stream::new();
+        for _ in 0..100 {
+            s.push(&report(1.0, 1.0, 1.0));
+        }
+        assert_eq!(s.serial_seconds(), 300.0);
+        // Pipeline fills in 2, then one chunk per unit: 2 + 100 * 1 = 102.
+        assert_eq!(s.pipelined_seconds(), 102.0);
+        assert!(s.overlap_speedup() > 2.9);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_hides_transfers() {
+        let mut s = Stream::new();
+        for _ in 0..10 {
+            s.push(&report(0.1, 5.0, 0.1));
+        }
+        // Compute dominates: makespan ≈ fill + 10 * 5.
+        let p = s.pipelined_seconds();
+        assert!((p - (0.1 + 50.0 + 0.1)).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn pipelined_never_exceeds_serial() {
+        let mut s = Stream::new();
+        for i in 0..7 {
+            s.push(&report(0.2 * i as f64, 1.0, 0.3));
+        }
+        assert!(s.pipelined_seconds() <= s.serial_seconds() + 1e-12);
+    }
+}

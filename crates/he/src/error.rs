@@ -1,0 +1,81 @@
+//! Error types for the homomorphic-encryption layer.
+
+use std::fmt;
+
+/// Result alias for HE operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by key generation and HE operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested key size is too small to be meaningful.
+    KeySizeTooSmall {
+        /// Requested size in bits.
+        bits: u32,
+        /// Minimum supported size.
+        min: u32,
+    },
+    /// A plaintext was not strictly below the plaintext modulus.
+    PlaintextTooLarge {
+        /// Bits of the offending plaintext.
+        plaintext_bits: u32,
+        /// Bits of the modulus.
+        modulus_bits: u32,
+    },
+    /// A ciphertext was outside the ciphertext space.
+    CiphertextOutOfRange,
+    /// Two ciphertexts from different keys were combined.
+    KeyMismatch,
+    /// An arithmetic-layer failure (prime generation, inverse, ...).
+    Arithmetic(mpint::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeySizeTooSmall { bits, min } => {
+                write!(f, "key size {bits} below minimum {min} bits")
+            }
+            Error::PlaintextTooLarge { plaintext_bits, modulus_bits } => write!(
+                f,
+                "plaintext of {plaintext_bits} bits exceeds the {modulus_bits}-bit plaintext space"
+            ),
+            Error::CiphertextOutOfRange => write!(f, "ciphertext outside the ciphertext space"),
+            Error::KeyMismatch => write!(f, "ciphertexts were produced under different keys"),
+            Error::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Arithmetic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mpint::Error> for Error {
+    fn from(e: mpint::Error) -> Self {
+        Error::Arithmetic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Error::KeySizeTooSmall { bits: 8, min: 64 }.to_string().contains("minimum"));
+        assert!(
+            Error::PlaintextTooLarge { plaintext_bits: 70, modulus_bits: 64 }
+                .to_string()
+                .contains("70")
+        );
+        assert!(Error::KeyMismatch.to_string().contains("different keys"));
+        let wrapped: Error = mpint::Error::NoInverse.into();
+        assert!(wrapped.to_string().contains("inverse"));
+    }
+}

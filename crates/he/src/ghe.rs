@@ -1,0 +1,508 @@
+//! GPU-HE: batched homomorphic operations (paper Sec. IV-A).
+//!
+//! The paper's key observation is that HE operations over a gradient
+//! vector are *independent*, so encryption, decryption, and homomorphic
+//! computation parallelize perfectly across GPU threads. This module
+//! provides a [`HeBackend`] abstraction with two implementations:
+//!
+//! - [`CpuHe`] — the FATE-style baseline: serial CPU loops, with simulated
+//!   time `n · β_cpu` per the paper's Eq. 10 numerator.
+//! - [`GpuHe`] — the GHE layer: every batch becomes one kernel launch on a
+//!   [`gpu_sim::Device`], with the kernel spec (lanes, registers) derived
+//!   from the key size, so occupancy and SM utilization respond to the key
+//!   size exactly as in the paper's Fig. 6.
+//!
+//! Both backends perform the *real* cryptographic computation — the
+//! backends differ only in parallel scheduling and in the simulated-time
+//! accounting the FL trainer consumes.
+
+use std::sync::Arc;
+
+use gpu_sim::{Device, KernelSpec};
+use mpint::Natural;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::paillier::{Ciphertext, PaillierPrivateKey, PaillierPublicKey};
+use crate::Result;
+
+/// Timing and volume accounting for one batched HE call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HeTiming {
+    /// Simulated seconds the operation took on its backend.
+    pub sim_seconds: f64,
+    /// Limb-level operations executed.
+    pub ops: u64,
+    /// Items processed.
+    pub items: u64,
+}
+
+impl HeTiming {
+    /// Accumulates another timing into this one.
+    pub fn merge(&mut self, other: &HeTiming) {
+        self.sim_seconds += other.sim_seconds;
+        self.ops += other.ops;
+        self.items += other.items;
+    }
+}
+
+/// A batched homomorphic-encryption execution backend.
+pub trait HeBackend: Send + Sync {
+    /// Backend name for reports ("cpu", "gpu").
+    fn name(&self) -> &'static str;
+
+    /// Encrypts a batch of plaintexts. `seed` derives per-item blinding
+    /// randomness deterministically (each item gets an independent
+    /// stream, matching the paper's per-thread RNG).
+    fn encrypt_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        plaintexts: &[Natural],
+        seed: u64,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)>;
+
+    /// Decrypts a batch of ciphertexts (CRT fast path).
+    fn decrypt_batch(
+        &self,
+        sk: &PaillierPrivateKey,
+        ciphertexts: &[Ciphertext],
+    ) -> Result<(Vec<Natural>, HeTiming)>;
+
+    /// Pairwise homomorphic addition of two equal-length batches.
+    fn add_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        a: &[Ciphertext],
+        b: &[Ciphertext],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)>;
+
+    /// Folds each group of ciphertexts into one by homomorphic addition —
+    /// the gradient-histogram reduction of SecureBoost (one group per
+    /// (feature, bin) bucket). Empty groups yield the encryption of zero.
+    fn fold_groups(
+        &self,
+        pk: &PaillierPublicKey,
+        groups: &[Vec<Ciphertext>],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)>;
+}
+
+/// Derives a per-item RNG from a batch seed, mirroring the paper's
+/// one-generator-per-thread design.
+fn item_rng(seed: u64, index: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn blinding(pk: &PaillierPublicKey, seed: u64, index: usize) -> Natural {
+    let mut rng = item_rng(seed, index);
+    mpint::random::random_coprime(&mut rng, &pk.n)
+}
+
+// ---------------------------------------------------------------------
+// CPU baseline (FATE-style)
+// ---------------------------------------------------------------------
+
+/// CPU execution of HE batches — the paper's FATE baseline.
+///
+/// Simulated time charges `β_cpu` per limb-level operation *serially*
+/// (FATE's per-value Python loop); the computation itself runs on the
+/// host thread pool so that large benchmark batches finish quickly —
+/// wall-clock and simulated time are decoupled throughout the harness.
+/// The default `β_cpu` is calibrated so 1024-bit Paillier encryption
+/// throughput lands near the paper's Table IV FATE row (~360
+/// instances/s).
+#[derive(Debug, Clone)]
+pub struct CpuHe {
+    /// Seconds per limb-level operation (`β_cpu`).
+    pub seconds_per_op: f64,
+}
+
+/// Calibrated default `β_cpu` (see struct docs).
+pub const DEFAULT_CPU_SECONDS_PER_OP: f64 = 2.0e-9;
+
+impl Default for CpuHe {
+    fn default() -> Self {
+        CpuHe { seconds_per_op: DEFAULT_CPU_SECONDS_PER_OP }
+    }
+}
+
+impl HeBackend for CpuHe {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn encrypt_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        plaintexts: &[Natural],
+        seed: u64,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let out: crate::Result<Vec<Ciphertext>> = plaintexts
+            .par_iter()
+            .enumerate()
+            .map(|(i, m)| pk.encrypt_with_r(m, &blinding(pk, seed, i)))
+            .collect();
+        let out = out?;
+        let ops = pk.encrypt_op_estimate() * plaintexts.len() as u64;
+        Ok((out, self.timing(ops, plaintexts.len())))
+    }
+
+    fn decrypt_batch(
+        &self,
+        sk: &PaillierPrivateKey,
+        ciphertexts: &[Ciphertext],
+    ) -> Result<(Vec<Natural>, HeTiming)> {
+        let out: crate::Result<Vec<Natural>> =
+            ciphertexts.par_iter().map(|c| sk.decrypt_crt(c)).collect();
+        let out = out?;
+        let ops = sk.decrypt_op_estimate() * ciphertexts.len() as u64;
+        Ok((out, self.timing(ops, ciphertexts.len())))
+    }
+
+    fn add_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        a: &[Ciphertext],
+        b: &[Ciphertext],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        assert_eq!(a.len(), b.len(), "add_batch requires equal lengths");
+        let out: crate::Result<Vec<Ciphertext>> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| pk.checked_add(x, y))
+            .collect();
+        let ops = pk.add_op_estimate() * a.len() as u64;
+        Ok((out?, self.timing(ops, a.len())))
+    }
+
+    fn fold_groups(
+        &self,
+        pk: &PaillierPublicKey,
+        groups: &[Vec<Ciphertext>],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let out: crate::Result<Vec<Ciphertext>> = groups
+            .par_iter()
+            .map(|group| {
+                let mut acc = pk.zero_ciphertext();
+                for c in group {
+                    acc = pk.checked_add(&acc, c)?;
+                }
+                Ok(acc)
+            })
+            .collect();
+        let adds: u64 = groups.iter().map(|g| g.len() as u64).sum();
+        let ops = pk.add_op_estimate() * adds;
+        Ok((out?, self.timing(ops, groups.len())))
+    }
+}
+
+impl CpuHe {
+    fn timing(&self, ops: u64, items: usize) -> HeTiming {
+        HeTiming { sim_seconds: ops as f64 * self.seconds_per_op, ops, items: items as u64 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GPU-HE (the paper's GHE layer)
+// ---------------------------------------------------------------------
+
+/// Batched HE dispatched through the GPU execution-model simulator.
+#[derive(Clone)]
+pub struct GpuHe {
+    device: Arc<Device>,
+}
+
+impl GpuHe {
+    /// Wraps a simulated device.
+    pub fn new(device: Arc<Device>) -> Self {
+        GpuHe { device }
+    }
+
+    /// The underlying device (for stats inspection).
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Kernel spec for an HE operation over a `key_bits`-bit cryptosystem.
+    ///
+    /// Each work item is one HE operation executed by a 32-lane thread
+    /// group (the paper's `T` threads); each lane holds `x = s/T` words of
+    /// the four working operands in registers, so register demand — and
+    /// with it occupancy, Fig. 6 — scales with the key size.
+    pub fn kernel_spec(name: &'static str, key_bits: u32, ciphertext: bool) -> KernelSpec {
+        let bits = if ciphertext { 2 * key_bits } else { key_bits };
+        let s = (bits as usize).div_ceil(64) as u32; // operand limbs
+        let lanes = 32u32;
+        let x = s.div_ceil(lanes); // words per lane
+        KernelSpec {
+            name,
+            lanes_per_item: lanes,
+            // 4 working operands × x 64-bit words × 2 registers, plus
+            // bookkeeping.
+            registers_per_thread: 24 + 8 * x,
+            shared_mem_per_block: 0,
+            // The final conditional subtraction of Algorithm 2 is a
+            // data-dependent branch taken by roughly half the warps.
+            divergence: 0.5,
+        }
+    }
+}
+
+impl HeBackend for GpuHe {
+    fn name(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn encrypt_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        plaintexts: &[Natural],
+        seed: u64,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let spec = Self::kernel_spec("paillier_encrypt", pk.key_bits, true);
+        let per_item_ops = pk.encrypt_op_estimate();
+        // Plaintexts go up (quantized words), ciphertexts come back.
+        let bytes_in: u64 = plaintexts.iter().map(|m| m.wire_size_bytes().max(4) as u64).sum();
+        let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
+        let bytes_out = ct_bytes * plaintexts.len() as u64;
+
+        let (results, report) =
+            self.device.launch(&spec, plaintexts, bytes_in, bytes_out, |i, m| {
+                let r = blinding(pk, seed, i);
+                let out = pk.encrypt_with_r(m, &r);
+                gpu_sim::kernel::outcome_from_result(out, per_item_ops, i % 2 == 0)
+            });
+        let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
+
+    fn decrypt_batch(
+        &self,
+        sk: &PaillierPrivateKey,
+        ciphertexts: &[Ciphertext],
+    ) -> Result<(Vec<Natural>, HeTiming)> {
+        let spec = Self::kernel_spec("paillier_decrypt", sk.public.key_bits, true);
+        let per_item_ops = sk.decrypt_op_estimate();
+        let ct_bytes = (sk.public.n_squared.bit_len() as u64).div_ceil(8);
+        let bytes_in = ct_bytes * ciphertexts.len() as u64;
+        let pt_bytes = (sk.public.n.bit_len() as u64).div_ceil(8);
+        let bytes_out = pt_bytes * ciphertexts.len() as u64;
+
+        let (results, report) =
+            self.device.launch(&spec, ciphertexts, bytes_in, bytes_out, |i, c| {
+                gpu_sim::kernel::outcome_from_result(sk.decrypt_crt(c), per_item_ops, i % 2 == 0)
+            });
+        let out: Result<Vec<Natural>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
+
+    fn add_batch(
+        &self,
+        pk: &PaillierPublicKey,
+        a: &[Ciphertext],
+        b: &[Ciphertext],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        assert_eq!(a.len(), b.len(), "add_batch requires equal lengths");
+        let spec = Self::kernel_spec("paillier_add", pk.key_bits, true);
+        let per_item_ops = pk.add_op_estimate();
+        let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
+        // Homomorphic computation keeps data resident (paper Fig. 4 phase
+        // ⑩–⑫): operands were already on-device from prior phases; only
+        // parameters move. Charge one operand in, result stays.
+        let bytes_in = ct_bytes; // key parameters
+        let bytes_out = 0;
+
+        let pairs: Vec<(&Ciphertext, &Ciphertext)> = a.iter().zip(b.iter()).collect();
+        let (results, report) = self.device.launch(&spec, &pairs, bytes_in, bytes_out, |i, (x, y)| {
+            gpu_sim::kernel::outcome_from_result(pk.checked_add(x, y), per_item_ops, i % 4 == 0)
+        });
+        let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
+
+    fn fold_groups(
+        &self,
+        pk: &PaillierPublicKey,
+        groups: &[Vec<Ciphertext>],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let spec = Self::kernel_spec("paillier_fold", pk.key_bits, true);
+        let per_add_ops = pk.add_op_estimate();
+        let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
+        // Operands are assumed device-resident (they arrive from a prior
+        // encrypt); only the folded buckets come back.
+        let bytes_out = ct_bytes * groups.len() as u64;
+        let (results, report) = self.device.launch(&spec, groups, 0, bytes_out, |i, group| {
+            let mut acc = pk.zero_ciphertext();
+            let mut err = None;
+            for c in group {
+                match pk.checked_add(&acc, c) {
+                    Ok(next) => acc = next,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            let ops = per_add_ops * group.len() as u64;
+            let out = match err {
+                Some(e) => Err(e),
+                None => Ok(acc),
+            };
+            gpu_sim::kernel::outcome_from_result(out, ops.max(1), i % 2 == 0)
+        });
+        let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
+}
+
+/// Converts a launch report into HE timing under *epoch-amortized*
+/// accounting: kernel time is charged at the launch's occupancy-limited
+/// device throughput rather than its instantaneous batch width.
+///
+/// Rationale: the paper's epochs stream hundreds of thousands of HE
+/// operations through the GPU back-to-back, so the device is saturated;
+/// the harness's scaled-down batches would otherwise be dominated by
+/// tail-wave underfill that the real workload never sees. Occupancy (and
+/// with it every register/branch effect the resource manager controls)
+/// still shapes the charged time; only the batch-width underfill is
+/// amortized away. Launch reports and utilization statistics keep the
+/// unamortized view.
+fn timing_from(report: &gpu_sim::LaunchReport, cfg: &gpu_sim::DeviceConfig) -> HeTiming {
+    let resident =
+        (report.plan.resident_threads_per_sm as u64 * cfg.num_sms as u64).max(1) as f64;
+    // Re-derive the divergence-penalized op count the device charged.
+    let penalized = report.sim_kernel_seconds
+        * report.plan.concurrent_threads(cfg).max(1) as f64
+        / cfg.sec_per_thread_op;
+    let kernel_seconds = penalized / resident * cfg.sec_per_thread_op;
+    HeTiming {
+        sim_seconds: report.sim_h2d_seconds + kernel_seconds + report.sim_d2h_seconds,
+        ops: report.total_thread_ops,
+        items: report.items as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::PaillierKeyPair;
+    use gpu_sim::DeviceConfig;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        PaillierKeyPair::generate(&mut rng, 128).unwrap()
+    }
+
+    fn gpu() -> GpuHe {
+        GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())))
+    }
+
+    fn nats(vals: &[u64]) -> Vec<Natural> {
+        vals.iter().map(|&v| Natural::from(v)).collect()
+    }
+
+    #[test]
+    fn cpu_and_gpu_encrypt_same_plaintexts() {
+        let k = keys();
+        let ms = nats(&[1, 2, 3, 4, 5]);
+        let (cpu_cts, _) = CpuHe::default().encrypt_batch(&k.public, &ms, 99).unwrap();
+        let (gpu_cts, _) = gpu().encrypt_batch(&k.public, &ms, 99).unwrap();
+        // Same seed => same per-item blinding => identical ciphertexts.
+        assert_eq!(cpu_cts, gpu_cts);
+        for (c, m) in cpu_cts.iter().zip(&ms) {
+            assert_eq!(&k.private.decrypt(c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn gpu_batch_roundtrip() {
+        let k = keys();
+        let g = gpu();
+        let ms = nats(&[10, 20, 30, 40]);
+        let (cts, enc_t) = g.encrypt_batch(&k.public, &ms, 7).unwrap();
+        let (back, dec_t) = g.decrypt_batch(&k.private, &cts).unwrap();
+        assert_eq!(back, ms);
+        assert!(enc_t.sim_seconds > 0.0);
+        assert!(dec_t.sim_seconds > 0.0);
+        assert_eq!(enc_t.items, 4);
+    }
+
+    #[test]
+    fn gpu_add_batch_is_homomorphic() {
+        let k = keys();
+        let g = gpu();
+        let (ca, _) = g.encrypt_batch(&k.public, &nats(&[1, 2, 3]), 1).unwrap();
+        let (cb, _) = g.encrypt_batch(&k.public, &nats(&[10, 20, 30]), 2).unwrap();
+        let (sums, _) = g.add_batch(&k.public, &ca, &cb).unwrap();
+        let (plains, _) = g.decrypt_batch(&k.private, &sums).unwrap();
+        assert_eq!(plains, nats(&[11, 22, 33]));
+    }
+
+    #[test]
+    fn gpu_is_simulated_faster_than_cpu_on_large_batches() {
+        let k = keys();
+        let ms = nats(&(0..512u64).collect::<Vec<_>>());
+        let (_, cpu_t) = CpuHe::default().encrypt_batch(&k.public, &ms, 3).unwrap();
+        let (_, gpu_t) = gpu().encrypt_batch(&k.public, &ms, 3).unwrap();
+        assert!(
+            gpu_t.sim_seconds < cpu_t.sim_seconds,
+            "gpu {} !< cpu {}",
+            gpu_t.sim_seconds,
+            cpu_t.sim_seconds
+        );
+    }
+
+    #[test]
+    fn kernel_spec_registers_grow_with_key_size() {
+        let r1 = GpuHe::kernel_spec("e", 1024, true).registers_per_thread;
+        let r2 = GpuHe::kernel_spec("e", 2048, true).registers_per_thread;
+        let r4 = GpuHe::kernel_spec("e", 4096, true).registers_per_thread;
+        assert!(r1 < r2 && r2 < r4, "{r1} {r2} {r4}");
+    }
+
+    #[test]
+    fn utilization_falls_with_key_size() {
+        // The Fig.-6 trend, via occupancy of the planned kernels.
+        let d = Device::new(DeviceConfig::rtx3090());
+        let mut last = f64::INFINITY;
+        for bits in [1024u32, 2048, 4096] {
+            let spec = GpuHe::kernel_spec("enc", bits, true);
+            let plan = d.manager().plan(d.config(), &spec, 100_000);
+            assert!(plan.occupancy <= last, "occupancy rose at {bits}");
+            last = plan.occupancy;
+        }
+    }
+
+    #[test]
+    fn device_stats_accumulate_he_launches() {
+        let k = keys();
+        let g = gpu();
+        g.encrypt_batch(&k.public, &nats(&[1, 2]), 0).unwrap();
+        g.decrypt_batch(&k.private, &g.encrypt_batch(&k.public, &nats(&[3]), 1).unwrap().0)
+            .unwrap();
+        let stats = g.device().stats();
+        assert_eq!(stats.launches, 3);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+        let kernels: Vec<_> =
+            stats.utilization_samples.iter().map(|s| s.kernel).collect();
+        assert!(kernels.contains(&"paillier_encrypt"));
+        assert!(kernels.contains(&"paillier_decrypt"));
+    }
+
+    #[test]
+    fn timing_merge_accumulates() {
+        let mut t = HeTiming::default();
+        t.merge(&HeTiming { sim_seconds: 1.0, ops: 10, items: 2 });
+        t.merge(&HeTiming { sim_seconds: 0.5, ops: 5, items: 1 });
+        assert_eq!(t, HeTiming { sim_seconds: 1.5, ops: 15, items: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_add_batch_panics() {
+        let k = keys();
+        let g = gpu();
+        let (ca, _) = g.encrypt_batch(&k.public, &nats(&[1]), 0).unwrap();
+        let _ = g.add_batch(&k.public, &ca, &[]);
+    }
+}

@@ -1,0 +1,487 @@
+//! The Paillier cryptosystem (paper Sec. III-B).
+//!
+//! Additive homomorphic encryption over `Z_n` with ciphertexts in
+//! `Z*_{n²}`:
+//!
+//! - **Key generation**: primes `p, q` of `k/2` bits, `n = p·q`,
+//!   `λ = lcm(p-1, q-1)`; we use the standard generator `g = n + 1`, which
+//!   satisfies the paper's `gcd(n, L(g^λ mod n²)) = 1` condition and makes
+//!   `g^m mod n² = 1 + m·n` a single multiplication.
+//! - **Encryption** (paper Eq. 3): `E(m) = g^m · r^n mod n²`.
+//! - **Decryption** (paper Eq. 4): `D(c) = L(c^λ mod n²) / L(g^λ mod n²)
+//!   mod n`, with an optional CRT fast path that exponentiates modulo `p²`
+//!   and `q²` separately (≈4× fewer limb operations).
+//! - **Homomorphic addition** (paper Eq. 5): `E(m₁)·E(m₂) = E(m₁+m₂)`,
+//!   plus plaintext-scalar multiplication `E(m)^k = E(k·m)` used for
+//!   weighted gradient aggregation.
+
+use mpint::modpow::{mod_pow_ctx, window_size_for};
+use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
+use mpint::random::random_coprime;
+use mpint::{mod_inv, MontgomeryCtx, Natural};
+use rand::Rng;
+
+use crate::{Error, Result};
+
+/// Smallest accepted key size. Real deployments need ≥1024 (paper Sec.
+/// IV-A: "only HE with enough large key size can be allowed"); tests use
+/// smaller keys for speed.
+pub const MIN_KEY_BITS: u32 = 64;
+
+/// A Paillier ciphertext: an element of `Z*_{n²}` tagged with a key
+/// fingerprint so cross-key operations fail loudly instead of decrypting
+/// to garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// The ciphertext value `c ∈ Z*_{n²}`.
+    pub value: Natural,
+    pub(crate) key_id: u64,
+}
+
+impl Ciphertext {
+    /// Bytes this ciphertext occupies on the wire (what the network
+    /// simulator charges).
+    pub fn wire_size_bytes(&self) -> usize {
+        self.value.wire_size_bytes()
+    }
+}
+
+/// Public key: `(g, n)` plus precomputed Montgomery state for `mod n²`.
+#[derive(Debug, Clone)]
+pub struct PaillierPublicKey {
+    /// The modulus `n = p·q`.
+    pub n: Natural,
+    /// `n²`, the ciphertext modulus.
+    pub n_squared: Natural,
+    /// Nominal key size in bits.
+    pub key_bits: u32,
+    pub(crate) ctx_n2: MontgomeryCtx,
+    pub(crate) key_id: u64,
+}
+
+/// Private key: `(p, q)` with both the direct (`λ, μ`) and CRT decryption
+/// precomputations.
+#[derive(Debug, Clone)]
+pub struct PaillierPrivateKey {
+    /// Prime factor `p`.
+    pub p: Natural,
+    /// Prime factor `q`.
+    pub q: Natural,
+    /// `λ = lcm(p-1, q-1)`.
+    pub lambda: Natural,
+    /// `μ = L(g^λ mod n²)^{-1} mod n`.
+    pub mu: Natural,
+    /// Copy of the public key for the moduli and contexts.
+    pub public: PaillierPublicKey,
+    // CRT precomputation.
+    p_squared: Natural,
+    q_squared: Natural,
+    ctx_p2: MontgomeryCtx,
+    ctx_q2: MontgomeryCtx,
+    /// `h_p = L_p(g^{p-1} mod p²)^{-1} mod p`.
+    h_p: Natural,
+    /// `h_q = L_q(g^{q-1} mod q²)^{-1} mod q`.
+    h_q: Natural,
+    /// `p^{-1} mod q` for the CRT recombination.
+    p_inv_q: Natural,
+}
+
+/// A generated key pair.
+#[derive(Debug, Clone)]
+pub struct PaillierKeyPair {
+    /// The public (encryption) key.
+    pub public: PaillierPublicKey,
+    /// The private (decryption) key.
+    pub private: PaillierPrivateKey,
+}
+
+/// `L(x) = (x - 1) / n` — the paper's L function, defined on `x ≡ 1 mod n`.
+fn l_function(x: &Natural, n: &Natural) -> Natural {
+    let (q, _r) = x
+        .checked_sub(&Natural::one())
+        .expect("L input is >= 1")
+        .div_rem(n);
+    q
+}
+
+impl PaillierKeyPair {
+    /// Generates a key pair with an `bits`-bit modulus `n`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Result<Self> {
+        if bits < MIN_KEY_BITS {
+            return Err(Error::KeySizeTooSmall { bits, min: MIN_KEY_BITS });
+        }
+        loop {
+            let (p, q) = generate_prime_pair(rng, bits / 2, DEFAULT_MR_ROUNDS)?;
+            let n = &p * &q;
+            // Equal-size primes guarantee gcd(n, (p-1)(q-1)) = 1 unless
+            // p | q-1 or q | p-1, impossible at equal bit lengths — but n
+            // can land at bits-1 when both primes are near 2^(b/2); retry.
+            if n.bit_len() != bits {
+                continue;
+            }
+            return Self::from_primes(p, q, bits);
+        }
+    }
+
+    /// Builds a key pair from explicit primes (used by tests and by the
+    /// deterministic benchmark harness).
+    pub fn from_primes(p: Natural, q: Natural, key_bits: u32) -> Result<Self> {
+        let n = &p * &q;
+        let n_squared = n.square();
+        let ctx_n2 = MontgomeryCtx::new(&n_squared)?;
+        let key_id = key_fingerprint(&n);
+        let public = PaillierPublicKey {
+            n: n.clone(),
+            n_squared: n_squared.clone(),
+            key_bits,
+            ctx_n2,
+            key_id,
+        };
+
+        let one = Natural::one();
+        let p_minus_1 = p.checked_sub(&one).expect("p > 1");
+        let q_minus_1 = q.checked_sub(&one).expect("q > 1");
+        let lambda = mpint::lcm(&p_minus_1, &q_minus_1);
+
+        // μ = L(g^λ mod n²)^{-1} mod n, with g = n+1 so
+        // g^λ mod n² = 1 + λ·n mod n², hence L(g^λ) = λ mod n.
+        let mu = mod_inv(&(&lambda % &n), &n)?;
+
+        // CRT precomputation.
+        let p_squared = p.square();
+        let q_squared = q.square();
+        let ctx_p2 = MontgomeryCtx::new(&p_squared)?;
+        let ctx_q2 = MontgomeryCtx::new(&q_squared)?;
+        // g = n+1 ≡ 1 + n (mod p²); g^{p-1} mod p² = 1 + (p-1)·n mod p².
+        let g_p = mod_pow_ctx(&ctx_p2, &(&n + &one), &p_minus_1);
+        let h_p = mod_inv(&(&l_function(&g_p, &p) % &p), &p)?;
+        let g_q = mod_pow_ctx(&ctx_q2, &(&n + &one), &q_minus_1);
+        let h_q = mod_inv(&(&l_function(&g_q, &q) % &q), &q)?;
+        let p_inv_q = mod_inv(&(&p % &q), &q)?;
+
+        let private = PaillierPrivateKey {
+            p,
+            q,
+            lambda,
+            mu,
+            public: public.clone(),
+            p_squared,
+            q_squared,
+            ctx_p2,
+            ctx_q2,
+            h_p,
+            h_q,
+            p_inv_q,
+        };
+        Ok(PaillierKeyPair { public, private })
+    }
+}
+
+/// Cheap structural fingerprint of a key's modulus, embedded in
+/// ciphertexts to catch cross-key mixing.
+fn key_fingerprint(n: &Natural) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &l in n.limbs() {
+        h ^= l;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl PaillierPublicKey {
+    /// Encrypts `m < n` with a fresh blinding factor (paper Eq. 3).
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &Natural, rng: &mut R) -> Result<Ciphertext> {
+        let r = random_coprime(rng, &self.n);
+        self.encrypt_with_r(m, &r)
+    }
+
+    /// Encrypts with an explicit blinding factor (deterministic tests).
+    pub fn encrypt_with_r(&self, m: &Natural, r: &Natural) -> Result<Ciphertext> {
+        if m >= &self.n {
+            return Err(Error::PlaintextTooLarge {
+                plaintext_bits: m.bit_len(),
+                modulus_bits: self.n.bit_len(),
+            });
+        }
+        // g^m mod n² = 1 + m·n (g = n+1) — one multiplication.
+        let g_m = &(&Natural::one() + &(m * &self.n)) % &self.n_squared;
+        // r^n mod n²: the expensive modular exponentiation.
+        let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
+        let value = self.ctx_n2.mod_mul(&g_m, &r_n);
+        Ok(Ciphertext { value, key_id: self.key_id })
+    }
+
+    /// Homomorphic addition (paper Eq. 5): `E(m₁)·E(m₂) mod n²`.
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        debug_assert_eq!(c1.key_id, self.key_id);
+        debug_assert_eq!(c2.key_id, self.key_id);
+        Ciphertext {
+            value: self.ctx_n2.mod_mul(&c1.value, &c2.value),
+            key_id: self.key_id,
+        }
+    }
+
+    /// Checked homomorphic addition: fails on key mismatch.
+    pub fn checked_add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Result<Ciphertext> {
+        if c1.key_id != self.key_id || c2.key_id != self.key_id {
+            return Err(Error::KeyMismatch);
+        }
+        Ok(self.add(c1, c2))
+    }
+
+    /// Plaintext-scalar multiplication: `E(m)^k = E(k·m mod n)`.
+    pub fn scalar_mul(&self, c: &Ciphertext, k: &Natural) -> Ciphertext {
+        debug_assert_eq!(c.key_id, self.key_id);
+        Ciphertext {
+            value: mod_pow_ctx(&self.ctx_n2, &c.value, k),
+            key_id: self.key_id,
+        }
+    }
+
+    /// Encryption of zero with unit blinding — the additive identity used
+    /// to initialize aggregation accumulators.
+    pub fn zero_ciphertext(&self) -> Ciphertext {
+        Ciphertext { value: Natural::one(), key_id: self.key_id }
+    }
+
+    /// Estimated limb-level operation count of one encryption, used by the
+    /// GPU simulator's timing model: a `bits(n)`-bit exponentiation of
+    /// `s²`-cost Montgomery multiplications plus the blinding multiply.
+    pub fn encrypt_op_estimate(&self) -> u64 {
+        let s = self.ctx_n2.width() as u64;
+        let e_bits = self.n.bit_len() as u64;
+        let w = window_size_for(self.n.bit_len()) as u64;
+        // squarings + window multiplies + table build
+        let mont_muls = e_bits + e_bits / (w + 1) + (1 << (w - 1));
+        (mont_muls + 2) * s * s
+    }
+
+    /// Estimated limb-level operation count of one homomorphic addition.
+    pub fn add_op_estimate(&self) -> u64 {
+        let s = self.ctx_n2.width() as u64;
+        3 * s * s // to-Montgomery ×2 is amortized; one mont-mul + reduce
+    }
+}
+
+impl PaillierPrivateKey {
+    /// Direct decryption (paper Eq. 4).
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<Natural> {
+        self.check(c)?;
+        let u = mod_pow_ctx(&self.public.ctx_n2, &c.value, &self.lambda);
+        let l = l_function(&u, &self.public.n);
+        Ok(&(&l * &self.mu) % &self.public.n)
+    }
+
+    /// CRT decryption: exponentiates modulo `p²` and `q²` (half-width
+    /// operands, half-length exponents) and recombines — the fast path the
+    /// GPU layer batches.
+    pub fn decrypt_crt(&self, c: &Ciphertext) -> Result<Natural> {
+        self.check(c)?;
+        let one = Natural::one();
+        let p_minus_1 = self.p.checked_sub(&one).expect("p > 1");
+        let q_minus_1 = self.q.checked_sub(&one).expect("q > 1");
+
+        // m_p = L_p(c^{p-1} mod p²) · h_p mod p
+        let cp = &c.value % &self.p_squared;
+        let up = mod_pow_ctx(&self.ctx_p2, &cp, &p_minus_1);
+        let m_p = &(&l_function(&up, &self.p) * &self.h_p) % &self.p;
+
+        let cq = &c.value % &self.q_squared;
+        let uq = mod_pow_ctx(&self.ctx_q2, &cq, &q_minus_1);
+        let m_q = &(&l_function(&uq, &self.q) * &self.h_q) % &self.q;
+
+        // CRT: m = m_p + p·((m_q - m_p)·p^{-1} mod q), with m_p reduced
+        // into [0, q) before the difference (p and q have no ordering).
+        let m_p_mod_q = &m_p % &self.q;
+        let diff = if m_q >= m_p_mod_q {
+            m_q.checked_sub(&m_p_mod_q).expect("m_q >= m_p mod q")
+        } else {
+            (&m_q + &self.q).checked_sub(&m_p_mod_q).expect("m_q + q >= m_p mod q")
+        };
+        let t = &(&diff * &self.p_inv_q) % &self.q;
+        Ok(&m_p + &(&self.p * &t))
+    }
+
+    /// Estimated limb-level op count of one CRT decryption.
+    pub fn decrypt_op_estimate(&self) -> u64 {
+        let s = self.ctx_p2.width() as u64;
+        let e_bits = self.p.bit_len() as u64;
+        let w = window_size_for(self.p.bit_len()) as u64;
+        let mont_muls = e_bits + e_bits / (w + 1) + (1 << (w - 1));
+        2 * (mont_muls + 4) * s * s // two half-width exponentiations
+    }
+
+    fn check(&self, c: &Ciphertext) -> Result<()> {
+        if c.key_id != self.public.key_id {
+            return Err(Error::KeyMismatch);
+        }
+        if c.value >= self.public.n_squared {
+            return Err(Error::CiphertextOutOfRange);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x5EED)
+    }
+
+    fn keys(bits: u32) -> PaillierKeyPair {
+        PaillierKeyPair::generate(&mut rng(), bits).unwrap()
+    }
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let k = keys(128);
+        let mut r = rng();
+        for v in [0u64, 1, 42, 0xFFFF_FFFF] {
+            let c = k.public.encrypt(&nat(v), &mut r).unwrap();
+            assert_eq!(k.private.decrypt(&c).unwrap(), nat(v), "direct {v}");
+            assert_eq!(k.private.decrypt_crt(&c).unwrap(), nat(v), "crt {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_near_modulus() {
+        let k = keys(128);
+        let mut r = rng();
+        let m = k.public.n.checked_sub(&Natural::one()).unwrap();
+        let c = k.public.encrypt(&m, &mut r).unwrap();
+        assert_eq!(k.private.decrypt(&c).unwrap(), m);
+        assert_eq!(k.private.decrypt_crt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn plaintext_too_large_rejected() {
+        let k = keys(128);
+        let mut r = rng();
+        assert!(matches!(
+            k.public.encrypt(&k.public.n, &mut r),
+            Err(Error::PlaintextTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let k = keys(128);
+        let mut r = rng();
+        let c1 = k.public.encrypt(&nat(1000), &mut r).unwrap();
+        let c2 = k.public.encrypt(&nat(2345), &mut r).unwrap();
+        let sum = k.public.add(&c1, &c2);
+        assert_eq!(k.private.decrypt(&sum).unwrap(), nat(3345));
+    }
+
+    #[test]
+    fn homomorphic_addition_wraps_mod_n() {
+        let k = keys(128);
+        let mut r = rng();
+        let m = k.public.n.checked_sub(&Natural::one()).unwrap();
+        let c1 = k.public.encrypt(&m, &mut r).unwrap();
+        let c2 = k.public.encrypt(&nat(2), &mut r).unwrap();
+        let sum = k.public.add(&c1, &c2);
+        assert_eq!(k.private.decrypt(&sum).unwrap(), nat(1));
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let k = keys(128);
+        let mut r = rng();
+        let c = k.public.encrypt(&nat(111), &mut r).unwrap();
+        let scaled = k.public.scalar_mul(&c, &nat(9));
+        assert_eq!(k.private.decrypt(&scaled).unwrap(), nat(999));
+    }
+
+    #[test]
+    fn zero_ciphertext_is_additive_identity() {
+        let k = keys(128);
+        let mut r = rng();
+        let c = k.public.encrypt(&nat(77), &mut r).unwrap();
+        let sum = k.public.add(&c, &k.public.zero_ciphertext());
+        assert_eq!(k.private.decrypt(&sum).unwrap(), nat(77));
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let k = keys(128);
+        let mut r = rng();
+        let c1 = k.public.encrypt(&nat(5), &mut r).unwrap();
+        let c2 = k.public.encrypt(&nat(5), &mut r).unwrap();
+        assert_ne!(c1.value, c2.value, "fresh blinding must differ");
+        assert_eq!(k.private.decrypt(&c1).unwrap(), k.private.decrypt(&c2).unwrap());
+    }
+
+    #[test]
+    fn cross_key_operations_fail() {
+        let k1 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(1), 128).unwrap();
+        let k2 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(2), 128).unwrap();
+        let mut r = rng();
+        let c1 = k1.public.encrypt(&nat(1), &mut r).unwrap();
+        let c2 = k2.public.encrypt(&nat(2), &mut r).unwrap();
+        assert_eq!(k1.public.checked_add(&c1, &c2), Err(Error::KeyMismatch));
+        assert_eq!(k2.private.decrypt(&c1), Err(Error::KeyMismatch));
+    }
+
+    #[test]
+    fn ciphertext_out_of_range_rejected() {
+        let k = keys(128);
+        let bogus = Ciphertext { value: k.public.n_squared.clone(), key_id: k.public.key_id };
+        assert_eq!(k.private.decrypt(&bogus), Err(Error::CiphertextOutOfRange));
+    }
+
+    #[test]
+    fn key_size_floor_enforced() {
+        assert!(matches!(
+            PaillierKeyPair::generate(&mut rng(), 32),
+            Err(Error::KeySizeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        for bits in [64u32, 128, 256] {
+            let k = keys(bits);
+            assert_eq!(k.public.n.bit_len(), bits);
+            assert_eq!(k.public.key_bits, bits);
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_about_twice_key_size() {
+        // The paper's communication overhead: a k-bit key yields 2k-bit
+        // ciphertexts.
+        let k = keys(128);
+        let mut r = rng();
+        let c = k.public.encrypt(&nat(1), &mut r).unwrap();
+        let bits = c.value.bit_len();
+        assert!(bits > 192 && bits <= 256, "ciphertext bits {bits}");
+    }
+
+    #[test]
+    fn op_estimates_scale_with_key_size() {
+        let k1 = keys(64);
+        let k2 = keys(256);
+        assert!(k2.public.encrypt_op_estimate() > 4 * k1.public.encrypt_op_estimate());
+        assert!(k2.private.decrypt_op_estimate() > 4 * k1.private.decrypt_op_estimate());
+        assert!(k1.public.add_op_estimate() < k1.public.encrypt_op_estimate());
+    }
+
+    #[test]
+    fn deterministic_blinding_reproduces() {
+        let k = keys(128);
+        let r = nat(12345);
+        let c1 = k.public.encrypt_with_r(&nat(7), &r).unwrap();
+        let c2 = k.public.encrypt_with_r(&nat(7), &r).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+}

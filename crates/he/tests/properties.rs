@@ -1,0 +1,103 @@
+//! Property-based tests for the Paillier and RSA cryptosystems.
+//!
+//! Keys are generated once (128-bit, seeded) and shared across cases; the
+//! properties quantify over plaintexts and blinding factors.
+
+use std::sync::OnceLock;
+
+use he::paillier::PaillierKeyPair;
+use he::rsa::RsaKeyPair;
+use mpint::Natural;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn paillier() -> &'static PaillierKeyPair {
+    static KEYS: OnceLock<PaillierKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(0xDEC0DE), 128).unwrap()
+    })
+}
+
+fn rsa() -> &'static RsaKeyPair {
+    static KEYS: OnceLock<RsaKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        RsaKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(0x4257u64), 128).unwrap()
+    })
+}
+
+fn plaintext(seed: u64) -> Natural {
+    // Uniform below n via rejection from a seeded stream.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    mpint::random::random_below(&mut rng, &paillier().public.n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decrypt_inverts_encrypt(seed in any::<u64>(), rseed in any::<u64>()) {
+        let k = paillier();
+        let m = plaintext(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(rseed);
+        let c = k.public.encrypt(&m, &mut rng).unwrap();
+        prop_assert_eq!(k.private.decrypt(&c).unwrap(), m.clone());
+        prop_assert_eq!(k.private.decrypt_crt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn homomorphic_addition_mod_n(s1 in any::<u64>(), s2 in any::<u64>()) {
+        let k = paillier();
+        let (m1, m2) = (plaintext(s1), plaintext(s2));
+        let mut rng = ChaCha8Rng::seed_from_u64(s1 ^ s2);
+        let c1 = k.public.encrypt(&m1, &mut rng).unwrap();
+        let c2 = k.public.encrypt(&m2, &mut rng).unwrap();
+        let sum = k.public.add(&c1, &c2);
+        let expected = &(&m1 + &m2) % &k.public.n;
+        prop_assert_eq!(k.private.decrypt_crt(&sum).unwrap(), expected);
+    }
+
+    #[test]
+    fn scalar_multiplication_mod_n(seed in any::<u64>(), scalar in 0u64..10_000) {
+        let k = paillier();
+        let m = plaintext(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = k.public.encrypt(&m, &mut rng).unwrap();
+        let scaled = k.public.scalar_mul(&c, &Natural::from(scalar));
+        let expected = &(&m * &Natural::from(scalar)) % &k.public.n;
+        prop_assert_eq!(k.private.decrypt_crt(&scaled).unwrap(), expected);
+    }
+
+    #[test]
+    fn fold_of_many_ciphertexts(seeds in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let k = paillier();
+        let ms: Vec<Natural> = seeds.iter().map(|&s| plaintext(s)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let mut acc = k.public.zero_ciphertext();
+        let mut expected = Natural::zero();
+        for m in &ms {
+            let c = k.public.encrypt(m, &mut rng).unwrap();
+            acc = k.public.add(&acc, &c);
+            expected = &(&expected + m) % &k.public.n;
+        }
+        prop_assert_eq!(k.private.decrypt_crt(&acc).unwrap(), expected);
+    }
+
+    #[test]
+    fn rsa_roundtrip_and_homomorphism(s1 in any::<u64>(), s2 in any::<u64>()) {
+        let k = rsa();
+        let mut rng = ChaCha8Rng::seed_from_u64(s1);
+        let m1 = mpint::random::random_below(&mut rng, &k.public.n);
+        let mut rng = ChaCha8Rng::seed_from_u64(s2);
+        let m2 = mpint::random::random_below(&mut rng, &k.public.n);
+        let c1 = k.public.encrypt(&m1).unwrap();
+        let c2 = k.public.encrypt(&m2).unwrap();
+        prop_assert_eq!(k.private.decrypt(&c1).unwrap(), m1.clone());
+        prop_assert_eq!(k.private.decrypt_direct(&c1).unwrap(), m1.clone());
+        let prod = k.public.mul(&c1, &c2);
+        prop_assert_eq!(
+            k.private.decrypt(&prod).unwrap(),
+            &(&m1 * &m2) % &k.public.n
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Barrett reduction — the classic alternative to Montgomery reduction.
+//!
+//! The paper chooses Montgomery/CIOS for its GPU kernels; Barrett is the
+//! natural ablation baseline (`cargo bench -p flbooster-bench --bench
+//! montgomery` compares them): it avoids domain conversions but needs a
+//! wider multiplication per reduction, and its quotient-estimate
+//! correction is a data-dependent branch — exactly the divergence the
+//! paper's resource manager exists to manage.
+//!
+//! For modulus `n` of `k` bits, precompute `µ = ⌊4^k / n⌋`; then for
+//! `x < n²`:
+//!
+//! ```text
+//! q  = ((x >> (k-1)) · µ) >> (k+1)
+//! r  = x - q·n            (then at most two corrective subtractions)
+//! ```
+
+use crate::natural::Natural;
+use crate::{Error, Result};
+
+/// Precomputed Barrett context for a fixed modulus.
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    n: Natural,
+    /// `µ = ⌊2^{2k} / n⌋`.
+    mu: Natural,
+    /// `k = bits(n)`.
+    k: u32,
+}
+
+impl BarrettCtx {
+    /// Builds a context for `n > 1` (any parity — unlike Montgomery,
+    /// Barrett handles even moduli).
+    pub fn new(n: &Natural) -> Result<Self> {
+        if n.is_zero() || n.is_one() {
+            return Err(Error::DivisionByZero);
+        }
+        let k = n.bit_len();
+        let (mu, _) = Natural::one().shl_bits(2 * k).div_rem(n);
+        Ok(BarrettCtx { n: n.clone(), mu, k })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Natural {
+        &self.n
+    }
+
+    /// Reduces `x < n²` to `x mod n` without division.
+    pub fn reduce(&self, x: &Natural) -> Natural {
+        debug_assert!(x < &self.n.square(), "Barrett input must be below n²");
+        let q = (&x.shr_bits(self.k - 1) * &self.mu).shr_bits(self.k + 1);
+        let mut r = x
+            .checked_sub(&(&q * &self.n))
+            .expect("Barrett quotient estimate never exceeds the true quotient");
+        // The estimate is at most 2 too small: at most two corrections
+        // (the data-dependent branch of the module docs).
+        while r >= self.n {
+            r = r.checked_sub(&self.n).expect("r >= n");
+        }
+        r
+    }
+
+    /// Modular multiplication via one wide product + Barrett reduction.
+    pub fn mod_mul(&self, a: &Natural, b: &Natural) -> Natural {
+        let a = if a < &self.n { a.clone() } else { a % &self.n };
+        let b = if b < &self.n { b.clone() } else { b % &self.n };
+        self.reduce(&(&a * &b))
+    }
+
+    /// Modular exponentiation (square-and-multiply over Barrett); the
+    /// bench compares this against the Montgomery sliding-window path.
+    pub fn mod_pow(&self, base: &Natural, exp: &Natural) -> Natural {
+        let mut acc = &Natural::one() % &self.n;
+        if exp.is_zero() {
+            return acc;
+        }
+        let base = base % &self.n;
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.reduce(&acc.square());
+            if exp.bit(i) {
+                acc = self.reduce(&(&acc * &base));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn rejects_trivial_moduli() {
+        assert!(BarrettCtx::new(&n(0)).is_err());
+        assert!(BarrettCtx::new(&n(1)).is_err());
+        assert!(BarrettCtx::new(&n(2)).is_ok(), "even moduli are fine for Barrett");
+    }
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let ctx = BarrettCtx::new(&n(97)).unwrap();
+        for x in [0u128, 1, 96, 97, 98, 96 * 96, 97 * 96] {
+            assert_eq!(ctx.reduce(&n(x)), n(x % 97), "x={x}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_rem_large() {
+        let p = (1u128 << 126) - 3; // keep x = 3p + 7 inside u128
+        let ctx = BarrettCtx::new(&n(p)).unwrap();
+        for x in [p - 1, p, p + 12345, (p - 1) * 2, p * 3 + 7] {
+            // x < p² holds for all cases.
+            assert_eq!(ctx.reduce(&n(x)), n(x % p), "x={x}");
+        }
+    }
+
+    #[test]
+    fn mod_mul_agrees_with_montgomery() {
+        let p = (1u128 << 127) - 1;
+        let barrett = BarrettCtx::new(&n(p)).unwrap();
+        let mont = crate::MontgomeryCtx::new(&n(p)).unwrap();
+        for (a, b) in [(3u128, 5u128), (p - 1, p - 1), (1 << 100, (1 << 90) + 17)] {
+            assert_eq!(
+                barrett.mod_mul(&n(a), &n(b)),
+                mont.mod_mul(&n(a), &n(b)),
+                "{a}*{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod_pow_agrees_with_sliding_window() {
+        let p = (1u128 << 127) - 1;
+        let ctx = BarrettCtx::new(&n(p)).unwrap();
+        for (b, e) in [(2u128, 1000u128), (0xDEAD_BEEF, (1 << 60) + 3), (p - 2, 65537)] {
+            assert_eq!(
+                ctx.mod_pow(&n(b), &n(e)),
+                crate::modpow::mod_pow(&n(b), &n(e), &n(p)).unwrap(),
+                "{b}^{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_even_modulus_where_montgomery_cannot() {
+        let m = n(1u128 << 64); // even
+        assert!(crate::MontgomeryCtx::new(&m).is_err());
+        let ctx = BarrettCtx::new(&m).unwrap();
+        assert_eq!(ctx.mod_mul(&n(u64::MAX as u128), &n(3)), n((u64::MAX as u128 * 3) % (1 << 64)));
+        assert_eq!(ctx.mod_pow(&n(3), &n(100), ), {
+            crate::modpow::mod_pow_any(&n(3), &n(100), &m).unwrap()
+        });
+    }
+
+    #[test]
+    fn multilimb_random_agreement() {
+        // Deterministic pseudo-random multi-limb operands.
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        let modulus = Natural::from_limbs(vec![next() | 1, next(), next(), next() | (1 << 63)]);
+        let ctx = BarrettCtx::new(&modulus).unwrap();
+        for _ in 0..20 {
+            let a = Natural::from_limbs(vec![next(), next(), next()]);
+            let b = Natural::from_limbs(vec![next(), next(), next(), next()]);
+            let product = &(&a % &modulus) * &(&b % &modulus);
+            assert_eq!(ctx.reduce(&product), &product % &modulus);
+        }
+    }
+}

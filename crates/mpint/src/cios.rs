@@ -1,0 +1,339 @@
+//! CIOS Montgomery multiplication — the paper's Algorithm 2.
+//!
+//! Of the five CPU Montgomery variants analysed by Koç, Acar & Kaliski
+//! (SOS, CIOS, FIOS, FIPS, CIHS), the paper selects CIOS — Coarsely
+//! Integrated Operand Scanning — as the fastest and smallest, and ports it
+//! to the GPU with each thread owning `x = s/T` words of every operand
+//! (Sec. IV-A3). This module provides:
+//!
+//! - [`mont_mul`]: the flat word-serial CIOS loop (the per-thread inner
+//!   body of Algorithm 2);
+//! - [`mont_mul_partitioned`]: the same computation *partitioned into `T`
+//!   lanes of `x` words each*, reporting per-lane work so the GPU
+//!   simulator can account occupancy and inter-thread communication
+//!   exactly as the paper describes.
+//!
+//! Both agree with the reference Algorithm-1 implementation in
+//! [`crate::montgomery`]; the agreement is property-tested.
+
+use crate::limb::{adc, mac, sbb, Limb};
+use crate::natural::Natural;
+
+/// Per-lane work accounting for the partitioned kernel.
+///
+/// One entry per simulated GPU thread; used by `gpu-sim` to model SM
+/// occupancy and the carry-propagation communication between threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Multiply-accumulate limb operations executed by each lane.
+    pub mac_ops: Vec<u64>,
+    /// Inter-lane carry/borrow propagations (the paper's "inter-thread
+    /// communication" for carry and borrow).
+    pub carry_transfers: u64,
+}
+
+impl LaneStats {
+    /// Total MAC operations across lanes.
+    pub fn total_mac_ops(&self) -> u64 {
+        self.mac_ops.iter().sum()
+    }
+
+    /// Load imbalance: max lane work / mean lane work (1.0 = perfectly
+    /// balanced). Returns 1.0 for empty stats.
+    pub fn imbalance(&self) -> f64 {
+        if self.mac_ops.is_empty() {
+            return 1.0;
+        }
+        let max = *self.mac_ops.iter().max().expect("non-empty") as f64;
+        let mean = self.total_mac_ops() as f64 / self.mac_ops.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Flat CIOS Montgomery multiplication: computes `a·b·R^{-1} mod n` where
+/// `R = 2^{64·s}`, `s = n_limbs.len()`, for `a, b < n` and odd `n`.
+///
+/// `a` and `b` must be padded to exactly `s` limbs ([`Natural::to_padded_limbs`]);
+/// `n0_inv = -n[0]^{-1} mod 2^64` ([`crate::limb::mont_neg_inv`]).
+pub fn mont_mul(a: &[Limb], b: &[Limb], n: &[Limb], n0_inv: Limb) -> Vec<Limb> {
+    let s = n.len();
+    assert_eq!(a.len(), s, "operand a must be padded to the modulus width");
+    assert_eq!(b.len(), s, "operand b must be padded to the modulus width");
+    // t has s+2 words: the running accumulator of Algorithm 2.
+    let mut t = vec![0 as Limb; s + 2];
+
+    for &bi in b.iter() {
+        // t += a * b_i  (lines 3–9)
+        let mut carry = 0;
+        for (j, &aj) in a.iter().enumerate() {
+            let (lo, hi) = mac(aj, bi, t[j], carry);
+            t[j] = lo;
+            carry = hi;
+        }
+        let (s0, c) = adc(t[s], carry, 0);
+        t[s] = s0;
+        t[s + 1] = t[s + 1].wrapping_add(c);
+
+        // m = t[0] * n'_0 mod 2^64 (line 10)
+        let m = t[0].wrapping_mul(n0_inv);
+
+        // t += m * n; then shift one word right (lines 11–17).
+        let (_, mut carry) = mac(m, n[0], t[0], 0); // low word becomes 0 by construction
+        for j in 1..s {
+            let (lo, hi) = mac(m, n[j], t[j], carry);
+            t[j - 1] = lo;
+            carry = hi;
+        }
+        let (s1, c) = adc(t[s], carry, 0);
+        t[s - 1] = s1;
+        t[s] = t[s + 1].wrapping_add(c);
+        t[s + 1] = 0;
+    }
+
+    conditional_subtract(&mut t, n);
+    t.truncate(s);
+    t
+}
+
+/// Partitioned CIOS: identical arithmetic to [`mont_mul`] but with every
+/// operand split into `threads` lanes of `x = ceil(s/threads)` words, as in
+/// the paper's GPU kernel. Returns the product limbs plus per-lane stats.
+///
+/// The lane structure is *semantic* (it drives the simulator's accounting);
+/// execution here is sequential, because the real parallel scheduling is
+/// the GPU simulator's job.
+pub fn mont_mul_partitioned(
+    a: &[Limb],
+    b: &[Limb],
+    n: &[Limb],
+    n0_inv: Limb,
+    threads: usize,
+) -> (Vec<Limb>, LaneStats) {
+    let s = n.len();
+    assert!(threads > 0, "at least one lane required");
+    assert_eq!(a.len(), s);
+    assert_eq!(b.len(), s);
+    let x = s.div_ceil(threads);
+    let mut stats = LaneStats { mac_ops: vec![0; threads], carry_transfers: 0 };
+    let lane_of = |word: usize| (word / x).min(threads - 1);
+
+    let mut t = vec![0 as Limb; s + 2];
+    // Outer structure of Algorithm 2: every lane i walks its x words of b
+    // (lines 1–2); the flat iteration order below visits the same (i, j)
+    // pairs. Each b-word is fetched from its owning lane — one inter-thread
+    // transfer when the consumer differs from the owner.
+    for (bw, &bi) in b.iter().enumerate() {
+        let owner = lane_of(bw);
+        let mut carry = 0;
+        for (j, &aj) in a.iter().enumerate() {
+            let (lo, hi) = mac(aj, bi, t[j], carry);
+            t[j] = lo;
+            carry = hi;
+            stats.mac_ops[lane_of(j)] += 1;
+            if lane_of(j) != owner {
+                stats.carry_transfers += 1; // b_i broadcast across lanes
+            }
+        }
+        let (s0, c) = adc(t[s], carry, 0);
+        t[s] = s0;
+        t[s + 1] = t[s + 1].wrapping_add(c);
+        stats.carry_transfers += 1; // carry into the top lane
+
+        let m = t[0].wrapping_mul(n0_inv);
+        let (_, mut carry) = mac(m, n[0], t[0], 0);
+        stats.mac_ops[0] += 1;
+        for j in 1..s {
+            let (lo, hi) = mac(m, n[j], t[j], carry);
+            t[j - 1] = lo;
+            carry = hi;
+            stats.mac_ops[lane_of(j)] += 1;
+            if lane_of(j) != lane_of(j - 1) {
+                stats.carry_transfers += 1; // word shift crosses a lane edge
+            }
+        }
+        let (s1, c) = adc(t[s], carry, 0);
+        t[s - 1] = s1;
+        t[s] = t[s + 1].wrapping_add(c);
+        t[s + 1] = 0;
+    }
+
+    // Overflow check / subtraction (lines 18–22) runs on all lanes; the
+    // borrow chain is one more full propagation.
+    stats.carry_transfers += threads as u64;
+    conditional_subtract(&mut t, n);
+    t.truncate(s);
+    (t, stats)
+}
+
+/// Final reduction: if `t >= n` (including the overflow word), subtract `n`
+/// once. `t` has `s + 2` words with at most one significant overflow word.
+fn conditional_subtract(t: &mut [Limb], n: &[Limb]) {
+    let s = n.len();
+    let overflow = t[s] > 0 || t[s + 1] > 0;
+    let ge = overflow || cmp_limbs(&t[..s], n) != std::cmp::Ordering::Less;
+    if ge {
+        let mut borrow = 0;
+        for i in 0..s {
+            let (d, br) = sbb(t[i], n[i], borrow);
+            t[i] = d;
+            borrow = br;
+        }
+        let (d, br) = sbb(t[s], borrow, 0);
+        t[s] = d;
+        debug_assert_eq!(br, 0, "CIOS result bounded by 2n");
+        debug_assert_eq!(t[s], 0);
+        debug_assert_eq!(t[s + 1], 0);
+    }
+}
+
+fn cmp_limbs(a: &[Limb], b: &[Limb]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Convenience wrapper operating on [`Natural`]s with a precomputed
+/// Montgomery context.
+pub fn mont_mul_natural(
+    ctx: &crate::MontgomeryCtx,
+    a: &Natural,
+    b: &Natural,
+) -> Natural {
+    let s = ctx.width();
+    let out = mont_mul(
+        &a.to_padded_limbs(s),
+        &b.to_padded_limbs(s),
+        &ctx.modulus().to_padded_limbs(s),
+        ctx.n0_inv(),
+    );
+    Natural::from_limbs(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limb::mont_neg_inv;
+    use crate::MontgomeryCtx;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn check_against_alg1(modulus: u128, a: u128, b: u128) {
+        let ctx = MontgomeryCtx::new(&n(modulus)).unwrap();
+        let am = ctx.to_mont(&n(a));
+        let bm = ctx.to_mont(&n(b));
+        let expected = ctx.mont_mul(&am, &bm);
+        let got = mont_mul_natural(&ctx, &am, &bm);
+        assert_eq!(got, expected, "CIOS vs Alg.1 for {a}*{b} mod {modulus}");
+    }
+
+    #[test]
+    fn cios_matches_algorithm1_single_limb() {
+        check_against_alg1(0xFFFF_FFFF_FFFF_FFC5, 3, 5);
+        check_against_alg1(0xFFFF_FFFF_FFFF_FFC5, 0xFFFF_FFFF_FFFF_FFC4, 2);
+        check_against_alg1(101, 100, 100);
+    }
+
+    #[test]
+    fn cios_matches_algorithm1_two_limbs() {
+        let p = (1u128 << 127) - 1;
+        check_against_alg1(p, (1 << 100) + 7, (1 << 120) + 13);
+        check_against_alg1(p, p - 1, p - 1);
+        check_against_alg1(p, 0, 42);
+    }
+
+    #[test]
+    fn cios_full_modmul_via_context() {
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let (a, b) = ((1u128 << 126) + 3, (1u128 << 125) + 11);
+        let am = ctx.to_mont(&n(a));
+        let bm = ctx.to_mont(&n(b));
+        let prod = ctx.from_mont(&mont_mul_natural(&ctx, &am, &bm));
+        assert_eq!(prod, &(&n(a) * &n(b)) % &n(p));
+    }
+
+    #[test]
+    fn partitioned_matches_flat_and_reports_lanes() {
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let s = ctx.width();
+        let a = ctx.to_mont(&n((1 << 99) + 1)).to_padded_limbs(s);
+        let b = ctx.to_mont(&n((1 << 88) + 9)).to_padded_limbs(s);
+        let nn = ctx.modulus().to_padded_limbs(s);
+        let flat = mont_mul(&a, &b, &nn, ctx.n0_inv());
+        for threads in [1usize, 2] {
+            let (part, stats) = mont_mul_partitioned(&a, &b, &nn, ctx.n0_inv(), threads);
+            assert_eq!(part, flat, "{threads} lanes");
+            assert_eq!(stats.mac_ops.len(), threads);
+            assert!(stats.total_mac_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn partitioned_carry_transfers_grow_with_lanes() {
+        // Build an 8-limb odd modulus.
+        let mut limbs = vec![u64::MAX; 8];
+        limbs[0] = u64::MAX - 2; // still odd
+        let modulus = Natural::from_limbs(limbs);
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let s = ctx.width();
+        let a = n(123_456_789).to_padded_limbs(s);
+        let b = n(987_654_321).to_padded_limbs(s);
+        let nn = modulus.to_padded_limbs(s);
+        let (_, s1) = mont_mul_partitioned(&a, &b, &nn, ctx.n0_inv(), 1);
+        let (_, s4) = mont_mul_partitioned(&a, &b, &nn, ctx.n0_inv(), 4);
+        assert!(s4.carry_transfers > s1.carry_transfers);
+        // Same arithmetic => same total work.
+        assert_eq!(s1.total_mac_ops(), s4.total_mac_ops());
+    }
+
+    #[test]
+    fn lane_stats_imbalance() {
+        let balanced = LaneStats { mac_ops: vec![10, 10, 10], carry_transfers: 0 };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+        let skewed = LaneStats { mac_ops: vec![30, 0, 0], carry_transfers: 0 };
+        assert!((skewed.imbalance() - 3.0).abs() < 1e-12);
+        assert!((LaneStats::default().imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mont_identity_element() {
+        // mont_mul(xR, R mod n) should give x·R·R·R^{-1} = xR ... i.e.
+        // multiplying by the Montgomery form of 1 is the identity.
+        let p = 1_000_000_007u128;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let s = ctx.width();
+        let x = ctx.to_mont(&n(999_999_999));
+        let one = ctx.one_mont();
+        let out = mont_mul(
+            &x.to_padded_limbs(s),
+            &one.to_padded_limbs(s),
+            &ctx.modulus().to_padded_limbs(s),
+            ctx.n0_inv(),
+        );
+        assert_eq!(Natural::from_limbs(out), x);
+    }
+
+    #[test]
+    fn n0_inv_consistency() {
+        let p = 0xFFFF_FFFF_FFFF_FFC5u64;
+        assert_eq!(mont_neg_inv(p).wrapping_mul(p), 1u64.wrapping_neg());
+    }
+
+    #[test]
+    #[should_panic(expected = "padded")]
+    fn unpadded_operands_rejected() {
+        mont_mul(&[1], &[1, 2], &[3, 5], mont_neg_inv(3));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for multi-precision arithmetic.
+
+use std::fmt;
+
+/// Result alias for fallible `mpint` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by multi-precision operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Division or reduction by zero.
+    DivisionByZero,
+    /// `mod_inv(a, n)` requested but `gcd(a, n) != 1`.
+    NoInverse,
+    /// A Montgomery context requires an odd modulus greater than one.
+    EvenModulus,
+    /// A parse failed (invalid digit or empty input).
+    Parse {
+        /// Base the string was interpreted in.
+        radix: u32,
+        /// Byte offset of the offending character, if any.
+        position: Option<usize>,
+    },
+    /// A value exceeded a caller-specified width.
+    Overflow {
+        /// Width in bits that was required.
+        bits: u32,
+    },
+    /// Prime generation exhausted its iteration budget.
+    PrimeGenerationFailed {
+        /// Requested prime size in bits.
+        bits: u32,
+        /// Number of candidates tested before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DivisionByZero => write!(f, "division by zero"),
+            Error::NoInverse => write!(f, "modular inverse does not exist (operands not coprime)"),
+            Error::EvenModulus => write!(f, "Montgomery modulus must be odd and > 1"),
+            Error::Parse { radix, position } => match position {
+                Some(p) => write!(f, "invalid base-{radix} digit at byte {p}"),
+                None => write!(f, "empty base-{radix} literal"),
+            },
+            Error::Overflow { bits } => write!(f, "value does not fit in {bits} bits"),
+            Error::PrimeGenerationFailed { bits, attempts } => {
+                write!(f, "failed to find a {bits}-bit prime after {attempts} candidates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::DivisionByZero.to_string().contains("zero"));
+        assert!(Error::NoInverse.to_string().contains("inverse"));
+        assert!(
+            Error::Parse { radix: 16, position: Some(3) }
+                .to_string()
+                .contains("base-16")
+        );
+        assert!(Error::Overflow { bits: 32 }.to_string().contains("32"));
+        assert!(
+            Error::PrimeGenerationFailed { bits: 512, attempts: 10_000 }
+                .to_string()
+                .contains("512-bit")
+        );
+    }
+}

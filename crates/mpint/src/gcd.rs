@@ -1,0 +1,155 @@
+//! GCD, LCM, and modular inverse.
+//!
+//! Paillier key generation needs `λ = lcm(p-1, q-1)` and
+//! `gcd(n, L(g^λ mod n²)) = 1` checks (paper Sec. III-B); RSA and Paillier
+//! decryption need modular inverses. The extended binary GCD here avoids
+//! signed big integers by tracking Bezout coefficients modulo the modulus.
+
+use crate::natural::Natural;
+use crate::{Error, Result};
+
+/// Greatest common divisor (Euclid; division-based, which is fine off the
+/// hot path — only key generation calls this).
+pub fn gcd(a: &Natural, b: &Natural) -> Natural {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; `lcm(0, x) = 0`.
+pub fn lcm(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let g = gcd(a, b);
+    let (q, _) = a.div_rem(&g);
+    &q * b
+}
+
+/// Result of the extended Euclidean algorithm over naturals:
+/// `a*x ≡ gcd (mod n)` with `x` already reduced into `[0, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd {
+    /// `gcd(a, n)`.
+    pub gcd: Natural,
+    /// Coefficient `x` with `a*x ≡ gcd (mod n)`.
+    pub x: Natural,
+}
+
+/// Extended Euclid on `(a mod n, n)`, tracking the `x` coefficient modulo
+/// `n` so everything stays unsigned.
+pub fn extended_gcd_mod(a: &Natural, n: &Natural) -> Result<ExtendedGcd> {
+    if n.is_zero() {
+        return Err(Error::DivisionByZero);
+    }
+    // Invariants: old_r = a*old_x (mod n), r = a*x (mod n).
+    let mut old_r = a % n;
+    let mut r = n.clone();
+    let mut old_x = Natural::one();
+    let mut x = Natural::zero();
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        // new_x = old_x - q*x (mod n)
+        let qx = &(&q * &x) % n;
+        let new_x = if old_x >= qx {
+            old_x.checked_sub(&qx).expect("old_x >= qx")
+        } else {
+            // old_x - qx + n
+            (&old_x + n).checked_sub(&qx).expect("old_x + n >= qx")
+        };
+        old_x = std::mem::replace(&mut x, new_x);
+    }
+    Ok(ExtendedGcd { gcd: old_r, x: &old_x % n })
+}
+
+/// Modular inverse `a^{-1} mod n`.
+///
+/// This is the `mod_inv` API of the paper's Table I, used to generate the
+/// Paillier/RSA key pairs.
+pub fn mod_inv(a: &Natural, n: &Natural) -> Result<Natural> {
+    let e = extended_gcd_mod(a, n)?;
+    if !e.gcd.is_one() {
+        return Err(Error::NoInverse);
+    }
+    Ok(e.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn gcd_small_cases() {
+        assert_eq!(gcd(&n(12), &n(18)), n(6));
+        assert_eq!(gcd(&n(17), &n(5)), n(1));
+        assert_eq!(gcd(&n(0), &n(7)), n(7));
+        assert_eq!(gcd(&n(7), &n(0)), n(7));
+        assert_eq!(gcd(&n(0), &n(0)), n(0));
+    }
+
+    #[test]
+    fn gcd_large_common_factor() {
+        let f = Natural::from_decimal_str("340282366920938463463374607431768211507").unwrap();
+        let a = &f * &n(6);
+        let b = &f * &n(35);
+        assert_eq!(gcd(&a, &b), f);
+    }
+
+    #[test]
+    fn lcm_cases() {
+        assert_eq!(lcm(&n(4), &n(6)), n(12));
+        assert_eq!(lcm(&n(0), &n(5)), n(0));
+        assert_eq!(lcm(&n(7), &n(7)), n(7));
+        // lcm(p-1, q-1) as in Paillier keygen
+        assert_eq!(lcm(&n(10), &n(12)), n(60));
+    }
+
+    #[test]
+    fn mod_inv_verifies() {
+        let cases = [(3u128, 7u128), (10, 17), (65537, 1_000_000_007)];
+        for (a, m) in cases {
+            let inv = mod_inv(&n(a), &n(m)).unwrap();
+            assert_eq!(&(&inv * &n(a)) % &n(m), n(1), "{a}^-1 mod {m}");
+            assert!(inv < n(m));
+        }
+    }
+
+    #[test]
+    fn mod_inv_of_non_coprime_fails() {
+        assert_eq!(mod_inv(&n(4), &n(8)).unwrap_err(), Error::NoInverse);
+        assert_eq!(mod_inv(&n(0), &n(8)).unwrap_err(), Error::NoInverse);
+    }
+
+    #[test]
+    fn mod_inv_zero_modulus_fails() {
+        assert_eq!(mod_inv(&n(3), &n(0)).unwrap_err(), Error::DivisionByZero);
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        // Inverse modulo a 128-bit prime.
+        let p = Natural::from_decimal_str("340282366920938463463374607431768211507").unwrap();
+        let a = n(0xDEAD_BEEF_0BAD_F00D);
+        let inv = mod_inv(&a, &p).unwrap();
+        assert_eq!(&(&inv * &a) % &p, n(1));
+    }
+
+    #[test]
+    fn extended_gcd_reports_gcd() {
+        let e = extended_gcd_mod(&n(12), &n(18)).unwrap();
+        assert_eq!(e.gcd, n(6));
+        // 12*x ≡ 6 (mod 18)
+        assert_eq!(&(&n(12) * &e.x) % &n(18), n(6));
+    }
+}

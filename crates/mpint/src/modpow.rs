@@ -1,0 +1,277 @@
+//! Modular exponentiation: binary square-and-multiply and the
+//! sliding-window method.
+//!
+//! The paper integrates its GPU Montgomery multiplication with "an
+//! extension of the sliding window exponential method, successfully
+//! reducing the complexity of modular exponentiation from `e` to
+//! `log_{2^b} e`" (Sec. IV-A3). Both methods here run entirely in the
+//! Montgomery domain so each step is one [`MontgomeryCtx::mont_mul`];
+//! they are cross-checked against each other and against iterated
+//! multiplication in the tests.
+
+use crate::montgomery::MontgomeryCtx;
+use crate::natural::Natural;
+use crate::{Error, Result};
+
+/// Chooses a sliding-window width (in bits) for an exponent of `bits`
+/// bits; widths follow the usual table-size/op-count trade-off from
+/// Menezes et al., *Handbook of Applied Cryptography*, Alg. 14.85.
+pub fn window_size_for(bits: u32) -> u32 {
+    match bits {
+        0..=6 => 1,
+        7..=24 => 2,
+        25..=79 => 3,
+        80..=239 => 4,
+        240..=671 => 5,
+        672..=1791 => 6,
+        _ => 7,
+    }
+}
+
+/// `base^exp mod n` for odd `n`, sliding-window method.
+pub fn mod_pow(base: &Natural, exp: &Natural, n: &Natural) -> Result<Natural> {
+    let ctx = MontgomeryCtx::new(n)?;
+    Ok(mod_pow_ctx(&ctx, base, exp))
+}
+
+/// Sliding-window exponentiation with a prepared context.
+///
+/// `base` may be unreduced; the result is in `[0, n)`, *not* in Montgomery
+/// form.
+pub fn mod_pow_ctx(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural) -> Natural {
+    if exp.is_zero() {
+        // x^0 = 1 for all x, including 0^0 by the usual crypto convention.
+        return &Natural::one() % ctx.modulus();
+    }
+    let base_m = ctx.to_mont(&(base % ctx.modulus()));
+    let result_m = mod_pow_mont(ctx, &base_m, exp, window_size_for(exp.bit_len()));
+    ctx.from_mont(&result_m)
+}
+
+/// Core sliding-window loop over a Montgomery-form base; returns a
+/// Montgomery-form result. Exposed so batch GPU dispatch can share
+/// precomputation.
+pub fn mod_pow_mont(
+    ctx: &MontgomeryCtx,
+    base_m: &Natural,
+    exp: &Natural,
+    window: u32,
+) -> Natural {
+    debug_assert!(window >= 1 && window <= 12);
+    if exp.is_zero() {
+        return ctx.one_mont();
+    }
+    // Precompute odd powers base^1, base^3, ..., base^(2^w - 1).
+    let table_len = 1usize << (window - 1);
+    let mut table = Vec::with_capacity(table_len);
+    table.push(base_m.clone());
+    if table_len > 1 {
+        let base_sq = ctx.mont_mul(base_m, base_m);
+        for i in 1..table_len {
+            let prev: &Natural = &table[i - 1];
+            table.push(ctx.mont_mul(prev, &base_sq));
+        }
+    }
+
+    let mut acc = ctx.one_mont();
+    let mut started = false;
+    let mut i = exp.bit_len() as i64 - 1;
+    while i >= 0 {
+        if !exp.bit(i as u32) {
+            if started {
+                acc = ctx.mont_mul(&acc, &acc);
+            }
+            i -= 1;
+            continue;
+        }
+        // Greedy window: longest run of <= `window` bits ending in a 1.
+        let lo = (i - window as i64 + 1).max(0);
+        let mut j = lo;
+        while !exp.bit(j as u32) {
+            j += 1;
+        }
+        let width = (i - j + 1) as u32;
+        // Window value: bits [j, i] inclusive — always odd.
+        let value = exp.extract_bits(j as u32, width);
+        debug_assert!(value & 1 == 1);
+        if started {
+            for _ in 0..width {
+                acc = ctx.mont_mul(&acc, &acc);
+            }
+            acc = ctx.mont_mul(&acc, &table[(value >> 1) as usize]);
+        } else {
+            acc = table[(value >> 1) as usize].clone();
+            started = true;
+        }
+        i = j - 1;
+    }
+    acc
+}
+
+/// Plain binary (left-to-right square-and-multiply) exponentiation.
+/// Retained as the ablation baseline for the sliding-window bench.
+pub fn mod_pow_binary(base: &Natural, exp: &Natural, n: &Natural) -> Result<Natural> {
+    let ctx = MontgomeryCtx::new(n)?;
+    if exp.is_zero() {
+        return Ok(&Natural::one() % n);
+    }
+    let base_m = ctx.to_mont(&(base % n));
+    let mut acc = ctx.one_mont();
+    for i in (0..exp.bit_len()).rev() {
+        acc = ctx.mont_mul(&acc, &acc);
+        if exp.bit(i) {
+            acc = ctx.mont_mul(&acc, &base_m);
+        }
+    }
+    Ok(ctx.from_mont(&acc))
+}
+
+/// Counts the Montgomery multiplications each method would perform for an
+/// exponent of `bits` uniformly-random bits — the `e` vs `log_{2^b} e`
+/// comparison the paper makes, used by the ablation bench report.
+pub fn expected_mult_counts(bits: u32) -> (f64, f64) {
+    // Binary: bits squarings + bits/2 multiplies.
+    let binary = bits as f64 + bits as f64 / 2.0;
+    // Sliding window w: bits squarings + bits/(w+1) multiplies + 2^(w-1) table.
+    let w = window_size_for(bits) as f64;
+    let sliding = bits as f64 + bits as f64 / (w + 1.0) + (2f64).powf(w - 1.0);
+    (binary, sliding)
+}
+
+/// `x^p % n` where `n` may be even: falls back to repeated
+/// square-and-multiply with full reductions (no Montgomery domain).
+/// Needed for Table-I `mod_pow` on arbitrary moduli.
+pub fn mod_pow_any(base: &Natural, exp: &Natural, n: &Natural) -> Result<Natural> {
+    if n.is_zero() {
+        return Err(Error::DivisionByZero);
+    }
+    if n.is_odd() {
+        return mod_pow(base, exp, n);
+    }
+    let mut acc = &Natural::one() % n;
+    let mut b = base % n;
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            acc = &(&acc * &b) % n;
+        }
+        if i + 1 < exp.bit_len() {
+            b = &(&b * &b) % n;
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_exponent_gives_one() {
+        assert_eq!(mod_pow(&n(5), &n(0), &n(7)).unwrap(), n(1));
+        assert_eq!(mod_pow(&n(0), &n(0), &n(7)).unwrap(), n(1));
+        assert_eq!(mod_pow_any(&n(5), &n(0), &n(8)).unwrap(), n(1));
+    }
+
+    #[test]
+    fn matches_u128_reference() {
+        fn pow_ref(mut b: u128, mut e: u128, m: u128) -> u128 {
+            let mut acc = 1u128 % m;
+            b %= m;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * b % m;
+                }
+                b = b * b % m;
+                e >>= 1;
+            }
+            acc
+        }
+        let m = 1_000_000_007u128; // fits: products stay under 2^60
+        for (b, e) in [(2u128, 10u128), (3, 1_000_000), (999_999_999, 12345), (7, 1)] {
+            assert_eq!(
+                mod_pow(&n(b), &n(e), &n(m)).unwrap(),
+                n(pow_ref(b, e, m)),
+                "{b}^{e} mod {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_window_matches_binary() {
+        let p = (1u128 << 127) - 1;
+        let cases = [(3u128, (1u128 << 90) + 12345), (p - 2, p - 1), (65537, 0xFFFF_FFFF)];
+        for (b, e) in cases {
+            assert_eq!(
+                mod_pow(&n(b), &n(e), &n(p)).unwrap(),
+                mod_pow_binary(&n(b), &n(e), &n(p)).unwrap(),
+                "{b}^{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p, a not divisible by p.
+        let p = (1u128 << 127) - 1;
+        for a in [2u128, 3, 0xDEAD_BEEF] {
+            assert_eq!(mod_pow(&n(a), &n(p - 1), &n(p)).unwrap(), n(1));
+        }
+    }
+
+    #[test]
+    fn even_modulus_fallback() {
+        assert_eq!(mod_pow_any(&n(3), &n(5), &n(100)).unwrap(), n(243 % 100));
+        assert_eq!(mod_pow_any(&n(2), &n(10), &n(1 << 20)).unwrap(), n(1024));
+        // Odd modulus routes through Montgomery and agrees.
+        assert_eq!(
+            mod_pow_any(&n(3), &n(100), &n(101)).unwrap(),
+            mod_pow(&n(3), &n(100), &n(101)).unwrap()
+        );
+    }
+
+    #[test]
+    fn even_modulus_rejected_by_montgomery_path() {
+        assert!(mod_pow(&n(3), &n(5), &n(100)).is_err());
+        assert!(mod_pow_any(&n(3), &n(5), &n(0)).is_err());
+    }
+
+    #[test]
+    fn unreduced_base_is_reduced_first() {
+        assert_eq!(mod_pow(&n(1000), &n(3), &n(7)).unwrap(), n(1000u128.pow(3) % 7));
+    }
+
+    #[test]
+    fn window_sizes_monotone() {
+        let mut last = 0;
+        for bits in [1u32, 10, 50, 100, 500, 1024, 4096] {
+            let w = window_size_for(bits);
+            assert!(w >= last, "window size should not shrink with exponent size");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn sliding_beats_binary_in_expected_ops() {
+        for bits in [256u32, 1024, 2048, 4096] {
+            let (bin, slide) = expected_mult_counts(bits);
+            assert!(slide < bin, "{bits}-bit: sliding {slide} !< binary {bin}");
+        }
+    }
+
+    #[test]
+    fn large_exponent_exercises_multiple_windows() {
+        // 1024-bit modulus-sized exponent against both implementations.
+        let p_hex = "f".repeat(32); // 128-bit all-ones = 2^128 - 1 (odd)
+        let m = Natural::from_hex(&p_hex).unwrap();
+        let e = Natural::from_hex(&"a5".repeat(16)).unwrap();
+        let b = n(0x1234_5678_9ABC_DEF0);
+        assert_eq!(
+            mod_pow(&b, &e, &m).unwrap(),
+            mod_pow_binary(&b, &e, &m).unwrap()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Montgomery multiplication — the paper's Algorithm 1 and the reusable
+//! domain context.
+//!
+//! Montgomery's trick (paper Sec. III-B) replaces the expensive modular
+//! reduction in `a*b mod n` with shifts and masks by working in the residue
+//! representation `aR mod n` where `R = 2^{w·s}` is a power of the limb
+//! base. Algorithm 1 computes `A·B·R^{-1} mod n` as:
+//!
+//! ```text
+//! T ← A·B mod R;  M ← T·N' mod R        (mask — the paper's "AND")
+//! U ← (A·B + M·N) / R                   (shift)
+//! return U - N if U ≥ N else U
+//! ```
+//!
+//! `N' = -N^{-1} mod R` is precomputed once per modulus and reused for all
+//! multiplications, exactly as the paper notes. The word-interleaved CIOS
+//! variant (Algorithm 2) lives in [`crate::cios`] and is property-tested to
+//! agree with this reference.
+
+use crate::limb::{mont_neg_inv, Limb, LIMB_BITS};
+use crate::natural::Natural;
+use crate::{Error, Result};
+
+/// Precomputed Montgomery domain for an odd modulus `n`.
+///
+/// The context fixes the limb width `s = ⌈bits(n)/w⌉` so every value in the
+/// domain has the same fixed-size layout the GPU kernels expect.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    n: Natural,
+    /// `s`: operand width in limbs; `R = 2^{64·s}`.
+    width: usize,
+    /// `-n^{-1} mod 2^64` — the single-limb `n'_0` of Algorithm 2.
+    n0_inv: Limb,
+    /// `-n^{-1} mod R` — the full-width `N'` of Algorithm 1.
+    n_prime: Natural,
+    /// `R mod n` (the Montgomery form of 1).
+    r_mod_n: Natural,
+    /// `R² mod n` (converts values *into* the domain with one mont-mul).
+    r2_mod_n: Natural,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for odd `n > 1`.
+    pub fn new(n: &Natural) -> Result<Self> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return Err(Error::EvenModulus);
+        }
+        let width = n.limb_len();
+        let r_bits = (width as u32) * LIMB_BITS;
+        let r = Natural::one().shl_bits(r_bits);
+        let n0_inv = mont_neg_inv(n.limbs()[0]);
+        // N' = -n^{-1} mod R = R - n^{-1} mod R
+        let n_inv_mod_r = crate::gcd::mod_inv(n, &r)?;
+        let n_prime = r.checked_sub(&n_inv_mod_r).expect("inverse < R").low_bits(r_bits);
+        let r_mod_n = &r % n;
+        let r2_mod_n = &(&r_mod_n * &r_mod_n) % n;
+        Ok(MontgomeryCtx { n: n.clone(), width, n0_inv, n_prime, r_mod_n, r2_mod_n })
+    }
+
+    /// The modulus `n`.
+    #[inline]
+    pub fn modulus(&self) -> &Natural {
+        &self.n
+    }
+
+    /// Operand width `s` in limbs.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `log2(R)` in bits.
+    #[inline]
+    pub fn r_bits(&self) -> u32 {
+        (self.width as u32) * LIMB_BITS
+    }
+
+    /// `n'_0 = -n^{-1} mod 2^64`, consumed by the CIOS kernel.
+    #[inline]
+    pub fn n0_inv(&self) -> Limb {
+        self.n0_inv
+    }
+
+    /// The Montgomery form of 1 (`R mod n`).
+    #[inline]
+    pub fn one_mont(&self) -> Natural {
+        self.r_mod_n.clone()
+    }
+
+    /// `R² mod n`.
+    #[inline]
+    pub fn r2(&self) -> &Natural {
+        &self.r2_mod_n
+    }
+
+    /// Converts `a < n` into the Montgomery domain: `aR mod n`.
+    pub fn to_mont(&self, a: &Natural) -> Natural {
+        debug_assert!(a < &self.n, "operand must be reduced");
+        self.mont_mul(a, &self.r2_mod_n)
+    }
+
+    /// Converts out of the domain: `aR^{-1} mod n` (i.e. REDC of `a`).
+    pub fn from_mont(&self, a: &Natural) -> Natural {
+        self.redc(a.clone())
+    }
+
+    /// Algorithm 1: `A·B·R^{-1} mod n` for `A, B < n`.
+    pub fn mont_mul(&self, a: &Natural, b: &Natural) -> Natural {
+        debug_assert!(a < &self.n && b < &self.n);
+        self.redc(a * b)
+    }
+
+    /// Montgomery reduction of `t < n·R`: returns `t·R^{-1} mod n`.
+    ///
+    /// Lines 1–6 of Algorithm 1; `mod R` is a mask and `/R` a shift since
+    /// `R = 2^{w·s}`.
+    pub fn redc(&self, t: Natural) -> Natural {
+        let r_bits = self.r_bits();
+        // M ← (T mod R)·N' mod R
+        let m = (&t.low_bits(r_bits) * &self.n_prime).low_bits(r_bits);
+        // U ← (T + M·N) / R
+        let mut u = (&t + &(&m * &self.n)).shr_bits(r_bits);
+        if u >= self.n {
+            u = u.checked_sub(&self.n).expect("u >= n");
+        }
+        debug_assert!(u < self.n);
+        u
+    }
+
+    /// Modular multiplication `a·b mod n` via one extra conversion:
+    /// `mont_mul(aR, bR) = abR`, then REDC. Provided for API completeness
+    /// (Table I `mod_mul`); batch users should stay in the domain.
+    pub fn mod_mul(&self, a: &Natural, b: &Natural) -> Natural {
+        let am = self.to_mont(&(a % &self.n));
+        let bm = self.to_mont(&(b % &self.n));
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn ctx(modulus: u128) -> MontgomeryCtx {
+        MontgomeryCtx::new(&n(modulus)).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_or_trivial_modulus() {
+        assert_eq!(MontgomeryCtx::new(&n(10)).unwrap_err(), Error::EvenModulus);
+        assert_eq!(MontgomeryCtx::new(&n(1)).unwrap_err(), Error::EvenModulus);
+        assert_eq!(MontgomeryCtx::new(&n(0)).unwrap_err(), Error::EvenModulus);
+    }
+
+    #[test]
+    fn domain_roundtrip() {
+        let c = ctx(1_000_000_007);
+        for v in [0u128, 1, 2, 999_999_999, 1_000_000_006] {
+            let m = c.to_mont(&n(v));
+            assert_eq!(c.from_mont(&m), n(v), "roundtrip {v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_plain_modmul() {
+        let p = 0xFFFF_FFFF_FFFF_FFC5u128; // largest 64-bit prime
+        let c = ctx(p);
+        let cases = [(3u128, 5u128), (p - 1, p - 1), (12345, 67890), (0, 42)];
+        for (a, b) in cases {
+            let am = c.to_mont(&n(a));
+            let bm = c.to_mont(&n(b));
+            let prod = c.from_mont(&c.mont_mul(&am, &bm));
+            assert_eq!(prod, n((a * b) % p), "{a}*{b} mod p");
+        }
+    }
+
+    #[test]
+    fn one_mont_is_identity() {
+        let c = ctx(999_999_937);
+        let x = c.to_mont(&n(123_456));
+        assert_eq!(c.mont_mul(&x, &c.one_mont()), x);
+        assert_eq!(c.from_mont(&c.one_mont()), Natural::one());
+    }
+
+    #[test]
+    fn mod_mul_reduces_unreduced_inputs() {
+        let c = ctx(97);
+        assert_eq!(c.mod_mul(&n(100), &n(200)), n((100 * 200) % 97));
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        // 2^127 - 1 is a Mersenne prime — exercises a 2-limb context.
+        let p = (1u128 << 127) - 1;
+        let c = ctx(p);
+        assert_eq!(c.width(), 2);
+        let a = (1u128 << 100) + 7;
+        let b = (1u128 << 101) + 13;
+        let am = c.to_mont(&n(a));
+        let bm = c.to_mont(&n(b));
+        let got = c.from_mont(&c.mont_mul(&am, &bm));
+        // Reference product via Natural arithmetic.
+        let expected = &(&n(a) * &n(b)) % &n(p);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn redc_of_zero_is_zero() {
+        let c = ctx(101);
+        assert!(c.redc(Natural::zero()).is_zero());
+    }
+}

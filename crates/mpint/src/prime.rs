@@ -1,0 +1,224 @@
+//! Miller–Rabin primality testing and random prime generation.
+//!
+//! Key generation (paper Sec. IV-A3) uses "the Miller-Rabin large prime
+//! number generator ... the large prime numbers p and q are generated
+//! using the Miller-Rabin primality test", with `p` and `q` sized to the
+//! operand width so every multi-precision value in a key share the same
+//! limb count.
+
+use rand::Rng;
+
+use crate::modpow::mod_pow_ctx;
+use crate::montgomery::MontgomeryCtx;
+use crate::natural::Natural;
+use crate::random::{random_below, random_bits};
+use crate::{Error, Result};
+
+/// Small primes for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211,
+];
+
+/// Default number of Miller–Rabin rounds: error probability ≤ 4^-40.
+pub const DEFAULT_MR_ROUNDS: u32 = 40;
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Deterministically correct answers for n < 212 via the trial-division
+/// prefilter; beyond that the error probability is at most `4^-rounds`.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &Natural, rounds: u32, rng: &mut R) -> bool {
+    // Handle tiny and even numbers directly.
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        if v == 2 {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pn = Natural::from(p);
+        if n == &pn {
+            return true;
+        }
+        let (_, r) = n.div_rem_small(p);
+        if r == 0 {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.checked_sub(&Natural::one()).expect("n >= 2");
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr_bits(s);
+
+    let ctx = MontgomeryCtx::new(n).expect("odd n > 1");
+    let two = Natural::from(2u64);
+    let bound = n.checked_sub(&Natural::from(3u64)).expect("n > small primes");
+
+    'witness: for _ in 0..rounds {
+        // a ∈ [2, n-2]
+        let a = &random_below(rng, &bound) + &two;
+        let mut x = mod_pow_ctx(&ctx, &a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = &(&x * &x) % n;
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false; // composite witness found
+    }
+    true
+}
+
+/// Number of trailing zero bits (n must be nonzero).
+fn trailing_zeros(n: &Natural) -> u32 {
+    debug_assert!(!n.is_zero());
+    let mut zeros = 0;
+    for &l in n.limbs() {
+        if l != 0 {
+            return zeros + l.trailing_zeros();
+        }
+        zeros += crate::LIMB_BITS;
+    }
+    unreachable!("nonzero value has a nonzero limb")
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// The candidate stream forces the top bit (exact size, per the paper:
+/// "the lengths of the large prime number p and q are the same as the
+/// length of other large integers") and the bottom bit (oddness), then
+/// filters through [`is_probable_prime`].
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32, rounds: u32) -> Result<Natural> {
+    if bits < 2 {
+        return Err(Error::PrimeGenerationFailed { bits, attempts: 0 });
+    }
+    // Expected primes among b-bit odds: density 2/(b ln 2); budget several
+    // standard deviations above the mean.
+    let max_attempts = 40 * bits.max(8);
+    for attempt in 0..max_attempts {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if is_probable_prime(&candidate, rounds, rng) {
+            debug_assert_eq!(candidate.bit_len(), bits);
+            return Ok(candidate);
+        }
+        let _ = attempt;
+    }
+    Err(Error::PrimeGenerationFailed { bits, attempts: max_attempts })
+}
+
+/// Generates a prime pair `(p, q)` with `p != q`, both `bits` bits — the
+/// Paillier/RSA key-generation primitive.
+pub fn generate_prime_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u32,
+    rounds: u32,
+) -> Result<(Natural, Natural)> {
+    let p = generate_prime(rng, bits, rounds)?;
+    loop {
+        let q = generate_prime(rng, bits, rounds)?;
+        if q != p {
+            return Ok((p, q));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x9E37_79B9)
+    }
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u128, 3, 5, 7, 11, 13, 97, 101, 211, 65537] {
+            assert!(is_probable_prime(&n(p), 10, &mut r), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u128, 1, 4, 6, 9, 15, 91, 6601 /* Carmichael */, 65536] {
+            assert!(!is_probable_prime(&n(c), 10, &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that Miller–Rabin must catch.
+        let mut r = rng();
+        for c in [561u128, 1105, 1729, 2465, 2821, 41041, 825265] {
+            assert!(!is_probable_prime(&n(c), 15, &mut r), "Carmichael {c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_127_is_prime() {
+        let mut r = rng();
+        assert!(is_probable_prime(&n((1u128 << 127) - 1), 15, &mut r));
+    }
+
+    #[test]
+    fn rsa_style_semiprime_rejected() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 64, 15).unwrap();
+        let q = generate_prime(&mut r, 64, 15).unwrap();
+        assert!(!is_probable_prime(&(&p * &q), 15, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_size() {
+        let mut r = rng();
+        for bits in [16u32, 64, 128, 256] {
+            let p = generate_prime(&mut r, bits, 15).unwrap();
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 15, &mut r));
+        }
+    }
+
+    #[test]
+    fn prime_pair_distinct() {
+        let mut r = rng();
+        let (p, q) = generate_prime_pair(&mut r, 32, 15).unwrap();
+        assert_ne!(p, q);
+        assert_eq!(p.bit_len(), 32);
+        assert_eq!(q.bit_len(), 32);
+    }
+
+    #[test]
+    fn rejects_tiny_request() {
+        let mut r = rng();
+        assert!(matches!(
+            generate_prime(&mut r, 1, 10),
+            Err(Error::PrimeGenerationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_zeros_multi_limb() {
+        assert_eq!(trailing_zeros(&n(1)), 0);
+        assert_eq!(trailing_zeros(&n(8)), 3);
+        assert_eq!(trailing_zeros(&Natural::one().shl_bits(100)), 100);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the multi-precision arithmetic core.
+//!
+//! Strategy: compare every operation against a `u128` oracle on small
+//! operands, and against algebraic identities (ring axioms, reconstruction,
+//! inverse laws) on multi-limb operands where no native oracle exists.
+
+use mpint::{cios, modpow, Natural};
+use proptest::prelude::*;
+
+fn nat(v: u128) -> Natural {
+    Natural::from(v)
+}
+
+/// Arbitrary multi-limb natural of up to 8 limbs.
+fn big_natural() -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(any::<u64>(), 0..8).prop_map(Natural::from_limbs)
+}
+
+/// Arbitrary odd multi-limb modulus of 1..=4 limbs, > 1.
+fn odd_modulus() -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(any::<u64>(), 1..=4).prop_map(|mut limbs| {
+        limbs[0] |= 1; // odd
+        let mut n = Natural::from_limbs(limbs);
+        if n.is_one() {
+            n = Natural::from(3u64);
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&nat(a as u128) + &nat(b as u128), nat(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&nat(a as u128) * &nat(b as u128), nat(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = nat(a).div_rem(&nat(b));
+        prop_assert_eq!(q, nat(a / b));
+        prop_assert_eq!(r, nat(a % b));
+    }
+
+    #[test]
+    fn addition_commutes_and_associates(a in big_natural(), b in big_natural(), c in big_natural()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_commutes_and_associates(a in big_natural(), b in big_natural(), c in big_natural()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributive_law(a in big_natural(), b in big_natural(), c in big_natural()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in big_natural(), b in big_natural()) {
+        prop_assert_eq!((&a + &b).checked_sub(&b), Some(a));
+    }
+
+    #[test]
+    fn division_reconstruction(a in big_natural(), b in big_natural()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in big_natural(), bits in 0u32..200) {
+        let shifted = a.shl_bits(bits);
+        let pow2 = Natural::one().shl_bits(bits);
+        prop_assert_eq!(&shifted, &(&a * &pow2));
+        prop_assert_eq!(shifted.shr_bits(bits), a);
+    }
+
+    #[test]
+    fn low_bits_is_remainder(a in big_natural(), bits in 1u32..200) {
+        let pow2 = Natural::one().shl_bits(bits);
+        prop_assert_eq!(a.low_bits(bits), &a % &pow2);
+    }
+
+    #[test]
+    fn bytes_and_hex_roundtrip(a in big_natural()) {
+        prop_assert_eq!(Natural::from_le_bytes(&a.to_le_bytes()), a.clone());
+        prop_assert_eq!(Natural::from_hex(&a.to_hex()).unwrap(), a.clone());
+        prop_assert_eq!(Natural::from_decimal_str(&a.to_decimal_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_lcm_identity(a in big_natural(), b in big_natural()) {
+        let g = mpint::gcd(&a, &b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+            // gcd * lcm == a * b
+            prop_assert_eq!(&g * &mpint::lcm(&a, &b), &a * &b);
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn mod_inv_law(a in big_natural(), n in odd_modulus()) {
+        let a = &a % &n;
+        match mpint::mod_inv(&a, &n) {
+            Ok(inv) => {
+                prop_assert!(inv < n);
+                prop_assert_eq!(&(&inv * &a) % &n, &Natural::one() % &n);
+            }
+            Err(_) => {
+                prop_assert!(!mpint::gcd(&a, &n).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_roundtrip_and_mul(a in big_natural(), b in big_natural(), n in odd_modulus()) {
+        let ctx = mpint::MontgomeryCtx::new(&n).unwrap();
+        let a = &a % &n;
+        let b = &b % &n;
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        prop_assert_eq!(ctx.from_mont(&am), a.clone());
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        prop_assert_eq!(prod, &(&a * &b) % &n);
+    }
+
+    #[test]
+    fn cios_agrees_with_algorithm1(a in big_natural(), b in big_natural(), n in odd_modulus()) {
+        let ctx = mpint::MontgomeryCtx::new(&n).unwrap();
+        let am = ctx.to_mont(&(&a % &n));
+        let bm = ctx.to_mont(&(&b % &n));
+        let reference = ctx.mont_mul(&am, &bm);
+        let flat = cios::mont_mul_natural(&ctx, &am, &bm);
+        prop_assert_eq!(&flat, &reference);
+        // Partitioned kernel agrees for several lane counts.
+        let s = ctx.width();
+        for threads in [1usize, 2, 3, 8] {
+            let (part, stats) = cios::mont_mul_partitioned(
+                &am.to_padded_limbs(s),
+                &bm.to_padded_limbs(s),
+                &ctx.modulus().to_padded_limbs(s),
+                ctx.n0_inv(),
+                threads,
+            );
+            prop_assert_eq!(Natural::from_limbs(part), reference.clone());
+            prop_assert_eq!(stats.mac_ops.len(), threads);
+        }
+    }
+
+    #[test]
+    fn modpow_matches_iterated_multiplication(
+        base in big_natural(),
+        e in 0u32..24,
+        n in odd_modulus(),
+    ) {
+        let got = modpow::mod_pow(&base, &Natural::from(e as u64), &n).unwrap();
+        let mut expected = &Natural::one() % &n;
+        for _ in 0..e {
+            expected = &(&expected * &base) % &n;
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn modpow_sliding_equals_binary(base in big_natural(), exp in big_natural(), n in odd_modulus()) {
+        prop_assert_eq!(
+            modpow::mod_pow(&base, &exp, &n).unwrap(),
+            modpow::mod_pow_binary(&base, &exp, &n).unwrap()
+        );
+    }
+
+    #[test]
+    fn modpow_product_law(base in big_natural(), e1 in 0u64..1000, e2 in 0u64..1000, n in odd_modulus()) {
+        // base^(e1+e2) == base^e1 * base^e2 (mod n)
+        let p1 = modpow::mod_pow(&base, &Natural::from(e1), &n).unwrap();
+        let p2 = modpow::mod_pow(&base, &Natural::from(e2), &n).unwrap();
+        let sum = modpow::mod_pow(&base, &Natural::from(e1 + e2), &n).unwrap();
+        prop_assert_eq!(&(&p1 * &p2) % &n, sum);
+    }
+
+    #[test]
+    fn extract_bits_agrees_with_shift_mask(a in big_natural(), offset in 0u32..300, count in 0u32..=64) {
+        let expected = a.shr_bits(offset).low_bits(count).to_u64().unwrap_or_else(|| {
+            // count == 64 can still fit in u64
+            a.shr_bits(offset).low_bits(count).low_u64()
+        });
+        prop_assert_eq!(a.extract_bits(offset, count), expected);
+    }
+}

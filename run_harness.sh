@@ -1,0 +1,23 @@
+#!/bin/bash
+# Final harness sequence: every table and figure, laptop-scaled.
+cd /root/repo
+R=results
+mkdir -p $R
+run() {
+  name=$1; shift
+  echo "=== $name: $* ===" 
+  ( ./target/release/$name "$@" 2>&1 ) | tee $R/$name.txt
+  echo
+}
+run fig1_fate_breakdown --quick                                          
+run table6_components --quick                                            
+run fig6_sm_utilization                                                   
+run fig7_compression --quick                                              
+run table4_throughput --quick --keys 1024                                 
+run table3_epoch_time --quick --keys 1024                                 
+run table3_epoch_time --quick --keys 2048 --models homo-lr --datasets rcv1
+run table5_ablation --quick --keys 1024 --datasets rcv1,synthetic         
+run table7_bias --quick --epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic
+run fig8_convergence --quick --epochs 3 --models homo-lr,hetero-nn        
+run ablation_quantization --quick                                         
+echo "HARNESS_ALL_DONE"

