@@ -60,11 +60,12 @@ fn bench_pack(c: &mut Criterion) {
 
     // Key-size sweep at the paper's 32-bit slots.
     for key_bits in [1024u32, 2048, 4096] {
-        let codec =
-            BatchCodec::new(QuantizerConfig::paper_default(4), key_bits).expect("codec");
-        group.bench_with_input(BenchmarkId::new("pack@slot32", key_bits), &key_bits, |b, _| {
-            b.iter(|| black_box(codec.pack(black_box(&vs)).unwrap()))
-        });
+        let codec = BatchCodec::new(QuantizerConfig::paper_default(4), key_bits).expect("codec");
+        group.bench_with_input(
+            BenchmarkId::new("pack@slot32", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(codec.pack(black_box(&vs)).unwrap())),
+        );
     }
     group.finish();
 }

@@ -25,11 +25,15 @@ fn bench_modpow(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_with_input(BenchmarkId::new("sliding_window", bits), &bits, |bench, _| {
-            bench.iter(|| {
-                black_box(modpow::mod_pow(black_box(&base), black_box(&exp), &modulus).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sliding_window", bits),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(modpow::mod_pow(black_box(&base), black_box(&exp), &modulus).unwrap())
+                })
+            },
+        );
     }
 
     // Short public exponents (RSA encryption path).

@@ -3,10 +3,10 @@
 //! CPU-vs-GPU-simulator batch throughput that underlies Table IV.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Device, DeviceConfig};
 use he::ghe::{CpuHe, GpuHe};
 use he::paillier::PaillierKeyPair;
 use he::HeBackend;
-use gpu_sim::{Device, DeviceConfig};
 use mpint::Natural;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -27,15 +27,19 @@ fn bench_primitives(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |bench, _| {
             bench.iter(|| black_box(keys.public.encrypt_with_r(black_box(&m), &r).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("decrypt_direct", bits), &bits, |bench, _| {
-            bench.iter(|| black_box(keys.private.decrypt(black_box(&c1)).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decrypt_direct", bits),
+            &bits,
+            |bench, _| bench.iter(|| black_box(keys.private.decrypt(black_box(&c1)).unwrap())),
+        );
         group.bench_with_input(BenchmarkId::new("decrypt_crt", bits), &bits, |bench, _| {
             bench.iter(|| black_box(keys.private.decrypt_crt(black_box(&c1)).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |bench, _| {
-            bench.iter(|| black_box(keys.public.add(black_box(&c1), black_box(&c2))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("homomorphic_add", bits),
+            &bits,
+            |bench, _| bench.iter(|| black_box(keys.public.add(black_box(&c1), black_box(&c2)))),
+        );
     }
     group.finish();
 }
@@ -49,12 +53,22 @@ fn bench_batch_backends(c: &mut Criterion) {
 
     let cpu = CpuHe::default();
     group.bench_function("cpu_encrypt_64", |bench| {
-        bench.iter(|| black_box(cpu.encrypt_batch(&keys.public, black_box(&batch), 1).unwrap()))
+        bench.iter(|| {
+            black_box(
+                cpu.encrypt_batch(&keys.public, black_box(&batch), 1)
+                    .unwrap(),
+            )
+        })
     });
 
     let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())));
     group.bench_function("gpusim_encrypt_64", |bench| {
-        bench.iter(|| black_box(gpu.encrypt_batch(&keys.public, black_box(&batch), 1).unwrap()))
+        bench.iter(|| {
+            black_box(
+                gpu.encrypt_batch(&keys.public, black_box(&batch), 1)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

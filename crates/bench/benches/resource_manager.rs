@@ -53,12 +53,10 @@ fn bench_launch(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("launch4096", name), &name, |b, _| {
             b.iter(|| {
-                let (out, _) = device.launch(&spec, &items, 1024, 1024, |i, &x| {
-                    ItemOutcome {
-                        output: x.wrapping_mul(x),
-                        thread_ops: 64,
-                        divergent: i % 3 == 0,
-                    }
+                let (out, _) = device.launch(&spec, &items, 1024, 1024, |i, &x| ItemOutcome {
+                    output: x.wrapping_mul(x),
+                    thread_ops: 64,
+                    divergent: i % 3 == 0,
                 });
                 black_box(out)
             })

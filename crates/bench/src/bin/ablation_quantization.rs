@@ -13,14 +13,20 @@
 //! ```
 
 use codec::QuantizerConfig;
-use flbooster_bench::table::{pct, Table};
-use flbooster_bench::{bench_dataset, harness_train_config, shared_keys, Args, DatasetKind, ModelKind, PARTICIPANTS};
 use fl::metrics::convergence_bias;
 use fl::train::{train, FlEnv};
 use fl::{Accelerator, BackendKind};
+use flbooster_bench::table::{pct, Table};
+use flbooster_bench::{
+    bench_dataset, harness_train_config, shared_keys, Args, DatasetKind, ModelKind, PARTICIPANTS,
+};
 use flbooster_core::analysis;
 
-fn run_with_quantizer(qcfg: QuantizerConfig, key_bits: u32, preset: flbooster_bench::Preset) -> f64 {
+fn run_with_quantizer(
+    qcfg: QuantizerConfig,
+    key_bits: u32,
+    preset: flbooster_bench::Preset,
+) -> f64 {
     let mut cfg = harness_train_config();
     cfg.max_epochs = 3;
     let data = bench_dataset(DatasetKind::Synthetic, preset);
@@ -32,8 +38,12 @@ fn run_with_quantizer(qcfg: QuantizerConfig, key_bits: u32, preset: flbooster_be
     )
     .expect("backend");
     let env = FlEnv::new(accel, cfg.seed);
-    let mut model = ModelKind::HomoLr.build(&data, PARTICIPANTS, &cfg).expect("model");
-    train(model.as_mut(), &env, &cfg).expect("training").final_loss()
+    let mut model = ModelKind::HomoLr
+        .build(&data, PARTICIPANTS, &cfg)
+        .expect("model");
+    train(model.as_mut(), &env, &cfg)
+        .expect("training")
+        .final_loss()
 }
 
 fn main() {
@@ -45,13 +55,21 @@ fn main() {
 
     // Reference: f64-exact 52-bit quantizer.
     let reference = run_with_quantizer(
-        QuantizerConfig { r_bits: 52, ..QuantizerConfig::paper_default(PARTICIPANTS) },
+        QuantizerConfig {
+            r_bits: 52,
+            ..QuantizerConfig::paper_default(PARTICIPANTS)
+        },
         key_bits,
         preset,
     );
 
     let mut table = Table::new([
-        "Slot bits", "r bits", "Compression", "Max quant error", "Final loss", "Bias vs f64",
+        "Slot bits",
+        "r bits",
+        "Compression",
+        "Max quant error",
+        "Final loss",
+        "Bias vs f64",
     ]);
     let guard = QuantizerConfig::paper_default(PARTICIPANTS).guard_bits();
     for slot in [8u32, 16, 24, 32, 48] {

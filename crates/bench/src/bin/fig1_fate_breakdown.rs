@@ -9,10 +9,12 @@
 //! cargo run -p flbooster-bench --release --bin fig1_fate_breakdown [--quick] [--dataset rcv1]
 //! ```
 
-use flbooster_bench::table::{pct, secs, Table};
-use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, DatasetKind, ModelKind, PARTICIPANTS};
 use fl::train::FlEnv;
 use fl::BackendKind;
+use flbooster_bench::table::{pct, secs, Table};
+use flbooster_bench::{
+    backend, bench_dataset, harness_train_config, Args, DatasetKind, ModelKind, PARTICIPANTS,
+};
 
 fn main() {
     let args = Args::parse();
@@ -30,12 +32,20 @@ fn main() {
         dataset.name(),
         preset
     );
-    let mut table = Table::new(["Model", "Epoch (sim s)", "Others", "HE ops", "Communication"]);
+    let mut table = Table::new([
+        "Model",
+        "Epoch (sim s)",
+        "Others",
+        "HE ops",
+        "Communication",
+    ]);
 
     for model_kind in ModelKind::all() {
         let data = bench_dataset(dataset, preset);
         let env = FlEnv::new(backend(BackendKind::Fate, key_bits, PARTICIPANTS), cfg.seed);
-        let mut model = model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+        let mut model = model_kind
+            .build(&data, PARTICIPANTS, &cfg)
+            .expect("model build");
         let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
         let b = result.breakdown;
         let (others, he, comm) = b.shares();

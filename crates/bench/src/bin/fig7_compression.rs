@@ -11,9 +11,9 @@
 //! cargo run -p flbooster-bench --release --bin fig7_compression -- [--keys ...]
 //! ```
 
+use fl::BackendKind;
 use flbooster_bench::table::Table;
 use flbooster_bench::{backend, bench_dataset, Args, DatasetKind, ModelKind, PARTICIPANTS};
-use fl::BackendKind;
 use flbooster_core::analysis;
 
 fn main() {
@@ -22,8 +22,7 @@ fn main() {
     let keys = args.key_sizes();
 
     println!("Figure 7 — batch-compression ratio vs key size ({preset:?} preset)\n");
-    let mut table =
-        Table::new(["Model", "Key", "Measured", "Eq. 11 bound", "PSU (Eq. 12)"]);
+    let mut table = Table::new(["Model", "Key", "Measured", "Eq. 11 bound", "PSU (Eq. 12)"]);
 
     for model_kind in args.models() {
         let data = bench_dataset(DatasetKind::Synthetic, preset);

@@ -11,10 +11,12 @@
 //!     [--quick] [--epochs 6] [--models homo-lr]
 //! ```
 
-use flbooster_bench::table::{secs, Table};
-use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, DatasetKind, PARTICIPANTS};
 use fl::train::{train, FlEnv};
 use fl::BackendKind;
+use flbooster_bench::table::{secs, Table};
+use flbooster_bench::{
+    backend, bench_dataset, harness_train_config, Args, DatasetKind, PARTICIPANTS,
+};
 
 fn main() {
     let args = Args::parse();
@@ -35,8 +37,9 @@ fn main() {
         for backend_kind in BackendKind::headline() {
             let data = bench_dataset(DatasetKind::Synthetic, preset);
             let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
-            let mut model =
-                model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+            let mut model = model_kind
+                .build(&data, PARTICIPANTS, &cfg)
+                .expect("model build");
             let report = train(model.as_mut(), &env, &cfg).expect("training");
             for (e, (t, loss)) in report.convergence_series().iter().enumerate() {
                 table.row([
@@ -46,7 +49,11 @@ fn main() {
                     format!("{loss:.5}"),
                 ]);
             }
-            finals.push((backend_kind.name(), report.final_loss(), report.mean_epoch_seconds()));
+            finals.push((
+                backend_kind.name(),
+                report.final_loss(),
+                report.mean_epoch_seconds(),
+            ));
         }
         table.print();
         let fate_t = finals[0].2;

@@ -14,10 +14,10 @@
 //! larger key sizes perform real multi-kilobit crypto on every exchanged
 //! value and take minutes per cell on one core).
 
-use flbooster_bench::table::{secs, speedup, Table};
-use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
 use fl::train::FlEnv;
 use fl::BackendKind;
+use flbooster_bench::table::{secs, speedup, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
 
 fn main() {
     let args = Args::parse();
@@ -25,9 +25,18 @@ fn main() {
     let keys = args.key_sizes_or(&[1024]);
     let cfg = harness_train_config();
 
-    println!("Table III — average running time per epoch in simulated seconds ({preset:?} preset)\n");
+    println!(
+        "Table III — average running time per epoch in simulated seconds ({preset:?} preset)\n"
+    );
     let mut table = Table::new([
-        "Dataset", "Model", "Key", "FATE", "HAFLO", "FLBooster", "vs FATE", "vs HAFLO",
+        "Dataset",
+        "Model",
+        "Key",
+        "FATE",
+        "HAFLO",
+        "FLBooster",
+        "vs FATE",
+        "vs HAFLO",
     ]);
 
     for dataset_kind in args.datasets() {
@@ -37,8 +46,9 @@ fn main() {
                 for backend_kind in BackendKind::headline() {
                     let data = bench_dataset(dataset_kind, preset);
                     let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
-                    let mut model =
-                        model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+                    let mut model = model_kind
+                        .build(&data, PARTICIPANTS, &cfg)
+                        .expect("model build");
                     let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
                     times.push(result.breakdown.total_seconds());
                 }

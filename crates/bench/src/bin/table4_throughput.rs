@@ -18,9 +18,9 @@
 //! cargo run -p flbooster-bench --release --bin table4_throughput -- [--keys ...]
 //! ```
 
+use fl::BackendKind;
 use flbooster_bench::table::Table;
 use flbooster_bench::{backend, bench_dataset, shared_keys, Args, ModelKind, PARTICIPANTS};
-use fl::BackendKind;
 use gpu_sim::{resource::ResourceManager, Device, DeviceConfig};
 use he::ghe::DEFAULT_CPU_SECONDS_PER_OP;
 use he::GpuHe;
@@ -55,10 +55,9 @@ fn modeled_throughput(kind: BackendKind, key_bits: u32) -> f64 {
         }
         _ => {
             let device = match kind {
-                BackendKind::Haflo => Device::with_manager(
-                    DeviceConfig::rtx3090(),
-                    ResourceManager::fixed(256),
-                ),
+                BackendKind::Haflo => {
+                    Device::with_manager(DeviceConfig::rtx3090(), ResourceManager::fixed(256))
+                }
                 _ => Device::new(DeviceConfig::rtx3090()),
             };
             let cfg = device.config();
@@ -83,15 +82,13 @@ fn main() {
 
     println!("Table IV — HE throughput in instances/simulated second ({preset:?} preset)");
     println!("Each cell: measured-at-harness-scale / modeled-at-saturation (Eq. 10)\n");
-    let mut table =
-        Table::new(["Dataset", "Model", "Key", "FATE", "HAFLO", "FLBooster"]);
+    let mut table = Table::new(["Dataset", "Model", "Key", "FATE", "HAFLO", "FLBooster"]);
 
     for dataset_kind in args.datasets() {
         let data = bench_dataset(dataset_kind, preset);
         for model_kind in args.models() {
             let n = workload_values(model_kind, &data);
-            let values: Vec<f64> =
-                (0..n).map(|i| ((i as f64) * 0.61).sin() * 0.9).collect();
+            let values: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).sin() * 0.9).collect();
             for &key_bits in &keys {
                 let mut cells = Vec::new();
                 for backend_kind in BackendKind::headline() {

@@ -10,10 +10,10 @@
 //!     [--quick] [--keys 1024,...] [--models ...] [--datasets ...]
 //! ```
 
-use flbooster_bench::table::{secs, speedup, Table};
-use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
 use fl::train::FlEnv;
 use fl::BackendKind;
+use flbooster_bench::table::{secs, speedup, Table};
+use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, PARTICIPANTS};
 
 fn main() {
     let args = Args::parse();
@@ -23,7 +23,14 @@ fn main() {
 
     println!("Table V — module ablation, simulated seconds per epoch ({preset:?} preset)\n");
     let mut table = Table::new([
-        "Dataset", "Model", "Key", "FLBooster", "w/o GHE", "w/o BC", "GHE gain", "BC gain",
+        "Dataset",
+        "Model",
+        "Key",
+        "FLBooster",
+        "w/o GHE",
+        "w/o BC",
+        "GHE gain",
+        "BC gain",
     ]);
 
     for dataset_kind in args.datasets() {
@@ -33,8 +40,9 @@ fn main() {
                 for backend_kind in BackendKind::ablations() {
                     let data = bench_dataset(dataset_kind, preset);
                     let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
-                    let mut model =
-                        model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+                    let mut model = model_kind
+                        .build(&data, PARTICIPANTS, &cfg)
+                        .expect("model build");
                     let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
                     times.push(result.breakdown.total_seconds());
                 }

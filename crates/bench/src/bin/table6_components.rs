@@ -14,10 +14,12 @@
 //! cargo run -p flbooster-bench --release --bin table6_components -- [--quick]
 //! ```
 
-use flbooster_bench::table::{pct, secs, Table};
-use flbooster_bench::{backend, bench_dataset, harness_train_config, Args, ModelKind, PARTICIPANTS};
 use fl::train::FlEnv;
 use fl::BackendKind;
+use flbooster_bench::table::{pct, secs, Table};
+use flbooster_bench::{
+    backend, bench_dataset, harness_train_config, Args, ModelKind, PARTICIPANTS,
+};
 
 fn main() {
     let args = Args::parse();
@@ -25,17 +27,25 @@ fn main() {
     let key_bits = args.get("key").and_then(|s| s.parse().ok()).unwrap_or(1024);
     let cfg = harness_train_config();
 
-    println!("Table VI — component time shares, Homo LR @ {key_bits}-bit keys ({preset:?} preset)\n");
+    println!(
+        "Table VI — component time shares, Homo LR @ {key_bits}-bit keys ({preset:?} preset)\n"
+    );
     let mut table = Table::new([
-        "Dataset", "Method", "Epoch (sim s)", "Others", "HE operations", "Communication",
+        "Dataset",
+        "Method",
+        "Epoch (sim s)",
+        "Others",
+        "HE operations",
+        "Communication",
     ]);
 
     for dataset_kind in args.datasets() {
         for backend_kind in BackendKind::headline() {
             let data = bench_dataset(dataset_kind, preset);
             let env = FlEnv::new(backend(backend_kind, key_bits, PARTICIPANTS), cfg.seed);
-            let mut model =
-                ModelKind::HomoLr.build(&data, PARTICIPANTS, &cfg).expect("model build");
+            let mut model = ModelKind::HomoLr
+                .build(&data, PARTICIPANTS, &cfg)
+                .expect("model build");
             let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
             let b = result.breakdown;
             let (others, he, comm) = b.shares();

@@ -15,11 +15,11 @@
 //! ```
 
 use codec::QuantizerConfig;
-use flbooster_bench::table::{pct, Table};
-use flbooster_bench::{bench_dataset, harness_train_config, shared_keys, Args, PARTICIPANTS};
 use fl::metrics::convergence_bias;
 use fl::train::{train, FlEnv};
 use fl::{Accelerator, BackendKind};
+use flbooster_bench::table::{pct, Table};
+use flbooster_bench::{bench_dataset, harness_train_config, shared_keys, Args, PARTICIPANTS};
 
 fn main() {
     let args = Args::parse();
@@ -59,8 +59,9 @@ fn main() {
                         .expect("flbooster backend")
                 };
                 let env = FlEnv::new(accel, cfg.seed);
-                let mut model =
-                    model_kind.build(&data, PARTICIPANTS, &cfg).expect("model build");
+                let mut model = model_kind
+                    .build(&data, PARTICIPANTS, &cfg)
+                    .expect("model build");
                 let report = train(model.as_mut(), &env, &cfg).expect("training");
                 losses.push(report.final_loss());
             }

@@ -46,7 +46,12 @@ pub enum ModelKind {
 impl ModelKind {
     /// All four, in the paper's order.
     pub fn all() -> [ModelKind; 4] {
-        [ModelKind::HomoLr, ModelKind::HeteroLr, ModelKind::HeteroSbt, ModelKind::HeteroNn]
+        [
+            ModelKind::HomoLr,
+            ModelKind::HeteroLr,
+            ModelKind::HeteroSbt,
+            ModelKind::HeteroNn,
+        ]
     }
 
     /// Paper display name.
@@ -70,15 +75,11 @@ impl ModelKind {
             ModelKind::HomoLr => {
                 Box::new(fl::models::HomoLr::new(dataset, participants, cfg)) as Box<dyn FlModel>
             }
-            ModelKind::HeteroLr => {
-                Box::new(fl::models::HeteroLr::new(dataset, participants, cfg)?)
-            }
+            ModelKind::HeteroLr => Box::new(fl::models::HeteroLr::new(dataset, participants, cfg)?),
             ModelKind::HeteroSbt => {
                 Box::new(fl::models::HeteroSbt::new(dataset, participants, cfg)?)
             }
-            ModelKind::HeteroNn => {
-                Box::new(fl::models::HeteroNn::new(dataset, participants, cfg)?)
-            }
+            ModelKind::HeteroNn => Box::new(fl::models::HeteroNn::new(dataset, participants, cfg)?),
         })
     }
 }
@@ -97,7 +98,11 @@ pub enum DatasetKind {
 impl DatasetKind {
     /// All three, in the paper's order.
     pub fn all() -> [DatasetKind; 3] {
-        [DatasetKind::Rcv1, DatasetKind::Avazu, DatasetKind::Synthetic]
+        [
+            DatasetKind::Rcv1,
+            DatasetKind::Avazu,
+            DatasetKind::Synthetic,
+        ]
     }
 
     /// Paper display name.
@@ -187,7 +192,11 @@ pub fn backend(kind: BackendKind, key_bits: u32, participants: u32) -> Accelerat
 
 /// Paper-default training configuration scaled for harness datasets.
 pub fn harness_train_config() -> TrainConfig {
-    TrainConfig { batch_size: 64, max_epochs: 8, ..TrainConfig::default() }
+    TrainConfig {
+        batch_size: 64,
+        max_epochs: 8,
+        ..TrainConfig::default()
+    }
 }
 
 /// Key sizes the paper sweeps.
@@ -212,7 +221,8 @@ impl Args {
             if let Some(name) = arg.strip_prefix("--") {
                 match iter.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        out.values.insert(name.to_string(), iter.next().expect("peeked"));
+                        out.values
+                            .insert(name.to_string(), iter.next().expect("peeked"));
                     }
                     _ => out.flags.push(name.to_string()),
                 }
@@ -237,7 +247,9 @@ impl Args {
         if self.has("quick") {
             return Preset::Quick;
         }
-        self.get("preset").and_then(Preset::parse).unwrap_or(Preset::Default)
+        self.get("preset")
+            .and_then(Preset::parse)
+            .unwrap_or(Preset::Default)
     }
 
     /// Key sizes from `--keys 1024,2048`, defaulting to [`KEY_SIZES`].

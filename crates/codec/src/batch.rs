@@ -31,9 +31,16 @@ impl BatchCodec {
         let slots = (key_bits / slot_bits) as usize;
         let slots_per_word = slots.saturating_sub(1);
         if slots_per_word == 0 {
-            return Err(Error::KeyTooSmall { key_bits, slot_bits });
+            return Err(Error::KeyTooSmall {
+                key_bits,
+                slot_bits,
+            });
         }
-        Ok(BatchCodec { quantizer, key_bits, slots_per_word })
+        Ok(BatchCodec {
+            quantizer,
+            key_bits,
+            slots_per_word,
+        })
     }
 
     /// The single-value quantizer in use.
@@ -86,9 +93,7 @@ impl BatchCodec {
             for (i, &v) in chunk.iter().enumerate() {
                 let q = self.quantizer.quantize(v)?;
                 if q != 0 {
-                    word.add_assign_ref(
-                        &Natural::from(q).shl_bits(i as u32 * slot_bits),
-                    );
+                    word.add_assign_ref(&Natural::from(q).shl_bits(i as u32 * slot_bits));
                 }
             }
             words.push(word);
@@ -108,7 +113,10 @@ impl BatchCodec {
         self.quantizer.check_terms(terms)?;
         let available = words.len() * self.slots_per_word;
         if count > available {
-            return Err(Error::NotEnoughData { requested: count, available });
+            return Err(Error::NotEnoughData {
+                requested: count,
+                available,
+            });
         }
         let slot_bits = self.quantizer.config().slot_bits();
         let mut out = Vec::with_capacity(count);
@@ -129,6 +137,8 @@ impl BatchCodec {
     /// Paillier's homomorphic addition, used by tests and the CPU
     /// reference path. Both slices must have equal length.
     pub fn add_packed(&self, a: &[Natural], b: &[Natural]) -> Vec<Natural> {
+        // Documented precondition: misaligned packs would add wrong slots.
+        // flcheck: allow(pf-assert)
         assert_eq!(a.len(), b.len(), "packed operands must align");
         a.iter().zip(b).map(|(x, y)| x + y).collect()
     }
@@ -207,8 +217,13 @@ mod tests {
     #[test]
     fn aggregation_up_to_guard_capacity() {
         let c = codec(512, 4); // b = 2 -> up to 4 terms
-        let parties: Vec<Vec<f64>> =
-            (0..4).map(|p| (0..20).map(|i| ((p * 20 + i) as f64 * 0.01) - 0.3).collect()).collect();
+        let parties: Vec<Vec<f64>> = (0..4)
+            .map(|p| {
+                (0..20)
+                    .map(|i| ((p * 20 + i) as f64 * 0.01) - 0.3)
+                    .collect()
+            })
+            .collect();
         let mut acc = c.pack(&parties[0]).unwrap();
         for p in &parties[1..] {
             acc = c.add_packed(&acc, &c.pack(p).unwrap());

@@ -47,18 +47,30 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ValueOutOfRange { value, alpha } => {
-                write!(f, "value {value} outside the quantization range [-{alpha}, {alpha}]")
+                write!(
+                    f,
+                    "value {value} outside the quantization range [-{alpha}, {alpha}]"
+                )
             }
             Error::BadConfig(msg) => write!(f, "bad quantizer configuration: {msg}"),
-            Error::KeyTooSmall { key_bits, slot_bits } => {
+            Error::KeyTooSmall {
+                key_bits,
+                slot_bits,
+            } => {
                 write!(f, "{key_bits}-bit key cannot hold a {slot_bits}-bit slot")
             }
             Error::OverflowBitsExhausted { terms, max_terms } => write!(
                 f,
                 "aggregating {terms} terms exceeds the {max_terms}-term guard capacity"
             ),
-            Error::NotEnoughData { requested, available } => {
-                write!(f, "requested {requested} values but only {available} are packed")
+            Error::NotEnoughData {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} values but only {available} are packed"
+                )
             }
         }
     }
@@ -72,14 +84,32 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(Error::ValueOutOfRange { value: 2.0, alpha: 1.0 }.to_string().contains("2"));
-        assert!(Error::KeyTooSmall { key_bits: 16, slot_bits: 32 }.to_string().contains("16"));
-        assert!(
-            Error::OverflowBitsExhausted { terms: 9, max_terms: 8 }
-                .to_string()
-                .contains("9 terms")
-        );
-        assert!(Error::NotEnoughData { requested: 5, available: 3 }.to_string().contains("5"));
-        assert!(Error::BadConfig("r must be positive".into()).to_string().contains("positive"));
+        assert!(Error::ValueOutOfRange {
+            value: 2.0,
+            alpha: 1.0
+        }
+        .to_string()
+        .contains("2"));
+        assert!(Error::KeyTooSmall {
+            key_bits: 16,
+            slot_bits: 32
+        }
+        .to_string()
+        .contains("16"));
+        assert!(Error::OverflowBitsExhausted {
+            terms: 9,
+            max_terms: 8
+        }
+        .to_string()
+        .contains("9 terms"));
+        assert!(Error::NotEnoughData {
+            requested: 5,
+            available: 3
+        }
+        .to_string()
+        .contains("5"));
+        assert!(Error::BadConfig("r must be positive".into())
+            .to_string()
+            .contains("positive"));
     }
 }

@@ -35,7 +35,12 @@ impl QuantizerConfig {
     /// computational overflow"), α = 1.
     pub fn paper_default(participants: u32) -> Self {
         let b = guard_bits(participants);
-        QuantizerConfig { alpha: 1.0, r_bits: 32 - b, participants, clip: true }
+        QuantizerConfig {
+            alpha: 1.0,
+            r_bits: 32 - b,
+            participants,
+            clip: true,
+        }
     }
 
     /// Guard bits `b = ⌈log₂ p⌉` (at least 1 so two values can always be
@@ -56,7 +61,10 @@ impl QuantizerConfig {
 
     fn validate(&self) -> Result<()> {
         if !(self.alpha.is_finite() && self.alpha > 0.0) {
-            return Err(Error::BadConfig(format!("alpha must be positive, got {}", self.alpha)));
+            return Err(Error::BadConfig(format!(
+                "alpha must be positive, got {}",
+                self.alpha
+            )));
         }
         if self.r_bits == 0 {
             return Err(Error::BadConfig("r_bits must be at least 1".into()));
@@ -103,7 +111,10 @@ impl Quantizer {
     /// Quantizes one gradient value (Eq. 6–8).
     pub fn quantize(&self, m: f64) -> Result<u64> {
         if !m.is_finite() {
-            return Err(Error::ValueOutOfRange { value: m, alpha: self.cfg.alpha });
+            return Err(Error::ValueOutOfRange {
+                value: m,
+                alpha: self.cfg.alpha,
+            });
         }
         let a = self.cfg.alpha;
         let m = if self.cfg.clip {
@@ -155,8 +166,13 @@ mod tests {
     use super::*;
 
     fn quantizer(r: u32, p: u32) -> Quantizer {
-        Quantizer::new(QuantizerConfig { alpha: 1.0, r_bits: r, participants: p, clip: false })
-            .unwrap()
+        Quantizer::new(QuantizerConfig {
+            alpha: 1.0,
+            r_bits: r,
+            participants: p,
+            clip: false,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -206,9 +222,18 @@ mod tests {
     #[test]
     fn strict_mode_rejects_out_of_range() {
         let q = quantizer(16, 2);
-        assert!(matches!(q.quantize(1.5), Err(Error::ValueOutOfRange { .. })));
-        assert!(matches!(q.quantize(f64::NAN), Err(Error::ValueOutOfRange { .. })));
-        assert!(matches!(q.quantize(f64::INFINITY), Err(Error::ValueOutOfRange { .. })));
+        assert!(matches!(
+            q.quantize(1.5),
+            Err(Error::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            q.quantize(f64::NAN),
+            Err(Error::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            q.quantize(f64::INFINITY),
+            Err(Error::ValueOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -240,7 +265,10 @@ mod tests {
     fn guard_bits_bound_aggregation() {
         let q = quantizer(20, 4); // b = 2 → max 4 terms
         assert!(q.check_terms(4).is_ok());
-        assert!(matches!(q.check_terms(5), Err(Error::OverflowBitsExhausted { .. })));
+        assert!(matches!(
+            q.check_terms(5),
+            Err(Error::OverflowBitsExhausted { .. })
+        ));
         // Even max_terms values at the extreme cannot overflow the slot.
         let max = q.quantize(1.0).unwrap();
         let total = max * 4;

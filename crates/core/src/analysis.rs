@@ -60,12 +60,7 @@ pub fn compression_ratio(n: u64, key_bits: u32, r_bits: u32, participants: u32) 
 }
 
 /// Plaintext-space utilization (paper Eq. 12).
-pub fn plaintext_space_utilization(
-    n: u64,
-    key_bits: u32,
-    r_bits: u32,
-    participants: u32,
-) -> f64 {
+pub fn plaintext_space_utilization(n: u64, key_bits: u32, r_bits: u32, participants: u32) -> f64 {
     if n == 0 {
         return 0.0;
     }
@@ -141,15 +136,18 @@ mod tests {
 
     #[test]
     fn ac_bc_equals_compression_ratio() {
-        assert_eq!(ac_bc(1000, 2048, 30, 4), compression_ratio(1000, 2048, 30, 4));
+        assert_eq!(
+            ac_bc(1000, 2048, 30, 4),
+            compression_ratio(1000, 2048, 30, 4)
+        );
     }
 
     #[test]
     fn ghe_model_favors_gpu_for_large_batches() {
         let model = GheModel {
-            beta_cpu: 2.7e-3,      // ~370 ops/s at 1024 bits (Table IV FATE)
-            beta_transfer: 6e-11,  // 16 GB/s
-            beta_gpu: 1.9,         // one full wave of 1024-bit ops
+            beta_cpu: 2.7e-3,     // ~370 ops/s at 1024 bits (Table IV FATE)
+            beta_transfer: 6e-11, // 16 GB/s
+            beta_gpu: 1.9,        // one full wave of 1024-bit ops
             t_max: 82 * 1536,
         };
         // A batch of 100k encryptions (256-byte ciphertexts out).

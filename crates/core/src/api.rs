@@ -39,7 +39,9 @@ impl FlBoosterApi {
 
     /// An API instance that dispatches array operations through `device`.
     pub fn with_device(device: Arc<Device>) -> Self {
-        FlBoosterApi { device: Some(device) }
+        FlBoosterApi {
+            device: Some(device),
+        }
     }
 
     /// Runs a binary elementwise operation, on the device if present.
@@ -54,7 +56,10 @@ impl FlBoosterApi {
         F: Fn(&Natural, &Natural) -> Result<Natural> + Sync,
     {
         if a.len() != b.len() {
-            return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(Error::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         match &self.device {
             None => a.iter().zip(b).map(|(x, y)| f(x, y)).collect(),
@@ -82,7 +87,8 @@ impl FlBoosterApi {
     /// Elementwise subtraction (`sub`); fails on underflow.
     pub fn sub(&self, a: &[Natural], b: &[Natural]) -> Result<Vec<Natural>> {
         self.zip_op("api_sub", a, b, |x, y| {
-            x.checked_sub(y).ok_or(Error::Arithmetic(mpint::Error::Overflow { bits: 0 }))
+            x.checked_sub(y)
+                .ok_or(Error::Arithmetic(mpint::Error::Overflow { bits: 0 }))
         })
     }
 
@@ -94,7 +100,9 @@ impl FlBoosterApi {
     /// Elementwise Euclidean division (`div`), returning quotients.
     pub fn div(&self, a: &[Natural], b: &[Natural]) -> Result<Vec<Natural>> {
         self.zip_op("api_div", a, b, |x, y| {
-            x.checked_div_rem(y).map(|(q, _)| q).map_err(Error::Arithmetic)
+            x.checked_div_rem(y)
+                .map(|(q, _)| q)
+                .map_err(Error::Arithmetic)
         })
     }
 
@@ -102,7 +110,9 @@ impl FlBoosterApi {
     pub fn mod_(&self, x: &[Natural], n: &Natural) -> Result<Vec<Natural>> {
         let ns = vec![n.clone(); x.len()];
         self.zip_op("api_mod", x, &ns, |a, b| {
-            a.checked_div_rem(b).map(|(_, r)| r).map_err(Error::Arithmetic)
+            a.checked_div_rem(b)
+                .map(|(_, r)| r)
+                .map_err(Error::Arithmetic)
         })
     }
 
@@ -170,7 +180,10 @@ impl FlBoosterApi {
         b: &[Ciphertext],
     ) -> Result<Vec<Ciphertext>> {
         if a.len() != b.len() {
-            return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(Error::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         let backend = self.he_backend();
         let (cts, _) = backend.add_batch(pk, a, b)?;
@@ -187,7 +200,10 @@ impl FlBoosterApi {
     /// `RSA::encrypt(pub_key, plaintexts)` — batched.
     pub fn rsa_encrypt(&self, pk: &RsaPublicKey, plaintexts: &[Natural]) -> Result<Vec<Natural>> {
         match &self.device {
-            None => plaintexts.iter().map(|m| pk.encrypt(m).map_err(Error::He)).collect(),
+            None => plaintexts
+                .iter()
+                .map(|m| pk.encrypt(m).map_err(Error::He))
+                .collect(),
             Some(device) => {
                 let spec = he::GpuHe::kernel_spec("rsa_encrypt", pk.key_bits, false);
                 let ops = pk.encrypt_op_estimate();
@@ -202,7 +218,10 @@ impl FlBoosterApi {
 
     /// `RSA::decrypt(pri_key, ciphertexts)` — batched.
     pub fn rsa_decrypt(&self, sk: &RsaPrivateKey, ciphertexts: &[Natural]) -> Result<Vec<Natural>> {
-        ciphertexts.iter().map(|c| sk.decrypt(c).map_err(Error::He)).collect()
+        ciphertexts
+            .iter()
+            .map(|c| sk.decrypt(c).map_err(Error::He))
+            .collect()
     }
 
     /// `RSA::mul(pub_key, c1, c2)` — batched homomorphic multiplication.

@@ -12,11 +12,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use codec::{BatchCodec, QuantizerConfig};
 use gpu_sim::{Device, DeviceConfig};
 use he::ghe::{GpuHe, HeTiming};
 use he::paillier::{Ciphertext, PaillierKeyPair};
 use he::HeBackend;
-use codec::{BatchCodec, QuantizerConfig};
 use mpint::Natural;
 use rand::Rng;
 
@@ -186,7 +186,8 @@ impl FlBooster {
         let mut he = HeTiming::default();
         for (i, chunk) in plaintexts.chunks(self.chunk_size).enumerate() {
             let (mut chunk_cts, t) =
-                self.ghe.encrypt_batch(&self.keys.public, chunk, seed ^ ((i as u64) << 32))?;
+                self.ghe
+                    .encrypt_batch(&self.keys.public, chunk, seed ^ ((i as u64) << 32))?;
             he.merge(&t);
             cts.append(&mut chunk_cts);
         }
@@ -257,11 +258,7 @@ impl FlBooster {
             plaintexts
                 .iter()
                 .take(count)
-                .map(|m| {
-                    self.codec
-                        .quantizer()
-                        .dequantize_sum(m.low_u64(), terms)
-                })
+                .map(|m| self.codec.quantizer().dequantize_sum(m.low_u64(), terms))
                 .collect()
         };
         let codec_seconds = t0.elapsed().as_secs_f64();
@@ -295,7 +292,11 @@ mod tests {
 
     fn platform(bits: u32) -> FlBooster {
         let mut rng = ChaCha8Rng::seed_from_u64(0xB00);
-        FlBooster::builder().key_bits(bits).participants(4).build(&mut rng).unwrap()
+        FlBooster::builder()
+            .key_bits(bits)
+            .participants(4)
+            .build(&mut rng)
+            .unwrap()
     }
 
     #[test]
@@ -303,7 +304,10 @@ mod tests {
         let p = platform(256);
         let grads: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.7).sin() * 0.9).collect();
         let (cts, enc) = p.encrypt_gradients(&grads, 1).unwrap();
-        assert!(enc.ciphertexts < grads.len(), "compression must shrink ciphertext count");
+        assert!(
+            enc.ciphertexts < grads.len(),
+            "compression must shrink ciphertext count"
+        );
         let (back, dec) = p.decrypt_gradients(&cts, grads.len(), 1).unwrap();
         let bound = p.codec.quantizer().max_error();
         for (a, b) in grads.iter().zip(&back) {
@@ -316,7 +320,11 @@ mod tests {
     fn aggregation_of_four_participants() {
         let p = platform(256);
         let parties: Vec<Vec<f64>> = (0..4)
-            .map(|k| (0..30).map(|i| ((k * 30 + i) as f64 * 0.005) - 0.15).collect())
+            .map(|k| {
+                (0..30)
+                    .map(|i| ((k * 30 + i) as f64 * 0.005) - 0.15)
+                    .collect()
+            })
             .collect();
         let batches: Vec<Vec<Ciphertext>> = parties
             .iter()
@@ -392,8 +400,10 @@ mod tests {
             .chunk_size(2)
             .build_with_keys(keys.clone())
             .unwrap();
-        let one_chunk =
-            FlBooster::builder().key_bits(256).build_with_keys(keys).unwrap();
+        let one_chunk = FlBooster::builder()
+            .key_bits(256)
+            .build_with_keys(keys)
+            .unwrap();
         let grads: Vec<f64> = (0..40).map(|i| (i as f64 * 0.03) - 0.5).collect();
         let (c1, _) = small_chunks.encrypt_gradients(&grads, 123).unwrap();
         let (back1, _) = small_chunks.decrypt_gradients(&c1, 40, 1).unwrap();
@@ -406,7 +416,11 @@ mod tests {
     fn report_merge_accumulates() {
         let mut a = PipelineReport {
             codec_seconds: 1.0,
-            he: HeTiming { sim_seconds: 2.0, ops: 10, items: 1 },
+            he: HeTiming {
+                sim_seconds: 2.0,
+                ops: 10,
+                items: 1,
+            },
             ciphertexts: 3,
             ciphertext_bytes: 100,
             values: 5,

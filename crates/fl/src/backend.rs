@@ -60,12 +60,20 @@ impl BackendKind {
 
     /// The three headline systems of Tables III/IV/VI.
     pub fn headline() -> [BackendKind; 3] {
-        [BackendKind::Fate, BackendKind::Haflo, BackendKind::FlBooster]
+        [
+            BackendKind::Fate,
+            BackendKind::Haflo,
+            BackendKind::FlBooster,
+        ]
     }
 
     /// The ablation set of Table V.
     pub fn ablations() -> [BackendKind; 3] {
-        [BackendKind::FlBooster, BackendKind::WithoutGhe, BackendKind::WithoutBc]
+        [
+            BackendKind::FlBooster,
+            BackendKind::WithoutGhe,
+            BackendKind::WithoutBc,
+        ]
     }
 }
 
@@ -129,7 +137,12 @@ impl Accelerator {
     /// backends in one experiment share keys so ciphertexts are
     /// comparable).
     pub fn new(kind: BackendKind, keys: PaillierKeyPair, participants: u32) -> Result<Self> {
-        Self::with_quantizer(kind, keys, participants, QuantizerConfig::paper_default(participants))
+        Self::with_quantizer(
+            kind,
+            keys,
+            participants,
+            QuantizerConfig::paper_default(participants),
+        )
     }
 
     /// Builds a backend with an explicit quantizer configuration.
@@ -234,9 +247,14 @@ impl Accelerator {
                 .map(|&v| self.codec.quantizer().quantize(v).map(Natural::from))
                 .collect::<codec::Result<_>>()?
         };
-        let (cts, t) = self.he.encrypt_batch(&self.keys.public, &plaintexts, seed)?;
+        let (cts, t) = self
+            .he
+            .encrypt_batch(&self.keys.public, &plaintexts, seed)?;
         self.charge(&t, values.len());
-        Ok(EncryptedVector { cts, count: values.len() })
+        Ok(EncryptedVector {
+            cts,
+            count: values.len(),
+        })
     }
 
     /// Homomorphically folds several participants' vectors into one.
@@ -244,11 +262,18 @@ impl Accelerator {
         let mut iter = vectors.iter();
         let first = match iter.next() {
             Some(v) => v,
-            None => return Ok(EncryptedVector { cts: Vec::new(), count: 0 }),
+            None => {
+                return Ok(EncryptedVector {
+                    cts: Vec::new(),
+                    count: 0,
+                })
+            }
         };
         let mut acc = first.cts.clone();
         let count = first.count;
         for v in iter {
+            // Protocol invariant: every party submits same-shaped vectors.
+            // flcheck: allow(pf-assert)
             assert_eq!(v.count, count, "aggregating vectors of different sizes");
             let (next, t) = self.he.add_batch(&self.keys.public, &acc, &v.cts)?;
             self.charge(&t, 0);
@@ -265,7 +290,10 @@ impl Accelerator {
         let values = if self.batch_compression {
             self.codec.unpack_sums(&plaintexts, vector.count, terms)?
         } else {
-            self.codec.quantizer().check_terms(terms).map_err(flbooster_core::Error::from)?;
+            self.codec
+                .quantizer()
+                .check_terms(terms)
+                .map_err(flbooster_core::Error::from)?;
             plaintexts
                 .iter()
                 .take(vector.count)
@@ -376,7 +404,11 @@ mod tests {
         let ef = fate.encrypt(&g, 1).unwrap();
         let eb = boost.encrypt(&g, 1).unwrap();
         assert_eq!(ef.ciphertext_count(), 64);
-        assert!(eb.ciphertext_count() <= 64 / 3 + 1, "{}", eb.ciphertext_count());
+        assert!(
+            eb.ciphertext_count() <= 64 / 3 + 1,
+            "{}",
+            eb.ciphertext_count()
+        );
         assert!(eb.bytes() < ef.bytes());
     }
 

@@ -1,5 +1,8 @@
 //! Sparse dataset representation.
 
+// flcheck: allow-file(pf-index) — feature indices are validated against the
+// dataset's `num_features` at construction; dense buffers are sized to it.
+
 /// One instance: sorted feature indices with values (CSR-style row).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseRow {
@@ -12,13 +15,21 @@ pub struct SparseRow {
 impl SparseRow {
     /// An empty row.
     pub fn empty() -> Self {
-        SparseRow { indices: Vec::new(), values: Vec::new() }
+        SparseRow {
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a row, asserting indices are sorted and aligned.
     pub fn new(indices: Vec<u32>, values: Vec<f64>) -> Self {
+        // Documented constructor contract (misalignment is data corruption).
+        // flcheck: allow(pf-assert)
         assert_eq!(indices.len(), values.len(), "indices/values must align");
-        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be sorted unique");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted unique"
+        );
         SparseRow { indices, values }
     }
 

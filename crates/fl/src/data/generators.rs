@@ -79,6 +79,8 @@ impl DatasetSpec {
     /// Generates the dataset scaled to `scale · instances` rows
     /// (`0 < scale <= 1`), with at least 8 rows.
     pub fn generate(&self, scale: f64) -> Dataset {
+        // Documented parameter range.
+        // flcheck: allow(pf-assert)
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let n = ((self.instances as f64 * scale) as usize).max(8);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -101,7 +103,9 @@ impl DatasetSpec {
             let row = if dense {
                 SparseRow::new(
                     (0..self.features as u32).collect(),
-                    (0..self.features).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    (0..self.features)
+                        .map(|_| rng.gen_range(-1.0..1.0))
+                        .collect(),
                 )
             } else {
                 // Sample distinct indices; geometric-ish skew toward low

@@ -13,6 +13,8 @@ use super::{Dataset, SparseRow};
 /// Splits rows round-robin into `parts` horizontally-partitioned
 /// datasets (same features, disjoint instances).
 pub fn horizontal_split(dataset: &Dataset, parts: u32) -> Vec<Dataset> {
+    // Documented precondition: zero participants is a config error.
+    // flcheck: allow(pf-assert)
     assert!(parts >= 1, "at least one participant");
     let parts = parts as usize;
     let mut out: Vec<Dataset> = (0..parts)
@@ -24,8 +26,11 @@ pub fn horizontal_split(dataset: &Dataset, parts: u32) -> Vec<Dataset> {
         })
         .collect();
     for (i, (row, &label)) in dataset.rows.iter().zip(&dataset.labels).enumerate() {
+        // k = i % parts < parts = out.len() by construction.
         let k = i % parts;
+        // flcheck: allow(pf-index)
         out[k].rows.push(row.clone());
+        // flcheck: allow(pf-index)
         out[k].labels.push(label);
     }
     out
@@ -65,7 +70,10 @@ impl VerticalShard {
 /// Splits features into `parts` contiguous ranges (same instances,
 /// disjoint features). Shard 0 is the active party and keeps the labels.
 pub fn vertical_split(dataset: &Dataset, parts: u32) -> Vec<VerticalShard> {
+    // Documented preconditions: split shape is a config error, not data.
+    // flcheck: allow(pf-assert)
     assert!(parts >= 1, "at least one participant");
+    // flcheck: allow(pf-assert)
     assert!(
         dataset.num_features >= parts as usize,
         "fewer features than participants"
@@ -75,13 +83,25 @@ pub fn vertical_split(dataset: &Dataset, parts: u32) -> Vec<VerticalShard> {
     let mut shards = Vec::with_capacity(parts_usize);
     for k in 0..parts_usize {
         let lo = (k * per) as u32;
-        let hi = if k + 1 == parts_usize { dataset.num_features as u32 } else { ((k + 1) * per) as u32 };
-        let rows = dataset.rows.iter().map(|r| r.slice_features(lo, hi)).collect();
+        let hi = if k + 1 == parts_usize {
+            dataset.num_features as u32
+        } else {
+            ((k + 1) * per) as u32
+        };
+        let rows = dataset
+            .rows
+            .iter()
+            .map(|r| r.slice_features(lo, hi))
+            .collect();
         shards.push(VerticalShard {
             name: format!("{}#v{k}", dataset.name),
             feature_range: (lo, hi),
             rows,
-            labels: if k == 0 { Some(dataset.labels.clone()) } else { None },
+            labels: if k == 0 {
+                Some(dataset.labels.clone())
+            } else {
+                None
+            },
         });
     }
     shards
@@ -118,14 +138,20 @@ mod tests {
         let shards = vertical_split(&d, 4);
         assert_eq!(shards.len(), 4);
         assert_eq!(shards[0].feature_range.0, 0);
-        assert_eq!(shards.last().unwrap().feature_range.1 as usize, d.num_features);
+        assert_eq!(
+            shards.last().unwrap().feature_range.1 as usize,
+            d.num_features
+        );
         for w in shards.windows(2) {
             assert_eq!(w[0].feature_range.1, w[1].feature_range.0, "contiguous");
         }
         // Same instance count everywhere; nnz conserved.
         let nnz_total: usize = d.rows.iter().map(|r| r.nnz()).sum();
-        let nnz_shards: usize =
-            shards.iter().flat_map(|s| s.rows.iter()).map(|r| r.nnz()).sum();
+        let nnz_shards: usize = shards
+            .iter()
+            .flat_map(|s| s.rows.iter())
+            .map(|r| r.nnz())
+            .sum();
         assert_eq!(nnz_total, nnz_shards);
         for s in &shards {
             assert_eq!(s.len(), d.len());

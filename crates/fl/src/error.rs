@@ -71,6 +71,8 @@ mod tests {
         assert!(e.to_string().contains("platform"));
         let e: Error = codec::Error::BadConfig("x".into()).into();
         assert!(matches!(e, Error::Platform(_)));
-        assert!(Error::NetworkFailure { attempts: 3 }.to_string().contains("3"));
+        assert!(Error::NetworkFailure { attempts: 3 }
+            .to_string()
+            .contains("3"));
     }
 }

@@ -6,6 +6,9 @@
 //! (Eq. 15, Table VII). These types carry those measurements out of the
 //! trainers.
 
+// flcheck: allow-file(pf-index) — rank-loop indices in `auc` are bounded by
+// `pairs.len()` in the loop conditions.
+
 /// Simulated seconds of one epoch, attributed to the paper's three
 /// components.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -38,7 +41,11 @@ impl EpochBreakdown {
         if t == 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        (self.other_seconds / t, self.he_seconds / t, self.comm_seconds / t)
+        (
+            self.other_seconds / t,
+            self.he_seconds / t,
+            self.comm_seconds / t,
+        )
     }
 
     /// HE throughput in values/second (Table IV's instances-per-second).
@@ -93,7 +100,10 @@ impl TrainReport {
         if self.epochs.is_empty() {
             return 0.0;
         }
-        self.epochs.iter().map(|e| e.breakdown.total_seconds()).sum::<f64>()
+        self.epochs
+            .iter()
+            .map(|e| e.breakdown.total_seconds())
+            .sum::<f64>()
             / self.epochs.len() as f64
     }
 
@@ -129,7 +139,11 @@ impl TrainReport {
 /// deviation of a compressed run's loss from the uncompressed reference.
 pub fn convergence_bias(reference_loss: f64, other_loss: f64) -> f64 {
     if reference_loss == 0.0 {
-        return if other_loss == 0.0 { 0.0 } else { f64::INFINITY };
+        return if other_loss == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     (reference_loss - other_loss).abs() / reference_loss.abs()
 }
@@ -188,8 +202,14 @@ mod tests {
             backend: "b".into(),
             key_bits: 1024,
             epochs: vec![
-                EpochResult { breakdown: breakdown(1.0, 1.0, 0.0), loss: 0.5 },
-                EpochResult { breakdown: breakdown(1.0, 0.0, 1.0), loss: 0.25 },
+                EpochResult {
+                    breakdown: breakdown(1.0, 1.0, 0.0),
+                    loss: 0.5,
+                },
+                EpochResult {
+                    breakdown: breakdown(1.0, 0.0, 1.0),
+                    loss: 0.25,
+                },
             ],
             converged: true,
         };
@@ -225,6 +245,8 @@ mod tests {
 
 /// Classification accuracy at the 0.5 threshold.
 pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    // Documented precondition: a shape mismatch is a caller bug.
+    // flcheck: allow(pf-assert)
     assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
     if predictions.is_empty() {
         return 0.0;
@@ -241,10 +263,16 @@ pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
 ///
 /// Returns 0.5 when either class is absent.
 pub fn auc(predictions: &[f64], labels: &[f64]) -> f64 {
+    // Documented precondition: a shape mismatch is a caller bug.
+    // flcheck: allow(pf-assert)
     assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
-    let mut pairs: Vec<(f64, f64)> =
-        predictions.iter().copied().zip(labels.iter().copied()).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+    let mut pairs: Vec<(f64, f64)> = predictions
+        .iter()
+        .copied()
+        .zip(labels.iter().copied())
+        .collect();
+    // total_cmp orders NaNs deterministically instead of panicking.
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let positives = labels.iter().filter(|&&y| y >= 0.5).count() as f64;
     let negatives = labels.len() as f64 - positives;

@@ -19,6 +19,10 @@
 //! FATE's Hetero NN moves through its encrypted interactive layer, so the
 //! HE volume per batch (`2 · batch · hidden`) matches the real workload.
 
+// flcheck: allow-file(pf-index) — matrix buffers are `batch × hidden` /
+// `features × hidden` row-major with loop bounds taken from those same
+// dimensions.
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -90,11 +94,7 @@ impl HeteroNn {
 
     /// Partial pre-activations of one shard for a batch:
     /// `(batch × HIDDEN flattened, flops)`.
-    fn partial_activations(
-        &self,
-        shard: usize,
-        range: &std::ops::Range<usize>,
-    ) -> (Vec<f64>, u64) {
+    fn partial_activations(&self, shard: usize, range: &std::ops::Range<usize>) -> (Vec<f64>, u64) {
         let s = &self.shards[shard];
         let w = &self.bottoms[shard];
         let mut out = vec![0.0; range.len() * HIDDEN];
@@ -240,7 +240,10 @@ impl FlModel for HeteroNn {
         }
 
         self.loss = self.global_loss();
-        Ok(EpochResult { breakdown, loss: self.loss })
+        Ok(EpochResult {
+            breakdown,
+            loss: self.loss,
+        })
     }
 }
 
@@ -269,21 +272,31 @@ mod tests {
     #[test]
     fn loss_decreases() {
         let data = small_dataset();
-        let cfg =
-            TrainConfig { batch_size: 50, learning_rate: 0.05, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 50,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::FlBooster);
         let mut model = HeteroNn::new(&data, 2, &cfg).unwrap();
         let initial = model.loss();
         for e in 0..4 {
             model.run_epoch(&env, &cfg, e).unwrap();
         }
-        assert!(model.loss() < initial - 0.01, "{} vs {initial}", model.loss());
+        assert!(
+            model.loss() < initial - 0.01,
+            "{} vs {initial}",
+            model.loss()
+        );
     }
 
     #[test]
     fn he_volume_is_two_batch_hidden_per_round() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 200, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 200,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::FlBooster);
         let mut model = HeteroNn::new(&data, 2, &cfg).unwrap();
         let b = model.run_epoch(&env, &cfg, 0).unwrap().breakdown;
@@ -294,7 +307,10 @@ mod tests {
     #[test]
     fn breakdown_components_present() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 64, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::Fate);
         let mut model = HeteroNn::new(&data, 2, &cfg).unwrap();
         let b = model.run_epoch(&env, &cfg, 0).unwrap().breakdown;
@@ -304,7 +320,10 @@ mod tests {
     #[test]
     fn bottom_and_top_models_update() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 64, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::FlBooster);
         let mut model = HeteroNn::new(&data, 2, &cfg).unwrap();
         let top_before = model.top.clone();

@@ -19,6 +19,9 @@
 //! The active party's own features never leave home, so its histograms
 //! are computed in plaintext — exactly as in SecureBoost.
 
+// flcheck: allow-file(pf-index) — instance ids index per-instance vectors
+// sized to the dataset; bin ids are clamped to `bins - 1` at quantization.
+
 use codec::{Quantizer, QuantizerConfig};
 use he::paillier::Ciphertext;
 use mpint::Natural;
@@ -63,7 +66,13 @@ impl Tree {
         loop {
             match node {
                 TreeNode::Leaf(w) => return *w,
-                TreeNode::Split { shard, feature, threshold, left, right } => {
+                TreeNode::Split {
+                    shard,
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let value = feature_value(&shards[*shard], i, *feature);
                     node = if value <= *threshold { left } else { right };
                 }
@@ -181,11 +190,16 @@ impl HeteroSbt {
     /// Quantizes and (optionally) GH-packs the gradient pair of one
     /// instance.
     fn encode_gh(&self, g: f64, h: f64, packed: bool) -> Result<Vec<Natural>> {
-        let qg = self.gh_quantizer.quantize(g).map_err(flbooster_core::Error::from)?;
-        let qh = self.gh_quantizer.quantize(h).map_err(flbooster_core::Error::from)?;
+        let qg = self
+            .gh_quantizer
+            .quantize(g)
+            .map_err(flbooster_core::Error::from)?;
+        let qh = self
+            .gh_quantizer
+            .quantize(h)
+            .map_err(flbooster_core::Error::from)?;
         if packed {
-            let word = Natural::from(qg)
-                .add_ref(&Natural::from(qh).shl_bits(self.gh_slot_bits));
+            let word = Natural::from(qg).add_ref(&Natural::from(qh).shl_bits(self.gh_slot_bits));
             Ok(vec![word])
         } else {
             Ok(vec![Natural::from(qg), Natural::from(qh)])
@@ -220,7 +234,9 @@ impl HeteroSbt {
         // Low-discrepancy stride sample keyed by the node seed.
         let stride = (total / self.max_features_per_node).max(1);
         let offset = (node_seed as usize) % stride.max(1);
-        (0..self.max_features_per_node).map(|j| (offset + j * stride) % total).collect()
+        (0..self.max_features_per_node)
+            .map(|j| (offset + j * stride) % total)
+            .collect()
     }
 
     fn bin_of(&self, shard: usize, feature: usize, row: usize) -> usize {
@@ -240,9 +256,11 @@ impl HeteroSbt {
 
 /// Quantile bin edges for one shard feature (`bins - 1` boundaries).
 fn quantile_edges(shard: &VerticalShard, feature: usize, bins: usize) -> Vec<f64> {
-    let mut values: Vec<f64> =
-        (0..shard.len()).map(|i| feature_value(shard, i, feature)).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    let mut values: Vec<f64> = (0..shard.len())
+        .map(|i| feature_value(shard, i, feature))
+        .collect();
+    // total_cmp orders NaNs deterministically instead of panicking.
+    values.sort_by(|a, b| a.total_cmp(b));
     let mut edges = Vec::with_capacity(bins - 1);
     for b in 1..bins {
         let idx = b * (values.len().saturating_sub(1)) / bins;
@@ -301,7 +319,9 @@ impl FlModel for HeteroSbt {
             plaintexts.extend(self.encode_gh(g[i], h[i], packed)?);
         }
         let seed = cfg.seed ^ ((epoch as u64) << 20);
-        let (gh_cts, t) = he.encrypt_batch(pk, &plaintexts, seed).map_err(flbooster_core::Error::from)?;
+        let (gh_cts, t) = he
+            .encrypt_batch(pk, &plaintexts, seed)
+            .map_err(flbooster_core::Error::from)?;
         breakdown.he_seconds += t.sim_seconds;
         breakdown.he_values += 2 * n as u64;
         breakdown.other_seconds += n as f64 * 4.0e-8; // encode/pack
@@ -309,7 +329,9 @@ impl FlModel for HeteroSbt {
         let gh_bytes: u64 = gh_cts.iter().map(|c| c.wire_size_bytes() as u64).sum();
         let passive = self.shards.len().saturating_sub(1) as u32;
         if passive > 0 {
-            let t = env.network.broadcast(passive, gh_cts.len() as u64, gh_bytes)?;
+            let t = env
+                .network
+                .broadcast(passive, gh_cts.len() as u64, gh_bytes)?;
             breakdown.comm_seconds += t;
             breakdown.comm_bytes += passive as u64 * gh_bytes;
             breakdown.ciphertexts += passive as u64 * gh_cts.len() as u64;
@@ -353,7 +375,10 @@ impl FlModel for HeteroSbt {
         env.charge_local_compute(2 * n as u64, cfg, &mut breakdown);
 
         self.loss = self.global_loss();
-        Ok(EpochResult { breakdown, loss: self.loss })
+        Ok(EpochResult {
+            breakdown,
+            loss: self.loss,
+        })
     }
 }
 
@@ -430,14 +455,15 @@ impl HeteroSbt {
                             groups.push(bucket.iter().map(|&i| ct_of(i).remove(0)).collect());
                         } else {
                             groups.push(bucket.iter().map(|&i| ct_of(i).remove(0)).collect());
-                            groups.push(
-                                bucket.iter().map(|&i| ct_of(i).pop().expect("two cts")).collect(),
-                            );
+                            // Unpacked encryption produced exactly two cts
+                            // per instance; pop() yields the h stream.
+                            groups.push(bucket.iter().filter_map(|&i| ct_of(i).pop()).collect());
                         }
                     }
                 }
-                let (folded, t) =
-                    he.fold_groups(pk, &groups).map_err(flbooster_core::Error::from)?;
+                let (folded, t) = he
+                    .fold_groups(pk, &groups)
+                    .map_err(flbooster_core::Error::from)?;
                 breakdown.he_seconds += t.sim_seconds;
 
                 // Bucket sums travel back to the active party...
@@ -448,8 +474,9 @@ impl HeteroSbt {
                 breakdown.ciphertexts += folded.len() as u64;
 
                 // ...where they are decrypted and decoded.
-                let (words, t) =
-                    he.decrypt_batch(sk, &folded).map_err(flbooster_core::Error::from)?;
+                let (words, t) = he
+                    .decrypt_batch(sk, &folded)
+                    .map_err(flbooster_core::Error::from)?;
                 breakdown.he_seconds += t.sim_seconds;
                 breakdown.he_values += (features.len() * self.bins * 2) as u64;
 
@@ -461,8 +488,7 @@ impl HeteroSbt {
                         } else {
                             &words[gi..gi + 2]
                         };
-                        let (gs, hs) =
-                            self.decode_gh_sum(words_gb, bucket.len() as u32, packed);
+                        let (gs, hs) = self.decode_gh_sum(words_gb, bucket.len() as u32, packed);
                         sums[fi][b] = (gs, hs, bucket.len() as u32);
                     }
                 }
@@ -507,11 +533,7 @@ impl HeteroSbt {
                 }
             }
             // Charge the histogram pass as local compute.
-            env.charge_local_compute(
-                (members.len() * features.len()) as u64 * 3,
-                cfg,
-                breakdown,
-            );
+            env.charge_local_compute((members.len() * features.len()) as u64 * 3, cfg, breakdown);
         }
 
         match best {
@@ -522,12 +544,32 @@ impl HeteroSbt {
             }
             Some(split) => {
                 let left = self.grow(
-                    env, cfg, &split.left, depth + 1, seed.rotate_left(7), g, h, ct_of, packed,
-                    sk, breakdown, leaves,
+                    env,
+                    cfg,
+                    &split.left,
+                    depth + 1,
+                    seed.rotate_left(7),
+                    g,
+                    h,
+                    ct_of,
+                    packed,
+                    sk,
+                    breakdown,
+                    leaves,
                 )?;
                 let right = self.grow(
-                    env, cfg, &split.right, depth + 1, seed.rotate_left(13), g, h, ct_of, packed,
-                    sk, breakdown, leaves,
+                    env,
+                    cfg,
+                    &split.right,
+                    depth + 1,
+                    seed.rotate_left(13),
+                    g,
+                    h,
+                    ct_of,
+                    packed,
+                    sk,
+                    breakdown,
+                    leaves,
                 )?;
                 Ok(TreeNode::Split {
                     shard: split.shard,
@@ -574,7 +616,11 @@ mod tests {
         for e in 0..3 {
             model.run_epoch(&env, &cfg, e).unwrap();
         }
-        assert!(model.loss() < initial - 0.02, "{} vs {initial}", model.loss());
+        assert!(
+            model.loss() < initial - 0.02,
+            "{} vs {initial}",
+            model.loss()
+        );
         assert_eq!(model.trees().len(), 3);
     }
 

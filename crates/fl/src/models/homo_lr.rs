@@ -7,6 +7,9 @@
 //! average, and take the same optimizer step, so all replicas stay
 //! synchronized.
 
+// flcheck: allow-file(pf-index) — gradient/weight buffers are allocated to
+// `num_features` and indexed by validated feature ids.
+
 use crate::data::{horizontal_split, Dataset};
 use crate::metrics::{EpochBreakdown, EpochResult};
 use crate::optim::{Adam, Optimizer};
@@ -122,7 +125,10 @@ impl FlModel for HomoLr {
         }
 
         self.loss = self.global_loss();
-        Ok(EpochResult { breakdown, loss: self.loss })
+        Ok(EpochResult {
+            breakdown,
+            loss: self.loss,
+        })
     }
 }
 
@@ -153,7 +159,11 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 64, max_epochs: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 64,
+            max_epochs: 3,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::FlBooster);
         let mut model = HomoLr::new(&data, 4, &cfg);
         let initial = model.loss();
@@ -170,7 +180,10 @@ mod tests {
     #[test]
     fn epoch_charges_all_components() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 128, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 128,
+            ..TrainConfig::default()
+        };
         let env = env(BackendKind::Fate);
         let mut model = HomoLr::new(&data, 4, &cfg);
         let result = model.run_epoch(&env, &cfg, 0).unwrap();
@@ -179,13 +192,19 @@ mod tests {
         assert!(b.comm_seconds > 0.0, "comm time missing");
         assert!(b.other_seconds > 0.0, "local compute missing");
         assert!(b.comm_bytes > 0 && b.ciphertexts > 0);
-        assert_eq!(b.he_values, 32 * (400_usize.div_ceil(4).div_ceil(128)) as u64);
+        assert_eq!(
+            b.he_values,
+            32 * (400_usize.div_ceil(4).div_ceil(128)) as u64
+        );
     }
 
     #[test]
     fn fate_epoch_slower_than_flbooster() {
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 128, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 128,
+            ..TrainConfig::default()
+        };
         let mut fate_model = HomoLr::new(&data, 4, &cfg);
         let fate_t = fate_model
             .run_epoch(&env(BackendKind::Fate), &cfg, 0)
@@ -208,7 +227,10 @@ mod tests {
     fn weights_identical_across_backends() {
         // Same quantizer and protocol => bit-identical model updates.
         let data = small_dataset();
-        let cfg = TrainConfig { batch_size: 128, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            batch_size: 128,
+            ..TrainConfig::default()
+        };
         let mut w = Vec::new();
         for kind in [BackendKind::Fate, BackendKind::FlBooster] {
             let env = env(kind);

@@ -58,7 +58,10 @@ impl NetworkConfig {
     /// per-object overhead ~5x (calibrated to the Table VI FLBooster
     /// component shares).
     pub fn flbooster_profile() -> Self {
-        NetworkConfig { per_ciphertext_seconds: 8.4e-5, ..Self::fate_profile() }
+        NetworkConfig {
+            per_ciphertext_seconds: 8.4e-5,
+            ..Self::fate_profile()
+        }
     }
 
     /// A lossy variant for failure-injection tests.
@@ -96,7 +99,11 @@ impl Network {
     /// Creates a link with the given profile and a deterministic seed for
     /// loss decisions.
     pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
-        Network { cfg, stats: Mutex::new(NetStats::default()), rng_state: Mutex::new(seed | 1) }
+        Network {
+            cfg,
+            stats: Mutex::new(NetStats::default()),
+            rng_state: Mutex::new(seed | 1),
+        }
     }
 
     /// The link configuration.
@@ -129,7 +136,9 @@ impl Network {
             retries += 1;
             let _ = attempt;
         }
-        Err(Error::NetworkFailure { attempts: self.cfg.max_attempts })
+        Err(Error::NetworkFailure {
+            attempts: self.cfg.max_attempts,
+        })
     }
 
     /// Broadcast: the server sends the same message to `receivers` peers

@@ -5,6 +5,11 @@
 //! batch size is set as 1024, and Adam optimizer is used to train the
 //! models."
 
+// flcheck: allow-file(pf-index) — Adam's moment vectors are resized to
+// `weights.len()` at the top of `step`, bounding every index in the loop.
+// flcheck: allow-file(pf-assert) — the dimension check is the documented
+// `step` contract; silently zipping short would corrupt training.
+
 /// A first-order optimizer stepping dense parameter vectors.
 pub trait Optimizer: Send {
     /// Applies one update: `w <- w - step(grad + l2·w)`.
@@ -26,13 +31,20 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the paper's default L2 = 0.01.
     pub fn new(learning_rate: f64) -> Self {
-        Sgd { learning_rate, l2: 0.01 }
+        Sgd {
+            learning_rate,
+            l2: 0.01,
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, weights: &mut [f64], grads: &[f64]) {
-        assert_eq!(weights.len(), grads.len(), "weight/gradient dimension mismatch");
+        assert_eq!(
+            weights.len(),
+            grads.len(),
+            "weight/gradient dimension mismatch"
+        );
         for (w, &g) in weights.iter_mut().zip(grads) {
             *w -= self.learning_rate * (g + self.l2 * *w);
         }
@@ -77,7 +89,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, weights: &mut [f64], grads: &[f64]) {
-        assert_eq!(weights.len(), grads.len(), "weight/gradient dimension mismatch");
+        assert_eq!(
+            weights.len(),
+            grads.len(),
+            "weight/gradient dimension mismatch"
+        );
         if self.m.len() != weights.len() {
             self.m = vec![0.0; weights.len()];
             self.v = vec![0.0; weights.len()];
@@ -114,7 +130,10 @@ mod tests {
 
     #[test]
     fn sgd_descends_quadratic() {
-        let mut opt = Sgd { learning_rate: 0.1, l2: 0.0 };
+        let mut opt = Sgd {
+            learning_rate: 0.1,
+            l2: 0.0,
+        };
         let mut w = vec![0.0];
         for _ in 0..200 {
             let g = vec![quad_grad(w[0])];
@@ -139,7 +158,10 @@ mod tests {
     fn l2_pulls_towards_zero() {
         // With strong L2 the fixed point moves below the unregularized
         // optimum of 3.0.
-        let mut opt = Sgd { learning_rate: 0.05, l2: 1.0 };
+        let mut opt = Sgd {
+            learning_rate: 0.05,
+            l2: 1.0,
+        };
         let mut w = vec![0.0];
         for _ in 0..500 {
             let g = vec![quad_grad(w[0])];

@@ -82,6 +82,8 @@ impl FlEnv {
         if p == 0 {
             return Ok(Vec::new());
         }
+        // Non-empty: the p == 0 case returned above.
+        // flcheck: allow(pf-index)
         let values = parties[0].len() as u64;
 
         // Parallel client-side encryption: charge one client's share
@@ -112,7 +114,9 @@ impl FlEnv {
         breakdown.he_seconds += agg_t.he_seconds;
 
         // Broadcast the aggregate back to every party.
-        let t = self.network.broadcast(p as u32, agg.ciphertext_count(), agg.bytes())?;
+        let t = self
+            .network
+            .broadcast(p as u32, agg.ciphertext_count(), agg.bytes())?;
         breakdown.comm_seconds += t;
         breakdown.comm_bytes += p as u64 * agg.bytes();
         breakdown.ciphertexts += p as u64 * agg.ciphertext_count();

@@ -13,6 +13,8 @@ pub fn sigmoid(z: f64) -> f64 {
 /// Mean binary cross-entropy of predictions against {0,1} labels,
 /// clamped away from log(0).
 pub fn logloss(predictions: &[f64], labels: &[f64]) -> f64 {
+    // Documented precondition: a shape mismatch is a caller bug.
+    // flcheck: allow(pf-assert)
     assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
     if predictions.is_empty() {
         return 0.0;

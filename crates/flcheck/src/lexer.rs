@@ -1,0 +1,431 @@
+//! Hand-rolled Rust lexer.
+//!
+//! flcheck carries **zero external dependencies** (the build environment
+//! has no registry access), so instead of `syn` it tokenizes Rust source
+//! directly. The lexer understands everything needed to walk real-world
+//! code reliably: line/block comments (nested), string/char/byte/raw-string
+//! literals, lifetimes vs char literals, numeric literals, multi-character
+//! operators, and bracket kinds — each token tagged with its 1-based line.
+//!
+//! Comments are returned out-of-band (they carry `flcheck:` directives);
+//! the token stream itself is comment-free so rules never trip on
+//! violations quoted inside docs.
+
+/// Token kinds relevant to the rule engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String / char / byte literal (contents not preserved).
+    Lit,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Operator or punctuation; multi-character operators are single
+    /// tokens (`==`, `!=`, `<=`, `>=`, `&&`, `||`, `->`, `=>`, `::`,
+    /// `..`, `..=`).
+    Op,
+    /// `(`, `[`, `{`.
+    Open,
+    /// `)`, `]`, `}`.
+    Close,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind tag.
+    pub kind: TokKind,
+    /// Source text (for `Lit`, a placeholder; contents are irrelevant).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the operator/punctuation `s`.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+}
+
+/// A comment with its location (directives are parsed from these).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Comment-free token stream.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs consume to end-of-file rather
+/// than erroring: an analyzer must degrade gracefully on torn input.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let begin = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[begin..i].to_string(),
+                    line: start_line,
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let begin = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(begin);
+                out.comments.push(Comment {
+                    text: src[begin..end].to_string(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                push_tok!(TokKind::Lit, "\"..\"".to_string(), start_line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                push_tok!(TokKind::Lit, "\"..\"".to_string(), start_line);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if let Some(end) = char_literal_end(bytes, i) {
+                    i = end;
+                    push_tok!(TokKind::Lit, "'..'".to_string(), start_line);
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    push_tok!(TokKind::Lifetime, src[i..j].to_string(), start_line);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push_tok!(TokKind::Ident, src[begin..i].to_string(), start_line);
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < bytes.len()
+                    && (is_ident_char(bytes[i]) || bytes[i] == b'.')
+                    && !(bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.'))
+                {
+                    // `1..8` must not swallow the range dots.
+                    i += 1;
+                }
+                push_tok!(TokKind::Num, src[begin..i].to_string(), start_line);
+            }
+            '(' | '[' | '{' => {
+                push_tok!(TokKind::Open, c.to_string(), start_line);
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                push_tok!(TokKind::Close, c.to_string(), start_line);
+                i += 1;
+            }
+            _ => {
+                let two = src.get(i..i + 2).unwrap_or("");
+                let three = src.get(i..i + 3).unwrap_or("");
+                let op = if three == "..=" {
+                    three
+                } else if matches!(
+                    two,
+                    "==" | "!="
+                        | "<="
+                        | ">="
+                        | "&&"
+                        | "||"
+                        | "->"
+                        | "=>"
+                        | "::"
+                        | ".."
+                        | "+="
+                        | "-="
+                        | "*="
+                        | "/="
+                        | "%="
+                        | "^="
+                        | "|="
+                        | "&="
+                        | "<<"
+                        | ">>"
+                ) {
+                    two
+                } else {
+                    &src[i..i + c.len_utf8()]
+                };
+                push_tok!(TokKind::Op, op.to_string(), start_line);
+                i += op.len();
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is `r"`, `r#"`, `br"`, `b"`, `b'`... a raw/byte string starting here?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    j > i && j < bytes.len() && (bytes[j] == b'"' || (bytes[j] == b'\'' && bytes[i] == b'b'))
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        // byte char literal b'x'
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'\\' {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    let mut hashes = 0usize;
+    if i < bytes.len() && bytes[i] == b'r' {
+        i += 1;
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        i += 1;
+        'outer: while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            if bytes[i] == b'"' {
+                let mut k = 0;
+                while k < hashes {
+                    if bytes.get(i + 1 + k) != Some(&b'#') {
+                        i += 1;
+                        continue 'outer;
+                    }
+                    k += 1;
+                }
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Returns the index one past a char literal starting at `i` (which holds
+/// `'`), or `None` when this is a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // escaped char: scan to closing quote
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return if j < bytes.len() { Some(j + 1) } else { None };
+    }
+    // `'x'` — one scalar then a quote. Multi-byte UTF-8 chars allowed.
+    let char_len = utf8_len(bytes[j]);
+    let close = j + char_len;
+    if bytes.get(close) == Some(&b'\'') {
+        // `'a'` is a char literal; but `'a' ` in `x<'a>` can't occur since
+        // lifetimes in angle brackets are not followed by `'`.
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let l = lex("fn a() {} // trailing unwrap()\n/* block\nunwrap */ fn b() {}");
+        assert_eq!(
+            idents("fn a() {} // x\nfn b() {}"),
+            vec!["fn", "a", "fn", "b"]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"call .unwrap() now\"; let r = r\"also.unwrap()\"; \
+                   let h = r#\"hash.unwrap()\"#; let b = b\"byte.unwrap()\";";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let l = lex("a == b && c <= d .. e ..= f");
+        let ops: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Op)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "&&", "<=", "..", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_range_dots() {
+        let l = lex("for i in 0..8 {}");
+        assert!(l.tokens.iter().any(|t| t.is_op("..")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "8"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! flcheck — workspace static analysis for the FLBooster reproduction.
+//!
+//! Federated-learning acceleration lives or dies on its cryptographic
+//! core: the Montgomery/CIOS kernels in `mpint` and the Paillier/RSA
+//! paths in `he` process secret plaintexts and private exponents, the GPU
+//! simulator and pipeline are concurrent, and every library crate is
+//! consumed by long-running training jobs that must not abort mid-epoch.
+//! flcheck enforces three corresponding disciplines with a hand-rolled
+//! lexer and zero external dependencies (the build environment has no
+//! registry access):
+//!
+//! | family          | rules                                                    |
+//! |-----------------|----------------------------------------------------------|
+//! | ct-discipline   | `ct-branch`, `ct-return`, `ct-compare`, `ct-shortcircuit`|
+//! | panic-freedom   | `pf-unwrap`, `pf-expect`, `pf-panic`, `pf-assert`, `pf-index` |
+//! | lock-discipline | `ld-order`, `ld-wait`                                    |
+//!
+//! See [`rules`] for rule semantics and [`source`] for the directive
+//! grammar (`ct-fn` markers, `allow` / `allow-file` suppressions,
+//! `lock-order` declarations).
+//!
+//! The analyzer's own sources are excluded from the default walk: they
+//! discuss directives and violations in documentation and fixtures, and
+//! the tool is a dev-time binary, not part of the library surface.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use report::{Finding, Report};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Library crates subject to the panic-freedom rules. `bench` (a binary
+/// crate), the dependency shims, and flcheck itself are out of scope.
+pub const PANIC_FREEDOM_CRATES: &[&str] = &["mpint", "he", "codec", "core", "fl", "gpu-sim"];
+
+/// Path components that terminate the walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "flcheck", "fixtures"];
+
+/// True when the panic-freedom family applies to this workspace-relative
+/// path (non-test source of a library crate).
+pub fn panic_rules_apply(rel_path: &str) -> bool {
+    PANIC_FREEDOM_CRATES
+        .iter()
+        .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Analyzes one file's source text. `rel_path` selects which rule
+/// families apply (panic-freedom is scoped by crate; ct- and
+/// lock-discipline run everywhere markers/locks appear).
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, src);
+    let mut out = Vec::new();
+    rules::check_ct(&file, &mut out);
+    if panic_rules_apply(rel_path) {
+        rules::check_panics(&file, &mut out);
+    }
+    rules::check_locks(&file, &mut out);
+    out
+}
+
+/// Recursively collects the `.rs` files to analyze under `root`,
+/// workspace-relative, sorted for deterministic reports.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full analysis over a workspace rooted at `root`.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        report.findings.extend(check_file(&rel, &src));
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_scope_is_path_based() {
+        assert!(panic_rules_apply("crates/mpint/src/limb.rs"));
+        assert!(panic_rules_apply("crates/gpu-sim/src/device.rs"));
+        assert!(!panic_rules_apply("crates/bench/src/main.rs"));
+        assert!(!panic_rules_apply("crates/shims/rand/src/lib.rs"));
+        assert!(!panic_rules_apply("src/lib.rs"));
+        assert!(!panic_rules_apply("crates/mpint/tests/props.rs"));
+    }
+
+    #[test]
+    fn check_file_routes_rules_by_path() {
+        let src = "fn f(v: &[u8]) -> u8 { v.first().unwrap(); v[0] }";
+        let in_scope = check_file("crates/he/src/x.rs", src);
+        assert_eq!(in_scope.len(), 2);
+        let out_of_scope = check_file("crates/bench/src/x.rs", src);
+        assert!(out_of_scope.is_empty());
+    }
+}

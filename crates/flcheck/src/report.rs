@@ -1,0 +1,182 @@
+//! Findings and report serialization (human text + hand-rolled JSON —
+//! the crate carries no serde).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `pf-unwrap`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(rule: &str, file: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// A full analysis report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Canonical ordering so output is diff-stable.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Count of findings per rule id.
+    pub fn by_rule(&self) -> BTreeMap<&str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(
+                out,
+                "flcheck: OK — {} files scanned, 0 findings",
+                self.files_scanned
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "flcheck: FAIL — {} finding(s) in {} files scanned",
+                self.findings.len(),
+                self.files_scanned
+            );
+            for (rule, count) in self.by_rule() {
+                let _ = writeln!(out, "  {rule}: {count}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"summary\": {");
+        let _ = write!(out, "\"total\": {}", self.findings.len());
+        for (rule, count) in self.by_rule() {
+            let _ = write!(out, ", {}: {}", json_str(rule), count);
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut r = Report {
+            findings: vec![Finding::new("pf-unwrap", "a \"b\".rs", 3, "line1\nline2")],
+            files_scanned: 2,
+        };
+        r.sort();
+        let j = r.render_json();
+        assert!(j.contains("\"rule\": \"pf-unwrap\""));
+        assert!(j.contains("a \\\"b\\\".rs"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"total\": 1"));
+        assert!(j.contains("\"pf-unwrap\": 1"));
+    }
+
+    #[test]
+    fn sort_is_by_file_line_rule() {
+        let mut r = Report {
+            findings: vec![
+                Finding::new("z", "b.rs", 1, ""),
+                Finding::new("a", "a.rs", 9, ""),
+                Finding::new("a", "a.rs", 2, ""),
+            ],
+            files_scanned: 2,
+        };
+        r.sort();
+        let order: Vec<_> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+    }
+
+    #[test]
+    fn empty_report_renders_ok() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 5,
+        };
+        assert!(r.render_human().contains("OK"));
+        assert!(r.render_json().contains("\"total\": 0"));
+    }
+}

@@ -1,0 +1,613 @@
+//! The three rule families.
+//!
+//! - **ct-discipline** (`ct-branch`, `ct-return`, `ct-compare`,
+//!   `ct-shortcircuit`): inside a function marked `// flcheck: ct-fn`,
+//!   control flow and variable-time comparisons are forbidden — secrets
+//!   may only flow into *data* (masks), never into branch predicates.
+//!   `for` loops are permitted (iteration bounds are public lengths by the
+//!   crate's convention), and anything inside `debug_assert*!` is ignored
+//!   because it is compiled out of release builds. Bare `<` / `>` are not
+//!   flagged (indistinguishable from generics without full parsing); the
+//!   branch rule catches their only dangerous use.
+//! - **panic-freedom** (`pf-unwrap`, `pf-expect`, `pf-panic`, `pf-assert`,
+//!   `pf-index`): forbids panicking constructs in non-test code of the
+//!   library crates. `debug_assert*!` is exempt for the same reason as
+//!   above; `vec![..]` and attributes are not indexing.
+//! - **lock-discipline** (`ld-order`, `ld-wait`): per module, lock
+//!   acquisitions must respect a `// flcheck: lock-order(a < b)`
+//!   declaration and must not contradict each other across functions; a
+//!   `let`-bound guard must not stay live across a blocking `.recv()` /
+//!   `.join()`. Lock identity is the receiver field name, scoped to the
+//!   file (cross-module deadlock analysis is out of static scope).
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+use crate::source::{match_brace, SourceFile};
+use std::collections::BTreeMap;
+
+/// Runs the ct-discipline family over every `ct-fn` in the file.
+pub fn check_ct(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in file.fns.iter().filter(|f| f.is_ct) {
+        let toks = &file.tokens;
+        let mut i = f.body_start;
+        while i < f.body_end {
+            if let Some(skip) = debug_assert_span(toks, i) {
+                i = skip;
+                continue;
+            }
+            let t = &toks[i];
+            let mut emit = |rule: &str, msg: String| {
+                if !file.is_allowed(rule, t.line) {
+                    out.push(Finding::new(rule, &file.rel_path, t.line, msg));
+                }
+            };
+            match t.kind {
+                TokKind::Ident => match t.text.as_str() {
+                    "if" | "while" | "match" => emit(
+                        "ct-branch",
+                        format!(
+                            "`{}` in constant-time fn `{}`: control flow must not \
+                             depend on secret data",
+                            t.text, f.name
+                        ),
+                    ),
+                    "return" => emit(
+                        "ct-return",
+                        format!(
+                            "early `return` in constant-time fn `{}`: exit points \
+                             must not depend on secret data",
+                            f.name
+                        ),
+                    ),
+                    "cmp" | "partial_cmp" | "eq" | "ne" | "min" | "max"
+                        if is_method_call(toks, i) =>
+                    {
+                        emit(
+                            "ct-compare",
+                            format!(
+                                "variable-time `.{}()` in constant-time fn `{}`: use \
+                                 the masked helpers from mpint::ct",
+                                t.text, f.name
+                            ),
+                        )
+                    }
+                    _ => {}
+                },
+                TokKind::Op => match t.text.as_str() {
+                    "&&" | "||" => emit(
+                        "ct-shortcircuit",
+                        format!(
+                            "short-circuit `{}` in constant-time fn `{}`: evaluates \
+                             its right side conditionally; use `&`/`|` on masks",
+                            t.text, f.name
+                        ),
+                    ),
+                    "==" | "!=" | "<=" | ">=" => emit(
+                        "ct-compare",
+                        format!(
+                            "variable-time comparison `{}` in constant-time fn `{}`: \
+                             comparisons on secret limbs must go through mpint::ct",
+                            t.text, f.name
+                        ),
+                    ),
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Identifiers that start a panicking macro.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Release-mode assertion macros (debug_assert* is exempt).
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+/// Keywords that may legally precede a `[` without it being an indexing
+/// expression (array literals, returns of arrays, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "in", "if", "else", "match", "loop", "while", "for", "move", "break", "continue",
+    "as", "let", "mut", "ref", "where", "unsafe", "dyn", "impl", "const", "static", "type", "fn",
+    "use", "pub", "enum", "struct", "trait", "mod",
+];
+
+/// Runs the panic-freedom family over the non-test code of a file.
+pub fn check_panics(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.in_test_region(i) {
+            i += 1;
+            continue;
+        }
+        if let Some(skip) = debug_assert_span(toks, i) {
+            i = skip;
+            continue;
+        }
+        let t = &toks[i];
+        let mut emit = |rule: &str, msg: String| {
+            if !file.is_allowed(rule, t.line) {
+                out.push(Finding::new(rule, &file.rel_path, t.line, msg));
+            }
+        };
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" && is_method_call(toks, i) => emit(
+                "pf-unwrap",
+                "`.unwrap()` in library code: propagate a typed error instead".into(),
+            ),
+            TokKind::Ident if t.text == "expect" && is_method_call(toks, i) => emit(
+                "pf-expect",
+                "`.expect()` in library code: propagate a typed error instead".into(),
+            ),
+            TokKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) && is_macro_bang(toks, i) => {
+                emit(
+                    "pf-panic",
+                    format!("`{}!` in library code: return an error instead", t.text),
+                )
+            }
+            TokKind::Ident
+                if ASSERT_MACROS.contains(&t.text.as_str()) && is_macro_bang(toks, i) =>
+            {
+                emit(
+                    "pf-assert",
+                    format!(
+                        "`{}!` in library code: use debug_assert or a typed error \
+                         (allow with a justification for documented preconditions)",
+                        t.text
+                    ),
+                )
+            }
+            TokKind::Open if t.text == "[" && is_indexing(toks, i) => emit(
+                "pf-index",
+                "slice indexing can panic: prefer `.get()` or justify bounds with \
+                 an allow"
+                    .into(),
+            ),
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// One lock acquisition site inside a function.
+#[derive(Debug)]
+struct Acquisition {
+    /// Receiver field name (`stats` in `self.stats.lock()`).
+    name: String,
+    line: u32,
+    /// Token index of the method identifier.
+    idx: usize,
+    /// Variable the guard is bound to, when `let`-bound.
+    guard_var: Option<String>,
+}
+
+/// Runs the lock-discipline family over a file.
+pub fn check_locks(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Declared partial order: (earlier, later) pairs from lock-order chains.
+    let mut declared: Vec<(String, String)> = Vec::new();
+    for chain in &file.lock_orders {
+        for i in 0..chain.len() {
+            for j in i + 1..chain.len() {
+                declared.push((chain[i].clone(), chain[j].clone()));
+            }
+        }
+    }
+    // Observed edges across the whole file: (a, b) -> first site, meaning
+    // some function acquired `a` then `b`.
+    let mut observed: BTreeMap<(String, String), (u32, String)> = BTreeMap::new();
+
+    for f in &file.fns {
+        let acqs = find_acquisitions(file, f.body_start, f.body_end);
+        // Order checks: every earlier-vs-later pair of distinct locks.
+        for i in 0..acqs.len() {
+            for j in i + 1..acqs.len() {
+                let (a, b) = (&acqs[i], &acqs[j]);
+                if a.name == b.name {
+                    continue;
+                }
+                if declared.iter().any(|(x, y)| *x == b.name && *y == a.name)
+                    && !file.is_allowed("ld-order", b.line)
+                {
+                    out.push(Finding::new(
+                        "ld-order",
+                        &file.rel_path,
+                        b.line,
+                        format!(
+                            "lock `{}` acquired after `{}` in `{}`, but the declared \
+                             order is `{} < {}`",
+                            b.name, a.name, f.name, b.name, a.name
+                        ),
+                    ));
+                }
+                observed
+                    .entry((a.name.clone(), b.name.clone()))
+                    .or_insert((a.line, f.name.clone()));
+            }
+        }
+        // Guard-across-wait checks.
+        for a in &acqs {
+            let Some(var) = &a.guard_var else { continue };
+            if let Some((line, what)) = wait_while_guard_live(file, a, f.body_end) {
+                if !file.is_allowed("ld-wait", line) {
+                    out.push(Finding::new(
+                        "ld-wait",
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "guard `{var}` (lock `{}`) held across blocking \
+                             `.{what}()` in `{}`: drop the guard first",
+                            a.name, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Cross-function inconsistency: both a->b and b->a observed, neither
+    // direction declared (declared conflicts were already reported above).
+    for ((a, b), (line, func)) in &observed {
+        if a < b {
+            continue; // report each unordered pair once, at the b->a site
+        }
+        if let Some((line2, func2)) = observed.get(&(b.clone(), a.clone())) {
+            let declared_any = declared
+                .iter()
+                .any(|(x, y)| (x == a && y == b) || (x == b && y == a));
+            if !declared_any && !file.is_allowed("ld-order", *line) {
+                out.push(Finding::new(
+                    "ld-order",
+                    &file.rel_path,
+                    *line,
+                    format!(
+                        "inconsistent lock order: `{func}` acquires `{a}` then `{b}` \
+                         (line {line}), but `{func2}` acquires `{b}` then `{a}` \
+                         (line {line2}); declare a lock-order and normalize"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Collects lock acquisitions (`.lock()` / `.read()` / `.write()` with no
+/// arguments) in a token range.
+fn find_acquisitions(file: &SourceFile, start: usize, end: usize) -> Vec<Acquisition> {
+    let toks = &file.tokens;
+    let mut acqs = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !matches!(t.text.as_str(), "lock" | "read" | "write")
+            || !is_method_call(toks, i)
+        {
+            continue;
+        }
+        // Zero-argument call only: `lock()`, not `read(buf)`.
+        if toks.get(i + 2).map(|t| t.text.as_str()) != Some(")") {
+            continue;
+        }
+        let Some(name) = receiver_name(toks, i) else {
+            continue;
+        };
+        acqs.push(Acquisition {
+            name,
+            line: t.line,
+            idx: i,
+            guard_var: guard_binding(toks, i),
+        });
+    }
+    acqs
+}
+
+/// Walks back over `recv . field . method` chains to name the lock: the
+/// identifier immediately left of the final `.`.
+fn receiver_name(toks: &[Token], method_idx: usize) -> Option<String> {
+    // toks[method_idx - 1] is the `.`; the receiver ends at method_idx - 2.
+    let mut k = method_idx.checked_sub(2)?;
+    if toks[k].kind == TokKind::Close {
+        // `foo(..).lock()` — name by the call's function identifier.
+        let close = &toks[k].text;
+        let open = match close.as_str() {
+            ")" => "(",
+            "]" => "[",
+            _ => return None,
+        };
+        let mut depth = 0i32;
+        loop {
+            match toks[k].text.as_str() {
+                t if t == close.as_str() => depth += 1,
+                t if t == open => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k = k.checked_sub(1)?;
+        }
+        k = k.checked_sub(1)?;
+    }
+    (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone())
+}
+
+/// When the statement containing token `i` is `let [mut] NAME = ...`,
+/// returns NAME — i.e. the guard outlives the statement.
+fn guard_binding(toks: &[Token], i: usize) -> Option<String> {
+    // Scan back to the start of the statement.
+    let mut k = i;
+    while k > 0 {
+        let t = &toks[k - 1];
+        if (t.kind == TokKind::Op && t.text == ";") || t.text == "{" || t.text == "}" {
+            break;
+        }
+        k -= 1;
+    }
+    if !toks.get(k)?.is_ident("let") {
+        return None;
+    }
+    let mut j = k + 1;
+    if toks.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?;
+    (name.kind == TokKind::Ident).then(|| name.text.clone())
+}
+
+/// Scans forward from a guard's acquisition for a blocking call while the
+/// guard is live (until its enclosing block closes or `drop(guard)`).
+fn wait_while_guard_live(
+    file: &SourceFile,
+    acq: &Acquisition,
+    fn_end: usize,
+) -> Option<(u32, String)> {
+    let toks = &file.tokens;
+    let var = acq.guard_var.as_deref()?;
+    let mut depth = 0i32;
+    let mut i = acq.idx;
+    while i < fn_end.min(toks.len()) {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Open if t.text == "{" => depth += 1,
+            TokKind::Close if t.text == "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // guard's block closed
+                }
+            }
+            TokKind::Ident if t.text == "drop" => {
+                // `drop(var)` releases the guard early.
+                if toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                    && toks.get(i + 2).is_some_and(|t| t.is_ident(var))
+                    && toks.get(i + 3).map(|t| t.text.as_str()) == Some(")")
+                {
+                    return None;
+                }
+            }
+            TokKind::Ident
+                if matches!(t.text.as_str(), "recv" | "recv_timeout" | "join")
+                    && is_method_call(toks, i) =>
+            {
+                return Some((t.line, t.text.clone()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `.name(` — an identifier preceded by `.` and followed by `(`.
+fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_op(".") && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+}
+
+/// `name!(` / `name![` / `name!{` — a macro invocation.
+fn is_macro_bang(toks: &[Token], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_op("!"))
+        && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Open)
+}
+
+/// Is the `[` at index `i` an indexing expression? True when preceded by a
+/// non-keyword identifier, a closing bracket, or `?` — i.e. an expression
+/// that produces a value being indexed.
+fn is_indexing(toks: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|k| &toks[k]) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Close => prev.text == ")" || prev.text == "]",
+        TokKind::Op => prev.text == "?",
+        _ => false,
+    }
+}
+
+/// When `i` starts a `debug_assert*!(...)` invocation, returns the index
+/// one past its closing delimiter.
+fn debug_assert_span(toks: &[Token], i: usize) -> Option<usize> {
+    let t = &toks[i];
+    if t.kind == TokKind::Ident
+        && t.text.starts_with("debug_assert")
+        && toks.get(i + 1).is_some_and(|t| t.is_op("!"))
+        && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Open)
+    {
+        Some(match_brace(toks, i + 2))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<(String, u32)> {
+        let file = SourceFile::parse("crates/mpint/src/x.rs", src);
+        let mut out = Vec::new();
+        check_ct(&file, &mut out);
+        check_panics(&file, &mut out);
+        check_locks(&file, &mut out);
+        out.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn ct_rules_fire_only_in_marked_fns() {
+        let src = "\
+fn free(x: u64) -> u64 { if x == 0 { 1 } else { 0 } }
+// flcheck: ct-fn
+fn masked(x: u64) -> u64 {
+    if x == 0 { return 1; }
+    x
+}
+";
+        let got = findings(src);
+        assert!(got.contains(&("ct-branch".into(), 4)));
+        assert!(got.contains(&("ct-compare".into(), 4)));
+        assert!(got.contains(&("ct-return".into(), 4)));
+        assert!(!got.iter().any(|(r, l)| r.starts_with("ct-") && *l == 1));
+    }
+
+    #[test]
+    fn ct_ignores_debug_assert() {
+        let src = "// flcheck: ct-fn\nfn m(x: u64) { debug_assert!(x == 0 && x <= 1); }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn ct_flags_shortcircuit_and_cmp_method() {
+        let src =
+            "// flcheck: ct-fn\nfn m(a: u64, b: u64) -> bool { a.cmp(&b); a != 0 && b != 0 }\n";
+        let got = findings(src);
+        assert!(got.contains(&("ct-compare".into(), 2)));
+        assert!(got.contains(&("ct-shortcircuit".into(), 2)));
+    }
+
+    #[test]
+    fn pf_rules_and_test_exemption() {
+        let src = "\
+fn lib(v: Vec<u8>) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.iter().next().expect(\"x\");
+    if v.is_empty() { panic!(\"boom\"); }
+    assert!(*a > 0);
+    v[0]
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); assert_eq!(1, 1); }
+}
+";
+        let got = findings(src);
+        assert!(got.contains(&("pf-unwrap".into(), 2)));
+        assert!(got.contains(&("pf-expect".into(), 3)));
+        assert!(got.contains(&("pf-panic".into(), 4)));
+        assert!(got.contains(&("pf-assert".into(), 5)));
+        assert!(got.contains(&("pf-index".into(), 6)));
+        assert!(
+            !got.iter().any(|(_, l)| *l >= 8),
+            "test module is exempt: {got:?}"
+        );
+    }
+
+    #[test]
+    fn pf_index_skips_macros_attrs_and_literals() {
+        let src = "\
+#[derive(Clone)]
+fn f() -> [u8; 2] {
+    let v = vec![1, 2];
+    let arr: [u8; 2] = [0; 2];
+    return [1, 2];
+}
+";
+        let got = findings(src);
+        assert!(!got.iter().any(|(r, _)| r == "pf-index"), "{got:?}");
+    }
+
+    #[test]
+    fn pf_unwrap_does_not_match_unwrap_or() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "\
+fn f(v: &[u8]) -> u8 {
+    // flcheck: allow(pf-index)
+    v[0]
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn ld_order_against_declaration() {
+        let src = "\
+// flcheck: lock-order(memory < stats)
+fn good(&self) {
+    let m = self.memory.lock();
+    let s = self.stats.lock();
+}
+fn bad(&self) {
+    let s = self.stats.lock();
+    let m = self.memory.lock();
+}
+";
+        let got = findings(src);
+        assert_eq!(
+            got.iter()
+                .filter(|(r, _)| r == "ld-order")
+                .collect::<Vec<_>>(),
+            vec![&("ld-order".to_string(), 8)]
+        );
+    }
+
+    #[test]
+    fn ld_order_cross_function_inconsistency() {
+        let src = "\
+fn a(&self) { self.x.lock().touch(); self.y.lock().touch(); }
+fn b(&self) { self.y.lock().touch(); self.x.lock().touch(); }
+";
+        let got = findings(src);
+        assert_eq!(got.iter().filter(|(r, _)| r == "ld-order").count(), 1);
+    }
+
+    #[test]
+    fn ld_wait_guard_across_recv() {
+        let src = "\
+fn f(&self) {
+    let g = self.state.lock();
+    let msg = self.rx.recv();
+}
+fn ok(&self) {
+    let g = self.state.lock();
+    drop(g);
+    let msg = self.rx.recv();
+}
+fn scoped(&self) {
+    { let g = self.state.lock(); }
+    let msg = self.rx.recv();
+}
+";
+        let got = findings(src);
+        let waits: Vec<_> = got.iter().filter(|(r, _)| r == "ld-wait").collect();
+        assert_eq!(waits, vec![&("ld-wait".to_string(), 3)]);
+    }
+
+    #[test]
+    fn ld_transient_chained_guard_is_not_held() {
+        let src = "fn f(&self) { self.stats.lock().bump(); self.rx.recv(); }";
+        assert!(findings(src).iter().all(|(r, _)| r != "ld-wait"));
+    }
+
+    #[test]
+    fn ld_read_with_args_is_not_a_lock() {
+        let src = "fn f(&self) { self.file.read(buf); self.rw.read(); self.rx.recv(); }";
+        let got = findings(src);
+        // `rw.read()` is a lock acquisition but transient; `file.read(buf)` is IO.
+        assert!(got.iter().all(|(r, _)| r != "ld-wait"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Per-file source model: lexed tokens plus parsed `flcheck:` directives,
+//! extracted function spans, and `#[cfg(test)]` / `#[test]` regions.
+//!
+//! Directive grammar (inside any `//` or `/* */` comment):
+//!
+//! ```text
+//! flcheck: ct-fn                      mark the next `fn` as a constant-time region
+//! flcheck: allow(rule-a, rule-b)      suppress rules on this line and the next
+//! flcheck: allow-file(rule-a)         suppress a rule for the whole file
+//! flcheck: lock-order(a < b < c)      declare a canonical lock acquisition order
+//! ```
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{` (exclusive of the brace).
+    pub body_start: usize,
+    /// Token index of the matching `}` (exclusive).
+    pub body_end: usize,
+    /// Marked with `// flcheck: ct-fn`.
+    pub is_ct: bool,
+}
+
+/// A fully analyzed source file, ready for the rule passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (forward slashes).
+    pub rel_path: String,
+    /// Comment-free token stream.
+    pub tokens: Vec<Token>,
+    /// Per-line rule suppressions: line -> set of rule ids.
+    pub allow_lines: BTreeMap<u32, BTreeSet<String>>,
+    /// File-wide rule suppressions.
+    pub allow_file: BTreeSet<String>,
+    /// Declared lock-order chains, e.g. `["memory", "stats"]`.
+    pub lock_orders: Vec<Vec<String>>,
+    /// Extracted function spans (including `is_ct` marking).
+    pub fns: Vec<FnSpan>,
+    /// Token-index ranges `[start, end)` that belong to test code.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens: lexed.tokens,
+            allow_lines: BTreeMap::new(),
+            allow_file: BTreeSet::new(),
+            lock_orders: Vec::new(),
+            fns: Vec::new(),
+            test_regions: Vec::new(),
+        };
+        let ct_marker_lines = file.parse_directives(&lexed.comments);
+        file.extract_fns(&ct_marker_lines);
+        file.extract_test_regions();
+        file
+    }
+
+    /// True when `rule` is suppressed at `line` (by a line allow on the
+    /// same or the preceding line, or by a file-wide allow).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        if self.allow_file.contains(rule) {
+            return true;
+        }
+        self.allow_lines
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule))
+    }
+
+    /// True when token index `idx` falls inside a test region.
+    pub fn in_test_region(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Parses all directives out of the comments; returns the lines that
+    /// carry `ct-fn` markers.
+    fn parse_directives(&mut self, comments: &[Comment]) -> Vec<u32> {
+        let mut ct_lines = Vec::new();
+        for c in comments {
+            // Anchor at the start (after doc-comment markers) so prose that
+            // merely *mentions* a directive does not register one.
+            let anchored = c
+                .text
+                .trim_start_matches(|ch| matches!(ch, '!' | '/' | ' ' | '\t'));
+            let Some(body) = anchored.strip_prefix("flcheck:") else {
+                continue;
+            };
+            let body = body.trim();
+            if body.starts_with("ct-fn") {
+                ct_lines.push(c.line);
+            } else if let Some(args) = strip_call(body, "allow-file") {
+                for rule in args.split(',') {
+                    self.allow_file.insert(rule.trim().to_string());
+                }
+            } else if let Some(args) = strip_call(body, "allow") {
+                for rule in args.split(',') {
+                    let rule = rule.trim().to_string();
+                    // Applies to the comment's own line (trailing comment)
+                    // and the next line (standalone comment above code).
+                    for line in [c.line, c.line + 1] {
+                        self.allow_lines
+                            .entry(line)
+                            .or_default()
+                            .insert(rule.clone());
+                    }
+                }
+            } else if let Some(args) = strip_call(body, "lock-order") {
+                let chain: Vec<String> = args.split('<').map(|s| s.trim().to_string()).collect();
+                if chain.len() >= 2 && chain.iter().all(|s| !s.is_empty()) {
+                    self.lock_orders.push(chain);
+                }
+            }
+        }
+        ct_lines
+    }
+
+    /// Walks the token stream extracting `fn` items and their body spans.
+    fn extract_fns(&mut self, ct_marker_lines: &[u32]) {
+        let toks = &self.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !toks[i].is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            let fn_line = toks[i].line;
+            // Name is the next identifier (skips nothing in practice).
+            let Some(name_idx) = toks[i + 1..]
+                .iter()
+                .position(|t| t.kind == TokKind::Ident)
+                .map(|p| p + i + 1)
+            else {
+                break;
+            };
+            let name = toks[name_idx].text.clone();
+            // Find the body's `{`: the first brace at zero paren/bracket
+            // depth after the signature. A `;` first means a trait method
+            // declaration or extern item — no body.
+            let mut depth = 0i32;
+            let mut j = name_idx + 1;
+            let mut body = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.kind {
+                    TokKind::Open if t.text != "{" => depth += 1,
+                    TokKind::Close if t.text != "}" => depth -= 1,
+                    TokKind::Open if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Op if t.text == ";" && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(body_start) = body else {
+                i = j.max(i + 1);
+                continue;
+            };
+            let body_end = match_brace(toks, body_start);
+            self.fns.push(FnSpan {
+                name,
+                line: fn_line,
+                body_start: body_start + 1,
+                body_end,
+                is_ct: false,
+            });
+            i = body_start + 1; // nested fns get their own entries
+        }
+        // A ct-fn marker applies to the first fn that starts after it.
+        for &marker in ct_marker_lines {
+            if let Some(f) = self
+                .fns
+                .iter_mut()
+                .filter(|f| f.line > marker)
+                .min_by_key(|f| f.line)
+            {
+                f.is_ct = true;
+            }
+        }
+    }
+
+    /// Finds `#[cfg(test)] mod .. { .. }` blocks and `#[test] fn` /
+    /// `#[cfg(test)] fn` bodies.
+    fn extract_test_regions(&mut self) {
+        let toks = &self.tokens;
+        let mut i = 0usize;
+        while i + 2 < toks.len() {
+            if !(toks[i].is_op("#") && toks[i + 1].text == "[") {
+                i += 1;
+                continue;
+            }
+            let attr_end = match_brace(toks, i + 1); // index past `]`
+            let inner: Vec<&str> = toks[i + 2..attr_end.saturating_sub(1)]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr = inner == ["test"]
+                || (inner.len() >= 4
+                    && inner[0] == "cfg"
+                    && inner.contains(&"test")
+                    && !inner.contains(&"not"));
+            if !is_test_attr {
+                i = attr_end;
+                continue;
+            }
+            // Skip any further attributes between this one and the item.
+            let mut k = attr_end;
+            while k + 1 < toks.len() && toks[k].is_op("#") && toks[k + 1].text == "[" {
+                k = match_brace(toks, k + 1);
+            }
+            // Find the item's opening `{` (mod body or fn body); a `;`
+            // first (e.g. `#[cfg(test)] use ...;`) means no region.
+            let mut depth = 0i32;
+            let mut open = None;
+            while k < toks.len() {
+                let t = &toks[k];
+                match t.kind {
+                    TokKind::Open if t.text != "{" => depth += 1,
+                    TokKind::Close if t.text != "}" => depth -= 1,
+                    TokKind::Open if depth == 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    TokKind::Op if t.text == ";" && depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(toks, open);
+                self.test_regions.push((i, close));
+                i = close;
+            } else {
+                i = k.max(attr_end);
+            }
+        }
+    }
+}
+
+/// `strip_call("allow(a, b) trailing", "allow")` -> `Some("a, b")`.
+fn strip_call<'a>(body: &'a str, name: &str) -> Option<&'a str> {
+    let rest = body.strip_prefix(name)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.split(')').next()
+}
+
+/// Given the index of an `Open` token, returns the index one past its
+/// matching `Close` (or `tokens.len()` when unbalanced).
+pub fn match_brace(tokens: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, t) in tokens[open_idx..].iter().enumerate() {
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => {
+                depth -= 1;
+                if depth == 0 {
+                    return open_idx + off + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directives_parse() {
+        let src = "\
+// flcheck: allow-file(pf-index)
+// flcheck: lock-order(memory < stats)
+fn a() {
+    x.unwrap(); // flcheck: allow(pf-unwrap)
+}
+// flcheck: ct-fn
+fn b() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allow_file.contains("pf-index"));
+        assert_eq!(
+            f.lock_orders,
+            vec![vec!["memory".to_string(), "stats".to_string()]]
+        );
+        assert!(f.is_allowed("pf-unwrap", 4));
+        assert!(!f.is_allowed("pf-unwrap", 3));
+        let b = f.fns.iter().find(|f| f.name == "b").expect("fn b");
+        assert!(b.is_ct);
+        let a = f.fns.iter().find(|f| f.name == "a").expect("fn a");
+        assert!(!a.is_ct);
+    }
+
+    #[test]
+    fn allow_applies_to_next_line() {
+        let src = "fn a() {\n    // flcheck: allow(ct-compare)\n    let x = 1 == 2;\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("ct-compare", 3));
+        assert!(!f.is_allowed("ct-compare", 4));
+    }
+
+    #[test]
+    fn ct_marker_skips_attributes() {
+        let src = "// flcheck: ct-fn\n#[inline]\n#[must_use]\npub fn masked() -> u64 { 0 }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].is_ct);
+    }
+
+    #[test]
+    fn fn_bodies_are_spanned() {
+        let src = "fn outer(a: (u8, u8)) -> u8 { inner() } fn two() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "outer");
+        let body: Vec<_> = f.tokens[f.fns[0].body_start..f.fns[0].body_end - 1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, vec!["inner", "(", ")"]);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self) -> u8; fn with_default(&self) { body() } }";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<_> = f.fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "\
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+";
+        let f = SourceFile::parse("x.rs", src);
+        // One region: the outer mod subsumes the inner #[test] fn.
+        assert_eq!(f.test_regions.len(), 1);
+        let unwraps: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !f.in_test_region(unwraps[0]),
+            "library unwrap is not in a test"
+        );
+        assert!(f.in_test_region(unwraps[1]), "test unwrap is in a region");
+    }
+
+    #[test]
+    fn cfg_test_attr_with_following_attrs() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn f() {} }\nfn real() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions.len(), 1);
+        let real_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("real"))
+            .expect("real");
+        assert!(!f.in_test_region(real_idx));
+    }
+
+    #[test]
+    fn cfg_test_use_has_no_region() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn f() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.test_regions.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Fixture-based end-to-end tests.
+//!
+//! Each fixture under `tests/fixtures/` is analyzed through
+//! [`flcheck::check_file`] with a synthetic workspace path (the path
+//! selects which rule families apply), and the findings are compared
+//! against exact `(rule, line)` pairs. The `fixtures` directory is in
+//! the walker's skip list, so these files never leak into a real scan —
+//! they also need not compile.
+
+use flcheck::check_file;
+
+fn rules_and_lines(path: &str, src: &str) -> Vec<(String, u32)> {
+    check_file(path, src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn ct_fixture_fires_every_ct_rule_at_exact_lines() {
+    let src = include_str!("fixtures/ct_violations.rs");
+    let got = rules_and_lines("crates/mpint/src/ct_fixture.rs", src);
+    let want: Vec<(String, u32)> = [
+        ("ct-branch", 5),       // `if` on the secret
+        ("ct-compare", 5),      // `==` in its predicate
+        ("ct-return", 6),       // early exit
+        ("ct-compare", 8),      // `!=`
+        ("ct-shortcircuit", 8), // `&&`
+        ("ct-compare", 9),      // `.min()`
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn ct_findings_carry_the_given_path() {
+    let src = include_str!("fixtures/ct_violations.rs");
+    let findings = check_file("crates/mpint/src/ct_fixture.rs", src);
+    assert!(!findings.is_empty());
+    for f in &findings {
+        assert_eq!(f.file, "crates/mpint/src/ct_fixture.rs");
+    }
+}
+
+#[test]
+fn pf_fixture_fires_every_panic_rule_at_exact_lines() {
+    let src = include_str!("fixtures/pf_violations.rs");
+    let got = rules_and_lines("crates/he/src/pf_fixture.rs", src);
+    let want: Vec<(String, u32)> = [
+        ("pf-unwrap", 4),
+        ("pf-expect", 5),
+        ("pf-assert", 6),
+        ("pf-panic", 8),
+        ("pf-index", 10),
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, want, "test-module panics must stay exempt");
+}
+
+#[test]
+fn pf_rules_do_not_apply_outside_library_crates() {
+    let src = include_str!("fixtures/pf_violations.rs");
+    // The bench binary and tool sources are out of panic-freedom scope.
+    assert_eq!(rules_and_lines("src/bin/bench_fixture.rs", src), vec![]);
+}
+
+#[test]
+fn ld_fixture_fires_order_and_wait_rules() {
+    let src = include_str!("fixtures/ld_violations.rs");
+    let got = rules_and_lines("src/ld_fixture.rs", src);
+    let want: Vec<(String, u32)> = [
+        ("ld-order", 13), // `table` taken after `counters` against the order
+        ("ld-wait", 19),  // guard live across `.recv()`
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn allow_directives_suppress_every_family() {
+    let src = include_str!("fixtures/allowed_clean.rs");
+    // Same violation shapes as the other fixtures, each covered by an
+    // allow / allow-file directive — and in full panic-freedom scope.
+    assert_eq!(
+        rules_and_lines("crates/he/src/allowed_fixture.rs", src),
+        vec![]
+    );
+}
+
+#[test]
+fn walker_skips_the_fixture_directory() {
+    let tests_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let files = flcheck::collect_files(&tests_dir).expect("walk tests dir");
+    assert!(
+        files
+            .iter()
+            .all(|p| !p.to_string_lossy().contains("fixtures/")),
+        "fixtures must be excluded from the walk, got {files:?}"
+    );
+}

@@ -1,0 +1,49 @@
+//! Fixture: allow directives suppress every finding the sibling
+//! fixtures raise.
+
+// flcheck: allow-file(pf-index)
+// flcheck: lock-order(table < counters)
+
+// flcheck: ct-fn
+pub fn masked_select(secret: u64, a: u64, b: u64) -> u64 {
+    // flcheck: allow(ct-branch, ct-compare)
+    if secret == 1 {
+        // flcheck: allow(ct-return)
+        return a;
+    }
+    // flcheck: allow(ct-compare, ct-shortcircuit)
+    let both = secret != 0 && a < b;
+    let _ = both;
+    b
+}
+
+pub fn checked(xs: &[u64]) -> u64 {
+    // flcheck: allow(pf-unwrap)
+    let head = xs.first().unwrap();
+    // flcheck: allow(pf-expect)
+    let tail = xs.last().expect("non-empty");
+    // flcheck: allow(pf-assert)
+    assert!(xs.len() > 1, "need two");
+    head + tail + xs[0]
+}
+
+pub struct Dev {
+    table: Mutex<u64>,
+    counters: Mutex<u64>,
+}
+
+impl Dev {
+    pub fn backwards(&self) -> u64 {
+        let c = self.counters.lock();
+        // flcheck: allow(ld-order)
+        let t = self.table.lock();
+        *c + *t
+    }
+
+    pub fn waits(&self, rx: &Receiver<u64>) -> u64 {
+        let g = self.table.lock();
+        // flcheck: allow(ld-wait)
+        let v = rx.recv();
+        *g + v
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every ct-discipline rule fires inside a marked function.
+
+// flcheck: ct-fn
+pub fn leaky_select(secret: u64, a: u64, b: u64) -> u64 {
+    if secret == 1 {
+        return a;
+    }
+    let both = secret != 0 && a < b;
+    let m = a.min(b);
+    let _ = both;
+    m
+}
+
+/// Unmarked twin: the ct-fn marker must not bleed past one function.
+pub fn public_select(flag: u64, a: u64, b: u64) -> u64 {
+    if flag == 1 {
+        a
+    } else {
+        b
+    }
+}

@@ -1,4 +1,9 @@
 //! The simulated device: kernel launches, transfers, and accounting.
+//!
+//! Lock discipline: the memory table is always acquired before the stats
+//! accumulator so the two can never deadlock against each other.
+
+// flcheck: lock-order(memory < stats)
 
 use std::time::Instant;
 
@@ -44,7 +49,11 @@ impl Device {
     /// Creates a device with an explicit resource manager (used by the
     /// resource-manager ablation bench).
     pub fn with_manager(config: DeviceConfig, manager: ResourceManager) -> Self {
-        let heap = if config.name == "test-tiny" { 1 << 20 } else { DEFAULT_HEAP_BYTES };
+        let heap = if config.name == "test-tiny" {
+            1 << 20
+        } else {
+            DEFAULT_HEAP_BYTES
+        };
         Device {
             config,
             manager,
@@ -161,8 +170,10 @@ impl Device {
 
     /// Snapshot of accumulated statistics (memory counters refreshed).
     pub fn stats(&self) -> DeviceStats {
+        // Declared order: memory before stats.
+        let memory = self.memory.lock().counters();
         let mut s = self.stats.lock().clone();
-        s.memory = self.memory.lock().counters();
+        s.memory = memory;
         s
     }
 
@@ -188,8 +199,9 @@ mod tests {
     fn launch_returns_outputs_in_order() {
         let d = device();
         let items: Vec<u64> = (0..100).collect();
-        let (out, report) =
-            d.launch(&spec(), &items, 800, 800, |_, &x| ItemOutcome::new(x * x, 1));
+        let (out, report) = d.launch(&spec(), &items, 800, 800, |_, &x| {
+            ItemOutcome::new(x * x, 1)
+        });
         assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
         assert_eq!(report.items, 100);
         assert_eq!(report.total_thread_ops, 100);
@@ -218,7 +230,10 @@ mod tests {
         let (_, rl) = d.launch(&spec(), &large, 0, 0, |_, _| ItemOutcome::new((), 1000));
         // 1024x the work but only ~64x the time (device has 256 slots).
         let ratio = rl.sim_kernel_seconds / rs.sim_kernel_seconds;
-        assert!(ratio < 1024.0 * 0.5, "parallel speedup missing: ratio {ratio}");
+        assert!(
+            ratio < 1024.0 * 0.5,
+            "parallel speedup missing: ratio {ratio}"
+        );
     }
 
     #[test]

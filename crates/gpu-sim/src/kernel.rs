@@ -54,7 +54,11 @@ pub struct ItemOutcome<O> {
 impl<O> ItemOutcome<O> {
     /// Convenience constructor for non-divergent items.
     pub fn new(output: O, thread_ops: u64) -> Self {
-        ItemOutcome { output, thread_ops, divergent: false }
+        ItemOutcome {
+            output,
+            thread_ops,
+            divergent: false,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ pub fn outcome_from_result<O, E>(
     thread_ops: u64,
     divergent: bool,
 ) -> ItemOutcome<Result<O, E>> {
-    ItemOutcome { output: result, thread_ops, divergent }
+    ItemOutcome {
+        output: result,
+        thread_ops,
+        divergent,
+    }
 }
 
 /// Everything measured about one kernel launch.

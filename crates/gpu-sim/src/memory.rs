@@ -100,6 +100,9 @@ impl MemoryTable {
 
     /// Allocates `len` bytes, preferring an exact-size retained mark.
     pub fn alloc(&mut self, len: u64) -> Result<DevicePtr, MemoryError> {
+        // Documented precondition: a zero-byte allocation is a caller bug
+        // (real CUDA returns an unusable pointer for it).
+        // flcheck: allow(pf-assert)
         assert!(len > 0, "zero-size device allocation");
         // Fast path: exact-size mark lookup (the paper's "looks for a free
         // address in the memory table ... and marks it occupied").
@@ -232,7 +235,10 @@ mod tests {
         let mut t = MemoryTable::new(256);
         let _a = t.alloc(200).unwrap();
         match t.alloc(100) {
-            Err(MemoryError::OutOfMemory { requested, largest_free }) => {
+            Err(MemoryError::OutOfMemory {
+                requested,
+                largest_free,
+            }) => {
                 assert_eq!(requested, 100);
                 assert_eq!(largest_free, 56);
             }
@@ -264,7 +270,10 @@ mod tests {
     fn invalid_size_free_rejected() {
         let mut t = MemoryTable::new(128);
         let p = t.alloc(64).unwrap();
-        let bogus = DevicePtr { addr: p.addr, len: 32 };
+        let bogus = DevicePtr {
+            addr: p.addr,
+            len: 32,
+        };
         assert_eq!(t.free(bogus), Err(MemoryError::InvalidFree(p.addr)));
         // Original allocation still intact.
         assert_eq!(t.bytes_in_use(), 64);

@@ -101,8 +101,16 @@ impl ResourceManager {
     /// Ablation variant: a fixed block size and no branch handling —
     /// what a naive GPU port (HAFLO-style) would do.
     pub fn fixed(block_size: u32) -> Self {
-        assert!(block_size > 0 && block_size % 32 == 0, "block must be whole warps");
-        ResourceManager { policy: BlockPolicy::Fixed(block_size), branch_combining: false }
+        // Documented precondition mirroring the CUDA launch constraint.
+        // flcheck: allow(pf-assert)
+        assert!(
+            block_size > 0 && block_size % 32 == 0,
+            "block must be whole warps"
+        );
+        ResourceManager {
+            policy: BlockPolicy::Fixed(block_size),
+            branch_combining: false,
+        }
     }
 
     /// Disables branch combining on an otherwise adaptive manager.
@@ -122,7 +130,9 @@ impl ResourceManager {
         let effective_regs = self.effective_registers(cfg, spec);
 
         match &self.policy {
-            BlockPolicy::Fixed(size) => self.plan_with_block(cfg, spec, total_threads, *size, effective_regs),
+            BlockPolicy::Fixed(size) => {
+                self.plan_with_block(cfg, spec, total_threads, *size, effective_regs)
+            }
             BlockPolicy::Adaptive(sizes) => {
                 // Pick the candidate maximizing occupancy; tie-break on
                 // fewer waves (less tail underfill), then smaller blocks
@@ -146,8 +156,15 @@ impl ResourceManager {
                     let better = match &best {
                         None => true,
                         Some(b) => {
-                            (cand.occupancy, -(cand.waves as i64), -(cand.threads_per_block as i64))
-                                > (b.occupancy, -(b.waves as i64), -(b.threads_per_block as i64))
+                            (
+                                cand.occupancy,
+                                -(cand.waves as i64),
+                                -(cand.threads_per_block as i64),
+                            ) > (
+                                b.occupancy,
+                                -(b.waves as i64),
+                                -(b.threads_per_block as i64),
+                            )
                         }
                     };
                     if better {
@@ -208,7 +225,7 @@ impl ResourceManager {
         ]
         .into_iter()
         .min_by_key(|&(v, _)| v)
-        .expect("non-empty");
+        .unwrap_or((by_blocks, OccupancyLimit::Blocks));
 
         // At least one block is always resident: a real device spills
         // registers to local memory rather than refusing the launch, but a
@@ -216,9 +233,8 @@ impl ResourceManager {
         // effective occupancy quadratically in the register deficit.
         let blocks_per_sm = blocks_per_sm.min(by_blocks).max(1);
         let resident = blocks_per_sm * tpb;
-        let reg_fit = (cfg.registers_per_sm as f64
-            / (effective_regs as f64 * resident as f64))
-            .min(1.0);
+        let reg_fit =
+            (cfg.registers_per_sm as f64 / (effective_regs as f64 * resident as f64)).min(1.0);
         let occupancy = resident as f64 / cfg.max_threads_per_sm as f64 * reg_fit * reg_fit;
         let device_resident = (blocks_per_sm.max(1) as u64) * cfg.num_sms as u64;
         let waves = (num_blocks as u64).div_ceil(device_resident) as u32;
@@ -257,7 +273,11 @@ mod tests {
         let rm = ResourceManager::new();
         let p = rm.plan(&cfg, &spec(1, 16), 1_000_000);
         assert_eq!(p.limited_by, OccupancyLimit::Threads);
-        assert!((p.occupancy - 1.0).abs() < 1e-9, "occupancy {}", p.occupancy);
+        assert!(
+            (p.occupancy - 1.0).abs() < 1e-9,
+            "occupancy {}",
+            p.occupancy
+        );
     }
 
     #[test]
@@ -308,7 +328,9 @@ mod tests {
         let mut s = spec(1, 64);
         s.divergence = 0.3;
         let with = ResourceManager::new().plan(&cfg, &s, 1000);
-        let without = ResourceManager::new().without_branch_combining().plan(&cfg, &s, 1000);
+        let without = ResourceManager::new()
+            .without_branch_combining()
+            .plan(&cfg, &s, 1000);
         assert_eq!(with.effective_registers_per_thread, 64);
         assert_eq!(without.effective_registers_per_thread, 128);
         assert!(without.occupancy <= with.occupancy);

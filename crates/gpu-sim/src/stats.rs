@@ -69,7 +69,10 @@ impl DeviceStats {
         if self.utilization_samples.is_empty() {
             return 0.0;
         }
-        self.utilization_samples.iter().map(|s| s.utilization).sum::<f64>()
+        self.utilization_samples
+            .iter()
+            .map(|s| s.utilization)
+            .sum::<f64>()
             / self.utilization_samples.len() as f64
     }
 

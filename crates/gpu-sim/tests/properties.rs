@@ -24,15 +24,15 @@ fn mem_ops() -> impl Strategy<Value = Vec<MemOp>> {
 }
 
 fn arb_spec() -> impl Strategy<Value = KernelSpec> {
-    (1u32..=64, 1u32..=255, 0u32..=48 * 1024, 0.0f64..=1.0).prop_map(
-        |(lanes, regs, smem, div)| KernelSpec {
+    (1u32..=64, 1u32..=255, 0u32..=48 * 1024, 0.0f64..=1.0).prop_map(|(lanes, regs, smem, div)| {
+        KernelSpec {
             name: "prop",
             lanes_per_item: lanes,
             registers_per_thread: regs,
             shared_mem_per_block: smem,
             divergence: div,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

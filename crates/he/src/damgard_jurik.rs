@@ -66,9 +66,16 @@ impl DjKeyPair {
     /// Generates a key pair with an `bits`-bit modulus and exponent `s`.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u32, s: u32) -> Result<Self> {
         if bits < MIN_KEY_BITS {
-            return Err(Error::KeySizeTooSmall { bits, min: MIN_KEY_BITS });
+            return Err(Error::KeySizeTooSmall {
+                bits,
+                min: MIN_KEY_BITS,
+            });
         }
-        assert!(s >= 1 && s <= 8, "s must be in 1..=8");
+        if !(1..=8).contains(&s) {
+            return Err(Error::InvalidParameter(
+                "Damgård–Jurik exponent s must be in 1..=8",
+            ));
+        }
         loop {
             let (p, q) = generate_prime_pair(rng, bits / 2, DEFAULT_MR_ROUNDS)?;
             let n = &p * &q;
@@ -76,16 +83,31 @@ impl DjKeyPair {
                 continue;
             }
             let one = Natural::one();
-            let lambda = mpint::lcm(
-                &p.checked_sub(&one).expect("p > 1"),
-                &q.checked_sub(&one).expect("q > 1"),
-            );
+            // Generated primes exceed 1; resample on the impossible case.
+            let Some(p1) = p.checked_sub(&one) else {
+                continue;
+            };
+            let Some(q1) = q.checked_sub(&one) else {
+                continue;
+            };
+            let lambda = mpint::lcm(&p1, &q1);
             let n_s = n.pow(s);
             let n_s1 = n.pow(s + 1);
             let ctx = MontgomeryCtx::new(&n_s1)?;
             let lambda_inv = mod_inv(&(&lambda % &n_s), &n_s)?;
-            let public = DjPublicKey { n, s, n_s, n_s1, key_bits: bits, ctx };
-            let private = DjPrivateKey { lambda, public: public.clone(), lambda_inv };
+            let public = DjPublicKey {
+                n,
+                s,
+                n_s,
+                n_s1,
+                key_bits: bits,
+                ctx,
+            };
+            let private = DjPrivateKey {
+                lambda,
+                public: public.clone(),
+                lambda_inv,
+            };
             return Ok(DjKeyPair { public, private });
         }
     }
@@ -162,12 +184,18 @@ impl DjPrivateKey {
         let mut x = Natural::zero();
         let mut n_pow_j = pk.n.clone(); // n^{j+1} while processing digit j
         for j in 1..=pk.s {
-            let n_j1 = if j == pk.s { pk.n_s1.clone() } else { &n_pow_j * &pk.n };
+            let n_j1 = if j == pk.s {
+                pk.n_s1.clone()
+            } else {
+                &n_pow_j * &pk.n
+            };
             // t1 = L(u mod n^{j+1}) = (u mod n^{j+1} - 1) / n
+            // u ≡ 1 mod n for well-formed ciphertexts; anything else is a
+            // value outside the ciphertext group.
             let u_j = &u % &n_j1;
             let (t1, _) = u_j
                 .checked_sub(&Natural::one())
-                .expect("u ≡ 1 mod n")
+                .ok_or(Error::CiphertextOutOfRange)?
                 .div_rem(&pk.n);
             // t2 = correction: subtract the higher binomial contributions
             // (k >= 2) of the digits found so far.
@@ -197,12 +225,8 @@ impl DjPrivateKey {
             }
             let t2 = &t2 % &n_pow_j;
             let t1_mod = &t1 % &n_pow_j;
-            let digit_part = if t1_mod >= t2 {
-                t1_mod.checked_sub(&t2).expect("t1 >= t2")
-            } else {
-                (&t1_mod + &n_pow_j).checked_sub(&t2).expect("lifted")
-            };
-            x = digit_part;
+            // Both operands are reduced mod n^j; lift the difference.
+            x = t1_mod.mod_sub(&t2, &n_pow_j);
             n_pow_j = &n_pow_j * &pk.n;
         }
 
@@ -278,7 +302,10 @@ mod tests {
         let m = Natural::from(1234u64);
         let c = k.public.encrypt(&m, &mut r).unwrap();
         let scaled = k.public.scalar_mul(&c, &Natural::from(99u64));
-        assert_eq!(k.private.decrypt(&scaled).unwrap(), Natural::from(1234u64 * 99));
+        assert_eq!(
+            k.private.decrypt(&scaled).unwrap(),
+            Natural::from(1234u64 * 99)
+        );
     }
 
     #[test]
@@ -287,6 +314,16 @@ mod tests {
         assert_eq!(keys(64, 2).public.expansion_factor(), 1.5);
         // The batch-compression payoff: more plaintext bits per
         // ciphertext bit as s grows.
+    }
+
+    #[test]
+    fn s_out_of_range_rejected() {
+        for s in [0u32, 9, 100] {
+            assert!(matches!(
+                DjKeyPair::generate(&mut rng(), 64, s),
+                Err(Error::InvalidParameter(_))
+            ));
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub enum Error {
     CiphertextOutOfRange,
     /// Two ciphertexts from different keys were combined.
     KeyMismatch,
+    /// A scheme parameter was outside its supported range.
+    InvalidParameter(&'static str),
     /// An arithmetic-layer failure (prime generation, inverse, ...).
     Arithmetic(mpint::Error),
 }
@@ -36,12 +38,16 @@ impl fmt::Display for Error {
             Error::KeySizeTooSmall { bits, min } => {
                 write!(f, "key size {bits} below minimum {min} bits")
             }
-            Error::PlaintextTooLarge { plaintext_bits, modulus_bits } => write!(
+            Error::PlaintextTooLarge {
+                plaintext_bits,
+                modulus_bits,
+            } => write!(
                 f,
                 "plaintext of {plaintext_bits} bits exceeds the {modulus_bits}-bit plaintext space"
             ),
             Error::CiphertextOutOfRange => write!(f, "ciphertext outside the ciphertext space"),
             Error::KeyMismatch => write!(f, "ciphertexts were produced under different keys"),
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             Error::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
         }
     }
@@ -68,13 +74,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(Error::KeySizeTooSmall { bits: 8, min: 64 }.to_string().contains("minimum"));
-        assert!(
-            Error::PlaintextTooLarge { plaintext_bits: 70, modulus_bits: 64 }
-                .to_string()
-                .contains("70")
-        );
+        assert!(Error::KeySizeTooSmall { bits: 8, min: 64 }
+            .to_string()
+            .contains("minimum"));
+        assert!(Error::PlaintextTooLarge {
+            plaintext_bits: 70,
+            modulus_bits: 64
+        }
+        .to_string()
+        .contains("70"));
         assert!(Error::KeyMismatch.to_string().contains("different keys"));
+        assert!(Error::InvalidParameter("s out of range")
+            .to_string()
+            .contains("s out of range"));
         let wrapped: Error = mpint::Error::NoInverse.into();
         assert!(wrapped.to_string().contains("inverse"));
     }

@@ -122,7 +122,9 @@ pub const DEFAULT_CPU_SECONDS_PER_OP: f64 = 2.0e-9;
 
 impl Default for CpuHe {
     fn default() -> Self {
-        CpuHe { seconds_per_op: DEFAULT_CPU_SECONDS_PER_OP }
+        CpuHe {
+            seconds_per_op: DEFAULT_CPU_SECONDS_PER_OP,
+        }
     }
 }
 
@@ -165,6 +167,8 @@ impl HeBackend for CpuHe {
         a: &[Ciphertext],
         b: &[Ciphertext],
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        // Documented trait contract: misaligned batches are a caller bug.
+        // flcheck: allow(pf-assert)
         assert_eq!(a.len(), b.len(), "add_batch requires equal lengths");
         let out: crate::Result<Vec<Ciphertext>> = a
             .par_iter()
@@ -198,7 +202,11 @@ impl HeBackend for CpuHe {
 
 impl CpuHe {
     fn timing(&self, ops: u64, items: usize) -> HeTiming {
-        HeTiming { sim_seconds: ops as f64 * self.seconds_per_op, ops, items: items as u64 }
+        HeTiming {
+            sim_seconds: ops as f64 * self.seconds_per_op,
+            ops,
+            items: items as u64,
+        }
     }
 }
 
@@ -262,16 +270,20 @@ impl HeBackend for GpuHe {
         let spec = Self::kernel_spec("paillier_encrypt", pk.key_bits, true);
         let per_item_ops = pk.encrypt_op_estimate();
         // Plaintexts go up (quantized words), ciphertexts come back.
-        let bytes_in: u64 = plaintexts.iter().map(|m| m.wire_size_bytes().max(4) as u64).sum();
+        let bytes_in: u64 = plaintexts
+            .iter()
+            .map(|m| m.wire_size_bytes().max(4) as u64)
+            .sum();
         let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
         let bytes_out = ct_bytes * plaintexts.len() as u64;
 
         let (results, report) =
-            self.device.launch(&spec, plaintexts, bytes_in, bytes_out, |i, m| {
-                let r = blinding(pk, seed, i);
-                let out = pk.encrypt_with_r(m, &r);
-                gpu_sim::kernel::outcome_from_result(out, per_item_ops, i % 2 == 0)
-            });
+            self.device
+                .launch(&spec, plaintexts, bytes_in, bytes_out, |i, m| {
+                    let r = blinding(pk, seed, i);
+                    let out = pk.encrypt_with_r(m, &r);
+                    gpu_sim::kernel::outcome_from_result(out, per_item_ops, i % 2 == 0)
+                });
         let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
     }
@@ -289,9 +301,14 @@ impl HeBackend for GpuHe {
         let bytes_out = pt_bytes * ciphertexts.len() as u64;
 
         let (results, report) =
-            self.device.launch(&spec, ciphertexts, bytes_in, bytes_out, |i, c| {
-                gpu_sim::kernel::outcome_from_result(sk.decrypt_crt(c), per_item_ops, i % 2 == 0)
-            });
+            self.device
+                .launch(&spec, ciphertexts, bytes_in, bytes_out, |i, c| {
+                    gpu_sim::kernel::outcome_from_result(
+                        sk.decrypt_crt(c),
+                        per_item_ops,
+                        i % 2 == 0,
+                    )
+                });
         let out: Result<Vec<Natural>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
     }
@@ -302,6 +319,8 @@ impl HeBackend for GpuHe {
         a: &[Ciphertext],
         b: &[Ciphertext],
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        // Documented trait contract: misaligned batches are a caller bug.
+        // flcheck: allow(pf-assert)
         assert_eq!(a.len(), b.len(), "add_batch requires equal lengths");
         let spec = Self::kernel_spec("paillier_add", pk.key_bits, true);
         let per_item_ops = pk.add_op_estimate();
@@ -313,9 +332,15 @@ impl HeBackend for GpuHe {
         let bytes_out = 0;
 
         let pairs: Vec<(&Ciphertext, &Ciphertext)> = a.iter().zip(b.iter()).collect();
-        let (results, report) = self.device.launch(&spec, &pairs, bytes_in, bytes_out, |i, (x, y)| {
-            gpu_sim::kernel::outcome_from_result(pk.checked_add(x, y), per_item_ops, i % 4 == 0)
-        });
+        let (results, report) =
+            self.device
+                .launch(&spec, &pairs, bytes_in, bytes_out, |i, (x, y)| {
+                    gpu_sim::kernel::outcome_from_result(
+                        pk.checked_add(x, y),
+                        per_item_ops,
+                        i % 4 == 0,
+                    )
+                });
         let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
     }
@@ -368,11 +393,9 @@ impl HeBackend for GpuHe {
 /// amortized away. Launch reports and utilization statistics keep the
 /// unamortized view.
 fn timing_from(report: &gpu_sim::LaunchReport, cfg: &gpu_sim::DeviceConfig) -> HeTiming {
-    let resident =
-        (report.plan.resident_threads_per_sm as u64 * cfg.num_sms as u64).max(1) as f64;
+    let resident = (report.plan.resident_threads_per_sm as u64 * cfg.num_sms as u64).max(1) as f64;
     // Re-derive the divergence-penalized op count the device charged.
-    let penalized = report.sim_kernel_seconds
-        * report.plan.concurrent_threads(cfg).max(1) as f64
+    let penalized = report.sim_kernel_seconds * report.plan.concurrent_threads(cfg).max(1) as f64
         / cfg.sec_per_thread_op;
     let kernel_seconds = penalized / resident * cfg.sec_per_thread_op;
     HeTiming {
@@ -478,13 +501,15 @@ mod tests {
         let k = keys();
         let g = gpu();
         g.encrypt_batch(&k.public, &nats(&[1, 2]), 0).unwrap();
-        g.decrypt_batch(&k.private, &g.encrypt_batch(&k.public, &nats(&[3]), 1).unwrap().0)
-            .unwrap();
+        g.decrypt_batch(
+            &k.private,
+            &g.encrypt_batch(&k.public, &nats(&[3]), 1).unwrap().0,
+        )
+        .unwrap();
         let stats = g.device().stats();
         assert_eq!(stats.launches, 3);
         assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
-        let kernels: Vec<_> =
-            stats.utilization_samples.iter().map(|s| s.kernel).collect();
+        let kernels: Vec<_> = stats.utilization_samples.iter().map(|s| s.kernel).collect();
         assert!(kernels.contains(&"paillier_encrypt"));
         assert!(kernels.contains(&"paillier_decrypt"));
     }
@@ -492,9 +517,24 @@ mod tests {
     #[test]
     fn timing_merge_accumulates() {
         let mut t = HeTiming::default();
-        t.merge(&HeTiming { sim_seconds: 1.0, ops: 10, items: 2 });
-        t.merge(&HeTiming { sim_seconds: 0.5, ops: 5, items: 1 });
-        assert_eq!(t, HeTiming { sim_seconds: 1.5, ops: 15, items: 3 });
+        t.merge(&HeTiming {
+            sim_seconds: 1.0,
+            ops: 10,
+            items: 2,
+        });
+        t.merge(&HeTiming {
+            sim_seconds: 0.5,
+            ops: 5,
+            items: 1,
+        });
+        assert_eq!(
+            t,
+            HeTiming {
+                sim_seconds: 1.5,
+                ops: 15,
+                items: 3
+            }
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   plus plaintext-scalar multiplication `E(m)^k = E(k·m)` used for
 //!   weighted gradient aggregation.
 
-use mpint::modpow::{mod_pow_ctx, window_size_for};
+use mpint::modpow::{mod_pow_ct, mod_pow_ctx, window_size_for};
 use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
 use mpint::random::random_coprime;
 use mpint::{mod_inv, MontgomeryCtx, Natural};
@@ -76,6 +76,8 @@ pub struct PaillierPrivateKey {
     // CRT precomputation.
     p_squared: Natural,
     q_squared: Natural,
+    p_minus_1: Natural,
+    q_minus_1: Natural,
     ctx_p2: MontgomeryCtx,
     ctx_q2: MontgomeryCtx,
     /// `h_p = L_p(g^{p-1} mod p²)^{-1} mod p`.
@@ -96,19 +98,34 @@ pub struct PaillierKeyPair {
 }
 
 /// `L(x) = (x - 1) / n` — the paper's L function, defined on `x ≡ 1 mod n`.
+/// Callers pass exponentiation outputs, which are `>= 1` for `x` in
+/// `Z*_{n²}`; the (unreachable) `x = 0` case maps to `L(0) = 0`.
 fn l_function(x: &Natural, n: &Natural) -> Natural {
     let (q, _r) = x
         .checked_sub(&Natural::one())
-        .expect("L input is >= 1")
+        .unwrap_or_default()
         .div_rem(n);
     q
+}
+
+/// Secret-exponent exponentiation for decryption: `λ` and the CRT
+/// exponents `p-1`, `q-1` are private-key material, so they go through the
+/// square-and-multiply-always ladder with a public key-size step bound
+/// rather than the sliding-window path (whose multiply schedule mirrors
+/// the exponent bits).
+// flcheck: ct-fn
+fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> Natural {
+    mod_pow_ct(ctx, base, exp, bits)
 }
 
 impl PaillierKeyPair {
     /// Generates a key pair with an `bits`-bit modulus `n`.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Result<Self> {
         if bits < MIN_KEY_BITS {
-            return Err(Error::KeySizeTooSmall { bits, min: MIN_KEY_BITS });
+            return Err(Error::KeySizeTooSmall {
+                bits,
+                min: MIN_KEY_BITS,
+            });
         }
         loop {
             let (p, q) = generate_prime_pair(rng, bits / 2, DEFAULT_MR_ROUNDS)?;
@@ -139,8 +156,12 @@ impl PaillierKeyPair {
         };
 
         let one = Natural::one();
-        let p_minus_1 = p.checked_sub(&one).expect("p > 1");
-        let q_minus_1 = q.checked_sub(&one).expect("q > 1");
+        let p_minus_1 = p
+            .checked_sub(&one)
+            .ok_or(Error::InvalidParameter("prime factor p must exceed 1"))?;
+        let q_minus_1 = q
+            .checked_sub(&one)
+            .ok_or(Error::InvalidParameter("prime factor q must exceed 1"))?;
         let lambda = mpint::lcm(&p_minus_1, &q_minus_1);
 
         // μ = L(g^λ mod n²)^{-1} mod n, with g = n+1 so
@@ -167,6 +188,8 @@ impl PaillierKeyPair {
             public: public.clone(),
             p_squared,
             q_squared,
+            p_minus_1,
+            q_minus_1,
             ctx_p2,
             ctx_q2,
             h_p,
@@ -208,7 +231,10 @@ impl PaillierPublicKey {
         // r^n mod n²: the expensive modular exponentiation.
         let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
         let value = self.ctx_n2.mod_mul(&g_m, &r_n);
-        Ok(Ciphertext { value, key_id: self.key_id })
+        Ok(Ciphertext {
+            value,
+            key_id: self.key_id,
+        })
     }
 
     /// Homomorphic addition (paper Eq. 5): `E(m₁)·E(m₂) mod n²`.
@@ -241,7 +267,10 @@ impl PaillierPublicKey {
     /// Encryption of zero with unit blinding — the additive identity used
     /// to initialize aggregation accumulators.
     pub fn zero_ciphertext(&self) -> Ciphertext {
-        Ciphertext { value: Natural::one(), key_id: self.key_id }
+        Ciphertext {
+            value: Natural::one(),
+            key_id: self.key_id,
+        }
     }
 
     /// Estimated limb-level operation count of one encryption, used by the
@@ -264,10 +293,16 @@ impl PaillierPublicKey {
 }
 
 impl PaillierPrivateKey {
-    /// Direct decryption (paper Eq. 4).
+    /// Direct decryption (paper Eq. 4), constant-time in `λ`.
     pub fn decrypt(&self, c: &Ciphertext) -> Result<Natural> {
         self.check(c)?;
-        let u = mod_pow_ctx(&self.public.ctx_n2, &c.value, &self.lambda);
+        // λ = lcm(p-1, q-1) < n: the public modulus size bounds the ladder.
+        let u = pow_secret(
+            &self.public.ctx_n2,
+            &c.value,
+            &self.lambda,
+            self.public.n.bit_len(),
+        );
         let l = l_function(&u, &self.public.n);
         Ok(&(&l * &self.mu) % &self.public.n)
     }
@@ -277,27 +312,20 @@ impl PaillierPrivateKey {
     /// GPU layer batches.
     pub fn decrypt_crt(&self, c: &Ciphertext) -> Result<Natural> {
         self.check(c)?;
-        let one = Natural::one();
-        let p_minus_1 = self.p.checked_sub(&one).expect("p > 1");
-        let q_minus_1 = self.q.checked_sub(&one).expect("q > 1");
-
-        // m_p = L_p(c^{p-1} mod p²) · h_p mod p
+        // m_p = L_p(c^{p-1} mod p²) · h_p mod p; the exponent p-1 is
+        // private-key material, bounded by the public half-key size.
         let cp = &c.value % &self.p_squared;
-        let up = mod_pow_ctx(&self.ctx_p2, &cp, &p_minus_1);
+        let up = pow_secret(&self.ctx_p2, &cp, &self.p_minus_1, self.p.bit_len());
         let m_p = &(&l_function(&up, &self.p) * &self.h_p) % &self.p;
 
         let cq = &c.value % &self.q_squared;
-        let uq = mod_pow_ctx(&self.ctx_q2, &cq, &q_minus_1);
+        let uq = pow_secret(&self.ctx_q2, &cq, &self.q_minus_1, self.q.bit_len());
         let m_q = &(&l_function(&uq, &self.q) * &self.h_q) % &self.q;
 
         // CRT: m = m_p + p·((m_q - m_p)·p^{-1} mod q), with m_p reduced
         // into [0, q) before the difference (p and q have no ordering).
         let m_p_mod_q = &m_p % &self.q;
-        let diff = if m_q >= m_p_mod_q {
-            m_q.checked_sub(&m_p_mod_q).expect("m_q >= m_p mod q")
-        } else {
-            (&m_q + &self.q).checked_sub(&m_p_mod_q).expect("m_q + q >= m_p mod q")
-        };
+        let diff = m_q.mod_sub(&m_p_mod_q, &self.q);
         let t = &(&diff * &self.p_inv_q) % &self.q;
         Ok(&m_p + &(&self.p * &t))
     }
@@ -417,7 +445,10 @@ mod tests {
         let c1 = k.public.encrypt(&nat(5), &mut r).unwrap();
         let c2 = k.public.encrypt(&nat(5), &mut r).unwrap();
         assert_ne!(c1.value, c2.value, "fresh blinding must differ");
-        assert_eq!(k.private.decrypt(&c1).unwrap(), k.private.decrypt(&c2).unwrap());
+        assert_eq!(
+            k.private.decrypt(&c1).unwrap(),
+            k.private.decrypt(&c2).unwrap()
+        );
     }
 
     #[test]
@@ -434,7 +465,10 @@ mod tests {
     #[test]
     fn ciphertext_out_of_range_rejected() {
         let k = keys(128);
-        let bogus = Ciphertext { value: k.public.n_squared.clone(), key_id: k.public.key_id };
+        let bogus = Ciphertext {
+            value: k.public.n_squared.clone(),
+            key_id: k.public.key_id,
+        };
         assert_eq!(k.private.decrypt(&bogus), Err(Error::CiphertextOutOfRange));
     }
 
@@ -483,5 +517,4 @@ mod tests {
         let c2 = k.public.encrypt_with_r(&nat(7), &r).unwrap();
         assert_eq!(c1, c2);
     }
-
 }

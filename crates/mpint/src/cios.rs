@@ -16,7 +16,14 @@
 //! Both agree with the reference Algorithm-1 implementation in
 //! [`crate::montgomery`]; the agreement is property-tested.
 
-use crate::limb::{adc, mac, sbb, Limb};
+// flcheck: allow-file(pf-index) — accumulator/word indices are bounded by the
+// fixed operand width `s` established on entry; bounds checks in the CIOS
+// inner loop are the hot path of the whole workspace.
+// flcheck: allow-file(pf-assert) — width preconditions are documented API
+// contract (covered by `unpadded_operands_rejected`), mirroring slice-length
+// panics in std.
+
+use crate::limb::{adc, mac, Limb};
 use crate::natural::Natural;
 
 /// Per-lane work accounting for the partitioned kernel.
@@ -44,7 +51,7 @@ impl LaneStats {
         if self.mac_ops.is_empty() {
             return 1.0;
         }
-        let max = *self.mac_ops.iter().max().expect("non-empty") as f64;
+        let max = self.mac_ops.iter().max().copied().unwrap_or(0) as f64;
         let mean = self.total_mac_ops() as f64 / self.mac_ops.len() as f64;
         if mean == 0.0 {
             1.0
@@ -118,7 +125,10 @@ pub fn mont_mul_partitioned(
     assert_eq!(a.len(), s);
     assert_eq!(b.len(), s);
     let x = s.div_ceil(threads);
-    let mut stats = LaneStats { mac_ops: vec![0; threads], carry_transfers: 0 };
+    let mut stats = LaneStats {
+        mac_ops: vec![0; threads],
+        carry_transfers: 0,
+    };
     let lane_of = |word: usize| (word / x).min(threads - 1);
 
     let mut t = vec![0 as Limb; s + 2];
@@ -169,45 +179,21 @@ pub fn mont_mul_partitioned(
     (t, stats)
 }
 
-/// Final reduction: if `t >= n` (including the overflow word), subtract `n`
-/// once. `t` has `s + 2` words with at most one significant overflow word.
+/// Final reduction (lines 18–22 of Algorithm 2): subtracts `n` once when
+/// `t >= n`, via the constant-time masked subtraction from [`crate::ct`].
+///
+/// `t` has `s + 2` words holding a value `< 2n`; the accumulator words are
+/// secret-derived, so the earlier compare-then-branch implementation
+/// leaked whether the final subtraction ran. `ct_ge_then_sub` executes an
+/// identical instruction sequence either way.
+// flcheck: ct-fn
 fn conditional_subtract(t: &mut [Limb], n: &[Limb]) {
-    let s = n.len();
-    let overflow = t[s] > 0 || t[s + 1] > 0;
-    let ge = overflow || cmp_limbs(&t[..s], n) != std::cmp::Ordering::Less;
-    if ge {
-        let mut borrow = 0;
-        for i in 0..s {
-            let (d, br) = sbb(t[i], n[i], borrow);
-            t[i] = d;
-            borrow = br;
-        }
-        let (d, br) = sbb(t[s], borrow, 0);
-        t[s] = d;
-        debug_assert_eq!(br, 0, "CIOS result bounded by 2n");
-        debug_assert_eq!(t[s], 0);
-        debug_assert_eq!(t[s + 1], 0);
-    }
-}
-
-fn cmp_limbs(a: &[Limb], b: &[Limb]) -> std::cmp::Ordering {
-    debug_assert_eq!(a.len(), b.len());
-    for i in (0..a.len()).rev() {
-        match a[i].cmp(&b[i]) {
-            std::cmp::Ordering::Equal => continue,
-            ord => return ord,
-        }
-    }
-    std::cmp::Ordering::Equal
+    crate::ct::ct_ge_then_sub(t, n);
 }
 
 /// Convenience wrapper operating on [`Natural`]s with a precomputed
 /// Montgomery context.
-pub fn mont_mul_natural(
-    ctx: &crate::MontgomeryCtx,
-    a: &Natural,
-    b: &Natural,
-) -> Natural {
+pub fn mont_mul_natural(ctx: &crate::MontgomeryCtx, a: &Natural, b: &Natural) -> Natural {
     let s = ctx.width();
     let out = mont_mul(
         &a.to_padded_limbs(s),
@@ -300,9 +286,15 @@ mod tests {
 
     #[test]
     fn lane_stats_imbalance() {
-        let balanced = LaneStats { mac_ops: vec![10, 10, 10], carry_transfers: 0 };
+        let balanced = LaneStats {
+            mac_ops: vec![10, 10, 10],
+            carry_transfers: 0,
+        };
         assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
-        let skewed = LaneStats { mac_ops: vec![30, 0, 0], carry_transfers: 0 };
+        let skewed = LaneStats {
+            mac_ops: vec![30, 0, 0],
+            carry_transfers: 0,
+        };
         assert!((skewed.imbalance() - 3.0).abs() < 1e-12);
         assert!((LaneStats::default().imbalance() - 1.0).abs() < 1e-12);
     }

@@ -6,6 +6,10 @@
 //! domain at the boundary of every encryption/decryption call; these are
 //! the conversions it uses.
 
+// flcheck: allow-file(pf-index) — byte/limb indices derive from the
+// lengths computed in the same expression (`i / LIMB_BYTES` over
+// `bytes.len()`-sized buffers).
+
 use crate::limb::{Limb, LIMB_BYTES};
 use crate::natural::Natural;
 use crate::{Error, Result};
@@ -78,13 +82,17 @@ impl Natural {
     /// Parses big-endian hex (case-insensitive, no prefix).
     pub fn from_hex(s: &str) -> Result<Natural> {
         if s.is_empty() {
-            return Err(Error::Parse { radix: 16, position: None });
+            return Err(Error::Parse {
+                radix: 16,
+                position: None,
+            });
         }
         let mut v = Natural::zero();
         for (i, c) in s.bytes().enumerate() {
-            let d = (c as char)
-                .to_digit(16)
-                .ok_or(Error::Parse { radix: 16, position: Some(i) })?;
+            let d = (c as char).to_digit(16).ok_or(Error::Parse {
+                radix: 16,
+                position: Some(i),
+            })?;
             v = v.shl_bits(4);
             if d != 0 {
                 v.add_assign_ref(&Natural::from(d as u64));
@@ -120,13 +128,17 @@ impl Natural {
     /// Parses a decimal string.
     pub fn from_decimal_str(s: &str) -> Result<Natural> {
         if s.is_empty() {
-            return Err(Error::Parse { radix: 10, position: None });
+            return Err(Error::Parse {
+                radix: 10,
+                position: None,
+            });
         }
         let mut v = Natural::zero();
         for (i, c) in s.bytes().enumerate() {
-            let d = (c as char)
-                .to_digit(10)
-                .ok_or(Error::Parse { radix: 10, position: Some(i) })?;
+            let d = (c as char).to_digit(10).ok_or(Error::Parse {
+                radix: 10,
+                position: Some(i),
+            })?;
             v = v.mul_add_small(10, d as Limb);
         }
         Ok(v)
@@ -184,9 +196,18 @@ mod tests {
     fn hex_rejects_bad_digit() {
         assert_eq!(
             Natural::from_hex("12g4").unwrap_err(),
-            Error::Parse { radix: 16, position: Some(2) }
+            Error::Parse {
+                radix: 16,
+                position: Some(2)
+            }
         );
-        assert_eq!(Natural::from_hex("").unwrap_err(), Error::Parse { radix: 16, position: None });
+        assert_eq!(
+            Natural::from_hex("").unwrap_err(),
+            Error::Parse {
+                radix: 16,
+                position: None
+            }
+        );
     }
 
     #[test]

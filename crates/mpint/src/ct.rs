@@ -1,0 +1,226 @@
+//! Constant-time limb-vector primitives.
+//!
+//! The Montgomery kernels in [`crate::montgomery`] and [`crate::cios`] run
+//! over secret values (Paillier/RSA plaintexts, private exponents), so
+//! their final reduction must not branch on limb data: the classic leak is
+//! the data-dependent "subtract `n` if `u >= n`" at the end of REDC, which
+//! a timing observer can use to recover bits of the secret operand
+//! (Walter & Thompson, CT-RSA 2001). Every helper here runs the same
+//! instruction sequence for every input value of a given length: secrets
+//! influence only *data* (masks computed from borrows), never control
+//! flow or memory addresses. Lengths are public values throughout.
+//!
+//! `flcheck`'s ct-discipline rule recognises the `// flcheck: ct-fn`
+//! marker on these functions and verifies the bodies stay branch-free.
+
+// flcheck: allow-file(pf-index) — limb indices run over `0..t.len()`; the
+// masked passes must touch every word unconditionally, which is exactly
+// what the indexed loops express.
+
+use crate::limb::{sbb, Limb, LIMB_BITS};
+
+/// Returns `1` if `x == 0`, else `0`, without branching on `x`.
+// flcheck: ct-fn
+#[inline]
+#[must_use]
+pub fn ct_is_zero(x: Limb) -> Limb {
+    // For x != 0, `x | -x` has the top bit set; for x == 0 it is zero.
+    let t = x | x.wrapping_neg();
+    (t >> (LIMB_BITS - 1)) ^ 1
+}
+
+/// Returns all-ones if `flag == 1`, all-zeros if `flag == 0`.
+// flcheck: ct-fn
+#[inline]
+#[must_use]
+pub fn ct_mask(flag: Limb) -> Limb {
+    debug_assert!(flag <= 1);
+    flag.wrapping_neg()
+}
+
+/// Selects `a` where `mask` is all-ones, `b` where it is all-zeros.
+// flcheck: ct-fn
+#[inline]
+#[must_use]
+pub fn ct_select(mask: Limb, a: Limb, b: Limb) -> Limb {
+    (a & mask) | (b & !mask)
+}
+
+/// Returns `1` if the limb vectors are equal, else `0`, scanning every
+/// limb regardless of where the first difference occurs.
+///
+/// Both slices must have the same (public) length.
+// flcheck: ct-fn
+#[must_use]
+pub fn ct_eq(a: &[Limb], b: &[Limb]) -> Limb {
+    debug_assert_eq!(a.len(), b.len(), "ct_eq operands must share a width");
+    let mut acc: Limb = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    ct_is_zero(acc)
+}
+
+/// Returns `1` if `a < b` (as little-endian limb vectors of equal public
+/// length), else `0`, via a full borrow chain — no early exit.
+// flcheck: ct-fn
+#[must_use]
+pub fn ct_lt(a: &[Limb], b: &[Limb]) -> Limb {
+    debug_assert_eq!(a.len(), b.len(), "ct_lt operands must share a width");
+    let mut borrow: Limb = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let (_, br) = sbb(*x, *y, borrow);
+        borrow = br;
+    }
+    borrow
+}
+
+/// In-place conditional selection over limb vectors: where `mask` is
+/// all-ones, `dst` keeps its value; where all-zeros, `dst` takes `src`.
+// flcheck: ct-fn
+pub fn ct_select_limbs(mask: Limb, dst: &mut [Limb], src: &[Limb]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = ct_select(mask, *d, *s);
+    }
+}
+
+/// Constant-time final reduction: subtracts `n` from `t` exactly when
+/// `t >= n`, returning `1` if the subtraction happened and `0` otherwise.
+///
+/// `n` is virtually zero-extended to `t.len()`; the caller guarantees
+/// `t < 2n` so a single conditional subtraction fully reduces. Two full
+/// passes run for every input: a borrow-only probe that decides the mask,
+/// then a masked subtraction — the sequence of executed instructions and
+/// touched addresses depends only on the public lengths.
+// flcheck: ct-fn
+pub fn ct_ge_then_sub(t: &mut [Limb], n: &[Limb]) -> Limb {
+    debug_assert!(t.len() >= n.len(), "t must be at least as wide as n");
+    let ext = |i: usize| -> Limb {
+        // Public-index bounds handling: `n` zero-extended to t's width.
+        // Both `i` and `n.len()` are public lengths, so this comparison
+        // cannot leak secret data.
+        // flcheck: allow(ct-compare)
+        let in_range = ct_is_zero((i >= n.len()) as Limb);
+        // i < n.len() is a public condition; the multiply keeps the
+        // access pattern uniform without an `if`.
+        n.get(i).copied().unwrap_or(0) & ct_mask(in_range)
+    };
+    // Pass 1: probe borrow of t - n over the full width.
+    let mut borrow: Limb = 0;
+    for i in 0..t.len() {
+        let (_, br) = sbb(t[i], ext(i), borrow);
+        borrow = br;
+    }
+    // borrow == 0  ⟺  t >= n. sub_mask is all-ones exactly when we subtract.
+    let did_sub = ct_is_zero(borrow);
+    let sub_mask = ct_mask(did_sub);
+    // Pass 2: masked subtraction; a no-op (t - 0) when sub_mask is zero.
+    let mut borrow2: Limb = 0;
+    for i in 0..t.len() {
+        let (d, br) = sbb(t[i], ext(i) & sub_mask, borrow2);
+        t[i] = d;
+        borrow2 = br;
+    }
+    debug_assert_eq!(borrow2, 0, "caller must guarantee t < 2n");
+    did_sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natural::Natural;
+
+    #[test]
+    fn is_zero_and_mask() {
+        assert_eq!(ct_is_zero(0), 1);
+        assert_eq!(ct_is_zero(1), 0);
+        assert_eq!(ct_is_zero(Limb::MAX), 0);
+        assert_eq!(ct_mask(0), 0);
+        assert_eq!(ct_mask(1), Limb::MAX);
+    }
+
+    #[test]
+    fn select_picks_by_mask() {
+        assert_eq!(ct_select(Limb::MAX, 7, 9), 7);
+        assert_eq!(ct_select(0, 7, 9), 9);
+        let mut dst = [1, 2, 3];
+        ct_select_limbs(0, &mut dst, &[4, 5, 6]);
+        assert_eq!(dst, [4, 5, 6]);
+        let mut dst = [1, 2, 3];
+        ct_select_limbs(Limb::MAX, &mut dst, &[4, 5, 6]);
+        assert_eq!(dst, [1, 2, 3]);
+    }
+
+    #[test]
+    fn eq_scans_all_limbs() {
+        assert_eq!(ct_eq(&[1, 2, 3], &[1, 2, 3]), 1);
+        assert_eq!(ct_eq(&[1, 2, 3], &[1, 2, 4]), 0);
+        assert_eq!(ct_eq(&[0, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(ct_eq(&[], &[]), 1);
+    }
+
+    #[test]
+    fn lt_matches_natural_ordering() {
+        let cases: [(&[Limb], &[Limb]); 5] = [
+            (&[1, 0], &[2, 0]),
+            (&[2, 0], &[1, 0]),
+            (&[0, 1], &[Limb::MAX, 0]),
+            (&[5, 5], &[5, 5]),
+            (&[Limb::MAX, Limb::MAX], &[0, 0]),
+        ];
+        for (a, b) in cases {
+            let expected = Natural::from_limbs(a.to_vec()) < Natural::from_limbs(b.to_vec());
+            assert_eq!(ct_lt(a, b), expected as Limb, "{a:?} < {b:?}");
+        }
+    }
+
+    fn check_reduce(t: &Natural, n: &Natural, width: usize) {
+        let mut limbs = t.to_padded_limbs(width);
+        let did = ct_ge_then_sub(&mut limbs, &n.to_padded_limbs(n.limb_len()));
+        let expected = if t >= n {
+            t.checked_sub(n).expect("t >= n")
+        } else {
+            t.clone()
+        };
+        assert_eq!(Natural::from_limbs(limbs), expected, "reduce {t} mod {n}");
+        assert_eq!(did, (t >= n) as Limb);
+    }
+
+    #[test]
+    fn ge_then_sub_boundary_inputs() {
+        // The three boundary cases from the spec: u = n-1, u = n, u = 2n-1,
+        // on single- and multi-limb moduli (including limb-edge values).
+        let moduli = [
+            Natural::from(3u64),
+            Natural::from(0xFFFF_FFFF_FFFF_FFC5u64),
+            Natural::from((1u128 << 127) - 1),
+            Natural::from_limbs(vec![u64::MAX - 2, u64::MAX, u64::MAX, 1]),
+        ];
+        let one = Natural::one();
+        for n in &moduli {
+            let width = n.limb_len() + 1;
+            let u_nm1 = n.checked_sub(&one).expect("n > 0");
+            let u_2nm1 = &(n + n).checked_sub(&one).expect("2n > 0");
+            check_reduce(&u_nm1, n, width);
+            check_reduce(n, n, width);
+            check_reduce(u_2nm1, n, width);
+            check_reduce(&Natural::zero(), n, width);
+            check_reduce(&one, n, width);
+        }
+    }
+
+    #[test]
+    fn ge_then_sub_zero_extends_n() {
+        // t wider than n, top words zero / nonzero.
+        let n = Natural::from(1_000_000_007u64);
+        let t = Natural::from(1_999_999_999u64); // < 2n, > n
+        let mut limbs = t.to_padded_limbs(4);
+        let did = ct_ge_then_sub(&mut limbs, &n.to_padded_limbs(1));
+        assert_eq!(did, 1);
+        assert_eq!(
+            Natural::from_limbs(limbs),
+            t.checked_sub(&n).expect("t > n")
+        );
+    }
+}

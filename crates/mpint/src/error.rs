@@ -47,7 +47,10 @@ impl fmt::Display for Error {
             },
             Error::Overflow { bits } => write!(f, "value does not fit in {bits} bits"),
             Error::PrimeGenerationFailed { bits, attempts } => {
-                write!(f, "failed to find a {bits}-bit prime after {attempts} candidates")
+                write!(
+                    f,
+                    "failed to find a {bits}-bit prime after {attempts} candidates"
+                )
             }
         }
     }
@@ -63,16 +66,18 @@ mod tests {
     fn display_is_informative() {
         assert!(Error::DivisionByZero.to_string().contains("zero"));
         assert!(Error::NoInverse.to_string().contains("inverse"));
-        assert!(
-            Error::Parse { radix: 16, position: Some(3) }
-                .to_string()
-                .contains("base-16")
-        );
+        assert!(Error::Parse {
+            radix: 16,
+            position: Some(3)
+        }
+        .to_string()
+        .contains("base-16"));
         assert!(Error::Overflow { bits: 32 }.to_string().contains("32"));
-        assert!(
-            Error::PrimeGenerationFailed { bits: 512, attempts: 10_000 }
-                .to_string()
-                .contains("512-bit")
-        );
+        assert!(Error::PrimeGenerationFailed {
+            bits: 512,
+            attempts: 10_000
+        }
+        .to_string()
+        .contains("512-bit"));
     }
 }

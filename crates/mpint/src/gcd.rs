@@ -56,17 +56,17 @@ pub fn extended_gcd_mod(a: &Natural, n: &Natural) -> Result<ExtendedGcd> {
     while !r.is_zero() {
         let (q, rem) = old_r.div_rem(&r);
         old_r = std::mem::replace(&mut r, rem);
-        // new_x = old_x - q*x (mod n)
+        // new_x = old_x - q*x (mod n); qx < n and old_x <= n (old_x starts
+        // at 1, which exceeds n only when n = 1), so the lift cannot
+        // underflow.
         let qx = &(&q * &x) % n;
-        let new_x = if old_x >= qx {
-            old_x.checked_sub(&qx).expect("old_x >= qx")
-        } else {
-            // old_x - qx + n
-            (&old_x + n).checked_sub(&qx).expect("old_x + n >= qx")
-        };
+        let new_x = old_x.mod_sub(&qx, n);
         old_x = std::mem::replace(&mut x, new_x);
     }
-    Ok(ExtendedGcd { gcd: old_r, x: &old_x % n })
+    Ok(ExtendedGcd {
+        gcd: old_r,
+        x: &old_x % n,
+    })
 }
 
 /// Modular inverse `a^{-1} mod n`.

@@ -42,6 +42,7 @@ pub mod barrett;
 mod bits;
 pub mod cios;
 mod convert;
+pub mod ct;
 mod div;
 pub mod error;
 mod gcd;
@@ -54,9 +55,10 @@ pub mod prime;
 pub mod random;
 mod shift;
 
-pub use error::{Error, Result};
-pub use gcd::{ExtendedGcd, gcd, lcm, mod_inv};
-pub use limb::{Limb, LIMB_BITS};
 pub use barrett::BarrettCtx;
+pub use ct::{ct_eq, ct_ge_then_sub, ct_lt, ct_select};
+pub use error::{Error, Result};
+pub use gcd::{gcd, lcm, mod_inv, ExtendedGcd};
+pub use limb::{Limb, LIMB_BITS};
 pub use montgomery::MontgomeryCtx;
 pub use natural::Natural;

@@ -70,7 +70,10 @@ pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
 pub fn div2by1(high: Limb, low: Limb, divisor: Limb) -> (Limb, Limb) {
     debug_assert!(high < divisor, "2-by-1 division quotient overflow");
     let n = ((high as DoubleLimb) << LIMB_BITS) | low as DoubleLimb;
-    ((n / divisor as DoubleLimb) as Limb, (n % divisor as DoubleLimb) as Limb)
+    (
+        (n / divisor as DoubleLimb) as Limb,
+        (n % divisor as DoubleLimb) as Limb,
+    )
 }
 
 /// Computes `-n^{-1} mod 2^w` for odd `n`.
@@ -84,6 +87,8 @@ pub fn div2by1(high: Limb, low: Limb, divisor: Limb) -> (Limb, Limb) {
 /// Panics if `n` is even (no inverse exists modulo a power of two).
 #[inline]
 pub fn mont_neg_inv(n: Limb) -> Limb {
+    // Documented panic: no inverse exists modulo a power of two.
+    // flcheck: allow(pf-assert)
     assert!(n & 1 == 1, "Montgomery modulus must be odd");
     // Start with a 5-bit-correct seed: n * n ≡ 1 (mod 2^5) wants inv = n
     // for odd n modulo 2^3 already; standard trick uses inv = n which is

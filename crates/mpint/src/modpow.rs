@@ -8,7 +8,16 @@
 //! Montgomery domain so each step is one [`MontgomeryCtx::mont_mul`];
 //! they are cross-checked against each other and against iterated
 //! multiplication in the tests.
+//!
+//! For *secret* exponents (RSA/Paillier decryption) the sliding-window
+//! schedule leaks the exponent's bit pattern through its multiply sequence;
+//! [`mod_pow_ct`] provides a square-and-multiply-always ladder whose
+//! operation count depends only on the public bit-width.
 
+// flcheck: allow-file(pf-index) — window-table and exponent-limb indices are
+// bounded by construction (table_len = 2^(w-1); bit index < padded width).
+
+use crate::limb::LIMB_BITS;
 use crate::montgomery::MontgomeryCtx;
 use crate::natural::Natural;
 use crate::{Error, Result};
@@ -51,12 +60,7 @@ pub fn mod_pow_ctx(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural) -> Natura
 /// Core sliding-window loop over a Montgomery-form base; returns a
 /// Montgomery-form result. Exposed so batch GPU dispatch can share
 /// precomputation.
-pub fn mod_pow_mont(
-    ctx: &MontgomeryCtx,
-    base_m: &Natural,
-    exp: &Natural,
-    window: u32,
-) -> Natural {
+pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window: u32) -> Natural {
     debug_assert!(window >= 1 && window <= 12);
     if exp.is_zero() {
         return ctx.one_mont();
@@ -106,6 +110,46 @@ pub fn mod_pow_mont(
         i = j - 1;
     }
     acc
+}
+
+/// Constant-time `base^exp mod n` for secret exponents: left-to-right
+/// square-and-multiply-**always** over exactly `exp_bits` ladder steps.
+///
+/// Every step performs one squaring and one multiplication through the
+/// fixed-width CIOS kernel, then keeps or discards the multiplied value
+/// with a masked limb-select — `2·exp_bits` Montgomery multiplications run
+/// for *every* exponent, so the instruction trace depends only on the
+/// public bound `exp_bits` (a key-size parameter such as `n.bit_len()`),
+/// never on the exponent's bit pattern. Compare the sliding-window path,
+/// whose multiply schedule mirrors the exponent's windows.
+///
+/// `base` may be unreduced (it is public in the decryption use-cases);
+/// `exp.bit_len()` must not exceed `exp_bits`. Returns the result in
+/// `[0, n)`, not in Montgomery form. Roughly 1.6–1.8× the cost of
+/// [`mod_pow_ctx`]; use this only when the exponent is secret.
+// flcheck: ct-fn
+pub fn mod_pow_ct(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, exp_bits: u32) -> Natural {
+    debug_assert!(
+        exp.bit_len() <= exp_bits,
+        "exp_bits must bound the secret exponent"
+    );
+    let s = ctx.width();
+    let n_limbs = ctx.modulus().to_padded_limbs(s);
+    let n0 = ctx.n0_inv();
+    let base_m = ctx.to_mont(&(base % ctx.modulus())).to_padded_limbs(s);
+    // One spare limb keeps the width nonzero for exp_bits == 0; bit
+    // indices never reach it.
+    let e = exp.to_padded_limbs(exp_bits.div_ceil(LIMB_BITS) as usize + 1);
+    let mut acc = ctx.one_mont().to_padded_limbs(s);
+    for i in (0..exp_bits).rev() {
+        acc = crate::cios::mont_mul(&acc, &acc, &n_limbs, n0);
+        let mut stepped = crate::cios::mont_mul(&acc, &base_m, &n_limbs, n0);
+        let bit = (e[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1;
+        // bit == 1 keeps `stepped`; bit == 0 rolls back to `acc`.
+        crate::ct::ct_select_limbs(crate::ct::ct_mask(bit), &mut stepped, &acc);
+        acc = stepped;
+    }
+    ctx.from_mont(&Natural::from_limbs(acc))
 }
 
 /// Plain binary (left-to-right square-and-multiply) exponentiation.
@@ -191,7 +235,12 @@ mod tests {
             acc
         }
         let m = 1_000_000_007u128; // fits: products stay under 2^60
-        for (b, e) in [(2u128, 10u128), (3, 1_000_000), (999_999_999, 12345), (7, 1)] {
+        for (b, e) in [
+            (2u128, 10u128),
+            (3, 1_000_000),
+            (999_999_999, 12345),
+            (7, 1),
+        ] {
             assert_eq!(
                 mod_pow(&n(b), &n(e), &n(m)).unwrap(),
                 n(pow_ref(b, e, m)),
@@ -203,7 +252,11 @@ mod tests {
     #[test]
     fn sliding_window_matches_binary() {
         let p = (1u128 << 127) - 1;
-        let cases = [(3u128, (1u128 << 90) + 12345), (p - 2, p - 1), (65537, 0xFFFF_FFFF)];
+        let cases = [
+            (3u128, (1u128 << 90) + 12345),
+            (p - 2, p - 1),
+            (65537, 0xFFFF_FFFF),
+        ];
         for (b, e) in cases {
             assert_eq!(
                 mod_pow(&n(b), &n(e), &n(p)).unwrap(),
@@ -241,7 +294,51 @@ mod tests {
 
     #[test]
     fn unreduced_base_is_reduced_first() {
-        assert_eq!(mod_pow(&n(1000), &n(3), &n(7)).unwrap(), n(1000u128.pow(3) % 7));
+        assert_eq!(
+            mod_pow(&n(1000), &n(3), &n(7)).unwrap(),
+            n(1000u128.pow(3) % 7)
+        );
+    }
+
+    #[test]
+    fn ct_ladder_matches_sliding_window() {
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let cases = [
+            (3u128, (1u128 << 90) + 12345),
+            (p - 2, p - 1),
+            (65537, 0xFFFF_FFFF),
+            (0xDEAD_BEEF, 1),
+            (42, 0),
+        ];
+        for (b, e) in cases {
+            let exp = n(e);
+            let got = mod_pow_ct(&ctx, &n(b), &exp, exp.bit_len().max(1));
+            assert_eq!(got, mod_pow_ctx(&ctx, &n(b), &exp), "{b}^{e} ct ladder");
+        }
+    }
+
+    #[test]
+    fn ct_ladder_padding_does_not_change_result() {
+        // Running the ladder over a wider public bound (leading zero bits)
+        // must not change the value — only the step count.
+        let p = 1_000_000_007u128;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let exp = n(0xAB_CDEF);
+        let reference = mod_pow_ctx(&ctx, &n(12345), &exp);
+        for bits in [exp.bit_len(), exp.bit_len() + 1, 64, 130] {
+            assert_eq!(
+                mod_pow_ct(&ctx, &n(12345), &exp, bits),
+                reference,
+                "{bits}-bit ladder"
+            );
+        }
+    }
+
+    #[test]
+    fn ct_ladder_zero_bits_gives_one() {
+        let ctx = MontgomeryCtx::new(&n(101)).unwrap();
+        assert_eq!(mod_pow_ct(&ctx, &n(7), &n(0), 0), n(1));
     }
 
     #[test]
@@ -249,7 +346,10 @@ mod tests {
         let mut last = 0;
         for bits in [1u32, 10, 50, 100, 500, 1024, 4096] {
             let w = window_size_for(bits);
-            assert!(w >= last, "window size should not shrink with exponent size");
+            assert!(
+                w >= last,
+                "window size should not shrink with exponent size"
+            );
             last = w;
         }
     }

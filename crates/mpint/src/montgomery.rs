@@ -49,13 +49,26 @@ impl MontgomeryCtx {
         let width = n.limb_len();
         let r_bits = (width as u32) * LIMB_BITS;
         let r = Natural::one().shl_bits(r_bits);
+        // Non-empty: the zero modulus was rejected above.
+        // flcheck: allow(pf-index)
         let n0_inv = mont_neg_inv(n.limbs()[0]);
-        // N' = -n^{-1} mod R = R - n^{-1} mod R
+        // N' = -n^{-1} mod R = R - n^{-1} mod R. `mod_inv` returns a value
+        // reduced mod R, so the subtraction cannot underflow.
         let n_inv_mod_r = crate::gcd::mod_inv(n, &r)?;
-        let n_prime = r.checked_sub(&n_inv_mod_r).expect("inverse < R").low_bits(r_bits);
+        let n_prime = r
+            .checked_sub(&n_inv_mod_r)
+            .unwrap_or_default()
+            .low_bits(r_bits);
         let r_mod_n = &r % n;
         let r2_mod_n = &(&r_mod_n * &r_mod_n) % n;
-        Ok(MontgomeryCtx { n: n.clone(), width, n0_inv, n_prime, r_mod_n, r2_mod_n })
+        Ok(MontgomeryCtx {
+            n: n.clone(),
+            width,
+            n0_inv,
+            n_prime,
+            r_mod_n,
+            r2_mod_n,
+        })
     }
 
     /// The modulus `n`.
@@ -114,18 +127,22 @@ impl MontgomeryCtx {
     /// Montgomery reduction of `t < n·R`: returns `t·R^{-1} mod n`.
     ///
     /// Lines 1–6 of Algorithm 1; `mod R` is a mask and `/R` a shift since
-    /// `R = 2^{w·s}`.
+    /// `R = 2^{w·s}`. The final reduction (`U - N if U >= N`) uses the
+    /// constant-time conditional subtraction from [`crate::ct`]: `U` is
+    /// derived from secret operands, so branching on its value would leak
+    /// through timing (see the crate-level discussion in `ct`).
+    // flcheck: ct-fn
     pub fn redc(&self, t: Natural) -> Natural {
         let r_bits = self.r_bits();
         // M ← (T mod R)·N' mod R
         let m = (&t.low_bits(r_bits) * &self.n_prime).low_bits(r_bits);
-        // U ← (T + M·N) / R
-        let mut u = (&t + &(&m * &self.n)).shr_bits(r_bits);
-        if u >= self.n {
-            u = u.checked_sub(&self.n).expect("u >= n");
-        }
-        debug_assert!(u < self.n);
-        u
+        // U ← (T + M·N) / R, with U < 2n: one masked subtraction reduces.
+        let u = (&t + &(&m * &self.n)).shr_bits(r_bits);
+        let mut limbs = u.to_padded_limbs(self.width + 1);
+        crate::ct::ct_ge_then_sub(&mut limbs, self.n.limbs());
+        let reduced = Natural::from_limbs(limbs);
+        debug_assert!(reduced < self.n);
+        reduced
     }
 
     /// Modular multiplication `a·b mod n` via one extra conversion:
@@ -213,5 +230,29 @@ mod tests {
     fn redc_of_zero_is_zero() {
         let c = ctx(101);
         assert!(c.redc(Natural::zero()).is_zero());
+    }
+
+    /// Boundary check for the constant-time final subtraction: feeding
+    /// `t = u·R` into REDC makes `M = 0`, so the output is exactly
+    /// `u - n if u >= n else u`. Exercises `u = n-1`, `u = n`, `u = 2n-1`
+    /// on single- and multi-limb moduli and must agree bit-for-bit with
+    /// the reference `% n`.
+    #[test]
+    fn redc_final_subtraction_boundaries() {
+        for modulus in [n(101), n(0xFFFF_FFFF_FFFF_FFC5), n((1u128 << 127) - 1)] {
+            let c = MontgomeryCtx::new(&modulus).unwrap();
+            let one = Natural::one();
+            let u_values = [
+                modulus.checked_sub(&one).unwrap(), // n - 1: no subtract
+                modulus.clone(),                    // n: subtract to zero
+                (&modulus + &modulus).checked_sub(&one).unwrap(), // 2n - 1: subtract
+            ];
+            for u in u_values {
+                let t = u.shl_bits(c.r_bits());
+                let got = c.redc(t);
+                let expected = &u % &modulus;
+                assert_eq!(got, expected, "redc boundary u={u} mod {modulus}");
+            }
+        }
     }
 }

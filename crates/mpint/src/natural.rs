@@ -5,6 +5,10 @@
 //! IV-A1). The empty limb vector represents zero. An integer of `k` bits
 //! occupies `s = ceil(k / w)` limbs, matching the paper's `s = ⌈k/w⌉`.
 
+// flcheck: allow-file(pf-index) — limb indices in this module are bounded by
+// `limbs.len()` loop ranges or by widths established on entry; `.get()` in
+// these inner loops costs measurable throughput in the mont-mul benches.
+
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Rem, Sub, SubAssign};
@@ -57,6 +61,9 @@ impl Natural {
     ///
     /// Panics if the value needs more than `width` limbs.
     pub fn to_padded_limbs(&self, width: usize) -> Vec<Limb> {
+        // Documented panic: a silently-truncated operand would corrupt
+        // every downstream Montgomery multiplication.
+        // flcheck: allow(pf-assert)
         assert!(
             self.limbs.len() <= width,
             "value of {} limbs does not fit padded width {}",
@@ -140,6 +147,8 @@ impl Natural {
     /// Used by the batch-compression unpacker to slice packed plaintexts
     /// out of a big integer without allocating.
     pub fn extract_bits(&self, offset: u32, count: u32) -> u64 {
+        // Documented API bound on the return type's width.
+        // flcheck: allow(pf-assert)
         assert!(count <= 64, "extract_bits supports at most 64 bits");
         if count == 0 {
             return 0;
@@ -233,10 +242,23 @@ impl Natural {
 
     /// Absolute difference `|self - other|`.
     pub fn abs_diff(&self, other: &Natural) -> Natural {
-        if self >= other {
-            self.checked_sub(other).expect("self >= other")
-        } else {
-            other.checked_sub(self).expect("other > self")
+        match self.checked_sub(other) {
+            Some(diff) => diff,
+            // self < other, so the reversed subtraction cannot underflow.
+            None => other.checked_sub(self).unwrap_or_default(),
+        }
+    }
+
+    /// `(self - rhs) mod n` for reduced operands (`self < n`, `rhs < n`),
+    /// the lifting step of CRT recombination and of Bezout-coefficient
+    /// tracking. Total and panic-free: when `self < rhs` the difference is
+    /// lifted by `n`, which cannot underflow while `rhs <= self + n`; the
+    /// (precondition-violating) remainder case yields zero.
+    pub fn mod_sub(&self, rhs: &Natural, n: &Natural) -> Natural {
+        debug_assert!(rhs <= &(self + n), "mod_sub requires rhs <= self + n");
+        match self.checked_sub(rhs) {
+            Some(diff) => diff,
+            None => (self + n).checked_sub(rhs).unwrap_or_default(),
         }
     }
 
@@ -279,6 +301,8 @@ impl Natural {
     ///
     /// Panics if `divisor == 0`.
     pub fn div_rem_small(&self, divisor: Limb) -> (Natural, Limb) {
+        // Documented panic mirroring primitive `/` semantics.
+        // flcheck: allow(pf-assert)
         assert!(divisor != 0, "division by zero");
         let mut out = vec![0; self.limbs.len()];
         let mut rem: Limb = 0;
@@ -321,6 +345,8 @@ impl Natural {
     /// Panics if `divisor` is zero; use [`Natural::checked_div_rem`] for a
     /// fallible variant.
     pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        // Documented panic mirroring primitive `/` semantics.
+        // flcheck: allow(pf-expect)
         self.checked_div_rem(divisor).expect("division by zero")
     }
 
@@ -393,7 +419,10 @@ impl Sub for &Natural {
     /// # Panics
     /// Panics on underflow; use [`Natural::checked_sub`] to handle it.
     fn sub(self, rhs: &Natural) -> Natural {
-        self.checked_sub(rhs).expect("Natural subtraction underflow")
+        // Documented panic mirroring primitive `-` semantics.
+        self.checked_sub(rhs)
+            // flcheck: allow(pf-expect)
+            .expect("Natural subtraction underflow")
     }
 }
 

@@ -52,14 +52,22 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &Natural, rounds: u32, rng: &mut R)
         }
     }
 
-    // Write n - 1 = d * 2^s with d odd.
-    let n_minus_1 = n.checked_sub(&Natural::one()).expect("n >= 2");
+    // Write n - 1 = d * 2^s with d odd. n is odd and > 211 here, so these
+    // constructions cannot fail; treat any violation as "not prime" rather
+    // than panicking.
+    let Some(n_minus_1) = n.checked_sub(&Natural::one()) else {
+        return false;
+    };
     let s = trailing_zeros(&n_minus_1);
     let d = n_minus_1.shr_bits(s);
 
-    let ctx = MontgomeryCtx::new(n).expect("odd n > 1");
+    let Ok(ctx) = MontgomeryCtx::new(n) else {
+        return false;
+    };
     let two = Natural::from(2u64);
-    let bound = n.checked_sub(&Natural::from(3u64)).expect("n > small primes");
+    let Some(bound) = n.checked_sub(&Natural::from(3u64)) else {
+        return false;
+    };
 
     'witness: for _ in 0..rounds {
         // a ∈ [2, n-2]
@@ -79,7 +87,8 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &Natural, rounds: u32, rng: &mut R)
     true
 }
 
-/// Number of trailing zero bits (n must be nonzero).
+/// Number of trailing zero bits; total (returns the full bit count for
+/// zero, which callers never pass).
 fn trailing_zeros(n: &Natural) -> u32 {
     debug_assert!(!n.is_zero());
     let mut zeros = 0;
@@ -89,7 +98,7 @@ fn trailing_zeros(n: &Natural) -> u32 {
         }
         zeros += crate::LIMB_BITS;
     }
-    unreachable!("nonzero value has a nonzero limb")
+    zeros
 }
 
 /// Generates a random prime with exactly `bits` bits.
@@ -114,7 +123,10 @@ pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32, rounds: u32) -> R
         }
         let _ = attempt;
     }
-    Err(Error::PrimeGenerationFailed { bits, attempts: max_attempts })
+    Err(Error::PrimeGenerationFailed {
+        bits,
+        attempts: max_attempts,
+    })
 }
 
 /// Generates a prime pair `(p, q)` with `p != q`, both `bits` bits — the

@@ -5,6 +5,9 @@
 //! simulator can hand one deterministic per-lane generator to each thread
 //! while tests use seeded [`rand_chacha`] streams.
 
+// flcheck: allow-file(pf-index) — `v[last]` with `last = limbs - 1` where
+// `limbs >= 1` is guaranteed by the early `bits == 0` return.
+
 use rand::Rng;
 
 use crate::limb::{Limb, LIMB_BITS};
@@ -33,6 +36,8 @@ pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Natural {
 ///
 /// Panics if `bound` is zero.
 pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Natural) -> Natural {
+    // Documented panic: sampling from an empty range has no other answer.
+    // flcheck: allow(pf-assert)
     assert!(!bound.is_zero(), "empty range");
     let bits = bound.bit_len();
     loop {
@@ -56,6 +61,8 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Natural) -> Natural {
 /// Paillier encryption draws its blinding factor `r` from here
 /// (paper Eq. 3: "selects a random integer r ∈ Z*_{n²}").
 pub fn random_coprime<R: Rng + ?Sized>(rng: &mut R, n: &Natural) -> Natural {
+    // Documented panic: Z_n^* is empty for n <= 1, the loop would hang.
+    // flcheck: allow(pf-assert)
     assert!(n > &Natural::one(), "group requires n > 1");
     loop {
         let candidate = random_below(rng, n);

@@ -1,5 +1,8 @@
 //! Bit-shift operators for [`Natural`].
 
+// flcheck: allow-file(pf-index) — shifted-limb indices are offsets within
+// vectors sized as `limb_len + limb_shift (+ 1)` a few lines above.
+
 use std::ops::{Shl, Shr};
 
 use crate::limb::{Limb, LIMB_BITS};

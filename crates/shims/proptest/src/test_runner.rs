@@ -1,0 +1,61 @@
+//! Test configuration and the deterministic per-test rng.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Subset of proptest's config: number of accepted cases per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases that must pass (after `prop_assume!` rejections).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` rejections.
+#[derive(Debug)]
+pub struct CaseRejected;
+
+/// Deterministic rng used for every strategy draw in one `#[test]`.
+///
+/// Seeded by FNV-1a over the fully qualified test name: stable across
+/// runs and processes, different per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Rng for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}

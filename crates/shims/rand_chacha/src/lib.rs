@@ -1,0 +1,161 @@
+//! Offline stand-in for `rand_chacha` 0.3.
+//!
+//! Implements the actual ChaCha stream cipher (Bernstein 2008) as the
+//! keystream source, parameterised by round count, so [`ChaCha8Rng`] and
+//! [`ChaCha20Rng`] are real cryptographic-quality deterministic generators
+//! — only the API surface is trimmed to what this workspace uses
+//! (`SeedableRng::{from_seed, seed_from_u64}` plus `RngCore`). The byte
+//! streams are not guaranteed to match the upstream crate bit-for-bit; no
+//! test in this workspace depends on upstream-exact streams.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 double-rounds halved — the `ChaCha8` variant.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha12.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha20 — the IETF-standard round count.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+/// Generic ChaCha keystream generator; `DOUBLE_ROUNDS` column/diagonal
+/// round pairs per block (4 → ChaCha8, 10 → ChaCha20).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); nonce fixed to zero.
+    counter: u64,
+    /// Current keystream block, served out word by word.
+    block: [u32; 16],
+    /// Next unserved word index in `block`; 16 means "exhausted".
+    word_pos: usize,
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: zero nonce.
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.word_pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut bytes = [0u8; 4];
+            bytes.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(bytes);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(100);
+        assert_ne!(ChaCha8Rng::seed_from_u64(99).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_zero_key_block0_matches_rfc_like_construction() {
+        // With an all-zero key and zero counter/nonce the first block must
+        // differ from the raw input state (the permutation is non-trivial)
+        // and be stable across calls.
+        let mut r1 = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut r2 = ChaCha20Rng::from_seed([0u8; 32]);
+        let w1: Vec<u64> = (0..8).map(|_| r1.next_u64()).collect();
+        let w2: Vec<u64> = (0..8).map(|_| r2.next_u64()).collect();
+        assert_eq!(w1, w2);
+        assert!(w1.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn streams_look_uniform_enough_for_rejection_sampling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64 000 bits, expect ~32 000 ones; allow a wide band.
+        assert!((28_000..36_000).contains(&ones), "bit bias: {ones}");
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

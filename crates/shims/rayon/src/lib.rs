@@ -1,0 +1,93 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` here returns the ordinary sequential iterator, so every
+//! rayon call site compiles and produces identical results with the
+//! parallelism degraded to 1. Hot paths that matter for wall-clock
+//! performance in this repository are modelled by the GPU simulator, not
+//! by host-thread fan-out, so sequential execution preserves semantics.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude {
+    //! Parallel-iterator traits (sequentially implemented).
+
+    /// `.par_iter()` on slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (here: the sequential borrow iterator).
+        type Iter: Iterator;
+
+        /// Returns a "parallel" iterator over `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections.
+    pub trait IntoParallelIterator {
+        /// Produced item type.
+        type Item;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Converts into a "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on slices and `Vec`s.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type.
+        type Iter: Iterator;
+
+        /// Returns a "parallel" iterator over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -26,16 +26,43 @@ fn main() {
     // --- fundamental vector arithmetic (add/sub/mul/div) ---
     let a = nats(&[100, 200, 300]);
     let b = nats(&[7, 11, 13]);
-    println!("add -> {:?}", api.add(&a, &b).unwrap().iter().map(|v| v.to_string()).collect::<Vec<_>>());
-    println!("mul -> {:?}", api.mul(&a, &b).unwrap().iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "add -> {:?}",
+        api.add(&a, &b)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "mul -> {:?}",
+        api.mul(&a, &b)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // --- modular operations (mod, mod_inv, mod_mul, mod_pow) ---
     let n = Natural::from(97u64);
-    println!("mod 97 -> {:?}", api.mod_(&a, &n).unwrap().iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "mod 97 -> {:?}",
+        api.mod_(&a, &n)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
     let inv = api.mod_inv(&nats(&[3, 5, 7]), &n).unwrap();
-    println!("mod_inv of [3,5,7] mod 97 -> {:?}", inv.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "mod_inv of [3,5,7] mod 97 -> {:?}",
+        inv.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
     let mp = api.mod_pow(&nats(&[2, 3]), &nats(&[10, 20]), &n).unwrap();
-    println!("mod_pow -> {:?}", mp.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "mod_pow -> {:?}",
+        mp.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
 
     // --- Paillier: key_gen / encrypt / add / decrypt ---
     let pkeys = api.paillier_key_gen(&mut rng, 256).unwrap();

@@ -29,7 +29,11 @@ fn main() {
         dataset.positive_rate() * 100.0
     );
 
-    let cfg = TrainConfig { batch_size: 100, max_epochs: 4, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 100,
+        max_epochs: 4,
+        ..TrainConfig::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let keys = PaillierKeyPair::generate(&mut rng, 256).expect("keygen");
 
@@ -39,7 +43,12 @@ fn main() {
         let env = FlEnv::new(accel, cfg.seed);
         let mut model = HomoLr::new(&dataset, 4, &cfg);
         let report = train(&mut model, &env, &cfg).expect("training");
-        println!("\n{} ({} epochs, converged: {}):", report.backend, report.epochs.len(), report.converged);
+        println!(
+            "\n{} ({} epochs, converged: {}):",
+            report.backend,
+            report.epochs.len(),
+            report.converged
+        );
         for (e, res) in report.epochs.iter().enumerate() {
             let (others, he, comm) = res.breakdown.shares();
             println!(

@@ -26,7 +26,10 @@ fn main() {
     spec.instances = 600;
     let dataset = spec.generate(1.0);
 
-    println!("FLBooster deployment: {DEPARTMENTS} departments, {} joint instances", dataset.len());
+    println!(
+        "FLBooster deployment: {DEPARTMENTS} departments, {} joint instances",
+        dataset.len()
+    );
 
     let cfg = TrainConfig {
         batch_size: 100,
@@ -54,7 +57,11 @@ fn main() {
     let auc = metrics::auc(&preds, &dataset.labels);
     let acc = metrics::accuracy(&preds, &dataset.labels);
 
-    println!("\ntraining: {} epochs, final loss {:.4}", report.epochs.len(), report.final_loss());
+    println!(
+        "\ntraining: {} epochs, final loss {:.4}",
+        report.epochs.len(),
+        report.final_loss()
+    );
     println!("joint model quality: AUC {auc:.3}, accuracy {acc:.3}");
 
     let b = report.total_breakdown();

@@ -22,16 +22,25 @@ fn main() {
 
     println!("FLBooster quickstart");
     println!("  key size: {} bits", platform.keys.public.key_bits);
-    println!("  slots per ciphertext: {}", platform.codec.slots_per_word());
+    println!(
+        "  slots per ciphertext: {}",
+        platform.codec.slots_per_word()
+    );
 
     // 2. Each participant encrypts its local gradients.
     let gradients: Vec<Vec<f64>> = (0..4)
-        .map(|k| (0..100).map(|i| ((k * 100 + i) as f64 * 0.002).sin() * 0.5).collect())
+        .map(|k| {
+            (0..100)
+                .map(|i| ((k * 100 + i) as f64 * 0.002).sin() * 0.5)
+                .collect()
+        })
         .collect();
     let mut batches = Vec::new();
     let mut upload_bytes = 0u64;
     for (k, grads) in gradients.iter().enumerate() {
-        let (cts, report) = platform.encrypt_gradients(grads, k as u64).expect("encrypt");
+        let (cts, report) = platform
+            .encrypt_gradients(grads, k as u64)
+            .expect("encrypt");
         upload_bytes += report.ciphertext_bytes;
         println!(
             "  participant {k}: {} values -> {} ciphertexts ({} bytes), HE {:.2} ms simulated",
@@ -42,7 +51,10 @@ fn main() {
         );
         batches.push(cts);
     }
-    println!("  compression: {:.1}x fewer ciphertexts than one-per-value", 100.0 / batches[0].len() as f64);
+    println!(
+        "  compression: {:.1}x fewer ciphertexts than one-per-value",
+        100.0 / batches[0].len() as f64
+    );
 
     // 3. The server folds the ciphertexts (it never sees plaintext).
     let (aggregate, agg_report) = platform.aggregate(&batches).expect("aggregate");
@@ -52,9 +64,12 @@ fn main() {
     );
 
     // 4. Participants decrypt the element-wise sums.
-    let (sums, _) = platform.decrypt_gradients(&aggregate, 100, 4).expect("decrypt");
-    let expected: Vec<f64> =
-        (0..100).map(|i| gradients.iter().map(|g| g[i]).sum()).collect();
+    let (sums, _) = platform
+        .decrypt_gradients(&aggregate, 100, 4)
+        .expect("decrypt");
+    let expected: Vec<f64> = (0..100)
+        .map(|i| gradients.iter().map(|g| g[i]).sum())
+        .collect();
     let max_err = sums
         .iter()
         .zip(&expected)

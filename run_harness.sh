@@ -19,5 +19,19 @@ run table3_epoch_time --quick --keys 2048 --models homo-lr --datasets rcv1
 run table5_ablation --quick --keys 1024 --datasets rcv1,synthetic         
 run table7_bias --quick --epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic
 run fig8_convergence --quick --epochs 3 --models homo-lr,hetero-nn        
-run ablation_quantization --quick                                         
+run ablation_quantization --quick
+
+# Static-analysis gate: the tree must be clean under flcheck and rustfmt.
+echo "=== flcheck: static analysis ==="
+./target/release/flcheck --root . --json $R/flcheck_report.json | tee $R/flcheck.txt
+fl_status=${PIPESTATUS[0]}
+if [ "$fl_status" -ne 0 ]; then
+  echo "HARNESS_FAILED: flcheck found violations (exit $fl_status)"
+  exit "$fl_status"
+fi
+echo "=== cargo fmt --check ==="
+if ! cargo fmt --check; then
+  echo "HARNESS_FAILED: cargo fmt --check"
+  exit 1
+fi
 echo "HARNESS_ALL_DONE"

@@ -1,0 +1,73 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! cargo run --release --bin flcheck -- [--root DIR] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
+//! I/O errors. `--json` additionally writes the machine-readable report
+//! (the harness points it at `results/flcheck_report.json`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json requires a file path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: flcheck [--root DIR] [--json FILE] [--quiet]\n\
+                     Static analysis: constant-time discipline, panic freedom, \
+                     lock discipline."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match flcheck::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flcheck: error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("flcheck: error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_human());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("flcheck: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -26,7 +26,10 @@ fn measured_compression_matches_eq11_within_headroom_slot() {
         let measured = n as f64 / enc.ciphertext_count() as f64;
         let r_bits = acc.codec().quantizer().config().r_bits;
         let bound = analysis::compression_ratio(n as u64, key_bits, r_bits, 4);
-        assert!(measured <= bound + 1e-9, "measured {measured} exceeds Eq.11 {bound}");
+        assert!(
+            measured <= bound + 1e-9,
+            "measured {measured} exceeds Eq.11 {bound}"
+        );
         // Within one slot of the bound (plus ceiling slack on the word
         // count).
         let slots = analysis::slots_per_word(key_bits, r_bits, 4) as f64;
@@ -78,7 +81,10 @@ fn ghe_model_and_simulator_agree_on_direction() {
         });
         report.sim_kernel_seconds / items as f64
     };
-    assert!(per_item(10_000) < per_item(16), "simulator must show batch amortization");
+    assert!(
+        per_item(10_000) < per_item(16),
+        "simulator must show batch amortization"
+    );
 }
 
 #[test]
@@ -91,7 +97,9 @@ fn utilization_decreases_with_key_size_for_both_gpu_backends() {
         let mut last_occ = f64::INFINITY;
         for key_bits in [1024u32, 2048, 4096] {
             let spec = GpuHe::kernel_spec("enc", key_bits, true);
-            let plan = device_check.manager().plan(device_check.config(), &spec, 100_000);
+            let plan = device_check
+                .manager()
+                .plan(device_check.config(), &spec, 100_000);
             assert!(plan.occupancy <= last_occ + 1e-12, "{kind:?} at {key_bits}");
             last_occ = plan.occupancy;
         }

@@ -31,8 +31,14 @@ fn encrypted_fedavg_equals_plaintext_fedavg_within_quantization() {
     // Train Homo LR federated (encrypted) and compare its weights with a
     // plaintext centralized run using the same batching and optimizer.
     let data = dataset(24, 200);
-    let cfg = TrainConfig { batch_size: 50, ..TrainConfig::default() };
-    let env = FlEnv::new(Accelerator::new(BackendKind::FlBooster, keys(), 4).unwrap(), 1);
+    let cfg = TrainConfig {
+        batch_size: 50,
+        ..TrainConfig::default()
+    };
+    let env = FlEnv::new(
+        Accelerator::new(BackendKind::FlBooster, keys(), 4).unwrap(),
+        1,
+    );
     let mut fed = HomoLr::new(&data, 4, &cfg);
     fed.run_epoch(&env, &cfg, 0).unwrap();
 
@@ -74,7 +80,10 @@ fn encrypted_fedavg_equals_plaintext_fedavg_within_quantization() {
 #[test]
 fn all_backends_produce_identical_models() {
     let data = dataset(16, 120);
-    let cfg = TrainConfig { batch_size: 40, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 40,
+        ..TrainConfig::default()
+    };
     let shared = keys();
     let mut final_losses = Vec::new();
     for kind in [
@@ -98,17 +107,32 @@ fn all_backends_produce_identical_models() {
 fn backend_cost_ordering_holds_across_models() {
     // FATE must be the slowest and FLBooster the fastest, for every model.
     let data = dataset(16, 96);
-    let cfg = TrainConfig { batch_size: 48, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 48,
+        ..TrainConfig::default()
+    };
     let shared = keys();
 
     type Builder = Box<dyn Fn(&fl::data::Dataset, &TrainConfig) -> Box<dyn FlModel>>;
     let builders: Vec<(&str, Builder)> = vec![
-        ("homo-lr", Box::new(|d: &fl::data::Dataset, c: &TrainConfig| {
-            Box::new(HomoLr::new(d, 4, c)) as Box<dyn FlModel>
-        })),
-        ("hetero-lr", Box::new(|d, c| Box::new(HeteroLr::new(d, 4, c).unwrap()))),
-        ("hetero-sbt", Box::new(|d, c| Box::new(HeteroSbt::new(d, 4, c).unwrap()))),
-        ("hetero-nn", Box::new(|d, c| Box::new(HeteroNn::new(d, 4, c).unwrap()))),
+        (
+            "homo-lr",
+            Box::new(|d: &fl::data::Dataset, c: &TrainConfig| {
+                Box::new(HomoLr::new(d, 4, c)) as Box<dyn FlModel>
+            }),
+        ),
+        (
+            "hetero-lr",
+            Box::new(|d, c| Box::new(HeteroLr::new(d, 4, c).unwrap())),
+        ),
+        (
+            "hetero-sbt",
+            Box::new(|d, c| Box::new(HeteroSbt::new(d, 4, c).unwrap())),
+        ),
+        (
+            "hetero-nn",
+            Box::new(|d, c| Box::new(HeteroNn::new(d, 4, c).unwrap())),
+        ),
     ];
 
     for (name, build) in &builders {
@@ -144,7 +168,10 @@ fn training_to_convergence_stops_on_tolerance() {
         learning_rate: 0.3,
         ..TrainConfig::default()
     };
-    let env = FlEnv::new(Accelerator::new(BackendKind::FlBooster, keys(), 4).unwrap(), 1);
+    let env = FlEnv::new(
+        Accelerator::new(BackendKind::FlBooster, keys(), 4).unwrap(),
+        1,
+    );
     let mut model = HomoLr::new(&data, 4, &cfg);
     let report = train(&mut model, &env, &cfg).unwrap();
     assert!(report.converged, "should hit the tolerance rule");
@@ -162,8 +189,11 @@ fn platform_pipeline_matches_direct_he_path() {
     // must agree with manually composing codec + he.
     let mut rng = ChaCha8Rng::seed_from_u64(0xAB);
     let keys = PaillierKeyPair::generate(&mut rng, 256).unwrap();
-    let platform =
-        FlBooster::builder().key_bits(256).participants(2).build_with_keys(keys.clone()).unwrap();
+    let platform = FlBooster::builder()
+        .key_bits(256)
+        .participants(2)
+        .build_with_keys(keys.clone())
+        .unwrap();
 
     let grads: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.1).sin() * 0.8).collect();
     let (cts, _) = platform.encrypt_gradients(&grads, 5).unwrap();
@@ -182,20 +212,30 @@ fn platform_pipeline_matches_direct_he_path() {
         }
         platform.codec.unpack(&words, grads.len()).unwrap()
     };
-    assert_eq!(via_pipeline, manual, "pipeline and manual paths must agree exactly");
+    assert_eq!(
+        via_pipeline, manual,
+        "pipeline and manual paths must agree exactly"
+    );
 }
 
 #[test]
 fn hetero_models_train_through_all_ablations() {
     let data = dataset(12, 80);
-    let cfg = TrainConfig { batch_size: 40, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 40,
+        ..TrainConfig::default()
+    };
     let shared = keys();
     for kind in BackendKind::ablations() {
         let env = FlEnv::new(Accelerator::new(kind, shared.clone(), 3).unwrap(), 2);
         let mut lr = HeteroLr::new(&data, 3, &cfg).unwrap();
         let before = lr.loss();
         lr.run_epoch(&env, &cfg, 0).unwrap();
-        assert!(lr.loss() < before, "{}: hetero LR failed to learn", kind.name());
+        assert!(
+            lr.loss() < before,
+            "{}: hetero LR failed to learn",
+            kind.name()
+        );
 
         let mut sbt = HeteroSbt::new(&data, 3, &cfg).unwrap();
         let before = sbt.loss();

@@ -28,7 +28,10 @@ fn ciphertexts_are_semantically_hiding() {
     // Same ciphertext shape regardless of magnitude: byte sizes match.
     assert_eq!(c_tiny.ciphertext_count(), c_large.ciphertext_count());
     let size = |v: &fl::backend::EncryptedVector| -> Vec<usize> {
-        v.cts.iter().map(|c| c.value.bit_len() as usize / 8).collect()
+        v.cts
+            .iter()
+            .map(|c| c.value.bit_len() as usize / 8)
+            .collect()
     };
     // Bit lengths differ only by blinding noise, not systematically.
     assert_eq!(size(&c_tiny).len(), size(&c_large).len());
@@ -57,7 +60,10 @@ fn guard_bit_exhaustion_is_a_typed_error() {
     let result = acc.decrypt_sum(&enc, 5);
     match result {
         Err(fl::Error::Platform(flbooster_core::Error::Codec(
-            codec::Error::OverflowBitsExhausted { terms: 5, max_terms: 4 },
+            codec::Error::OverflowBitsExhausted {
+                terms: 5,
+                max_terms: 4,
+            },
         ))) => {}
         other => panic!("expected OverflowBitsExhausted, got {other:?}"),
     }
@@ -81,7 +87,10 @@ fn lossy_network_retries_and_training_still_succeeds() {
     spec.nnz_per_row = 8;
     spec.instances = 40;
     let data = spec.generate(1.0);
-    let cfg = TrainConfig { batch_size: 40, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 40,
+        ..TrainConfig::default()
+    };
 
     let accel = Accelerator::new(BackendKind::FlBooster, keys(6), 4).unwrap();
     let lossy = NetworkConfig::flbooster_profile().with_drop_probability(0.3);
@@ -92,7 +101,10 @@ fn lossy_network_retries_and_training_still_succeeds() {
     let mut model = HomoLr::new(&data, 4, &cfg);
     let before = model.loss();
     let result = model.run_epoch(&env, &cfg, 0).unwrap();
-    assert!(model.loss() < before, "training must survive a 30%-loss link");
+    assert!(
+        model.loss() < before,
+        "training must survive a 30%-loss link"
+    );
     assert!(env.network.stats().retries > 0, "drops must actually occur");
     // Retries inflate communication time.
     assert!(result.breakdown.comm_seconds > 0.0);
@@ -105,11 +117,17 @@ fn dead_network_surfaces_a_typed_failure() {
     spec.nnz_per_row = 8;
     spec.instances = 16;
     let data = spec.generate(1.0);
-    let cfg = TrainConfig { batch_size: 16, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
 
     let accel = Accelerator::new(BackendKind::FlBooster, keys(7), 4).unwrap();
     let dead = NetworkConfig::flbooster_profile().with_drop_probability(1.0);
-    let env = FlEnv { network: Network::new(dead, 1), accel };
+    let env = FlEnv {
+        network: Network::new(dead, 1),
+        accel,
+    };
     let mut model = HomoLr::new(&data, 4, &cfg);
     match model.run_epoch(&env, &cfg, 0) {
         Err(fl::Error::NetworkFailure { attempts }) => assert_eq!(attempts, 5),
@@ -128,7 +146,10 @@ fn vertical_split_never_moves_raw_features() {
         let (lo, hi) = shard.feature_range;
         for row in &shard.rows {
             for &idx in &row.indices {
-                assert!((idx as usize) < (hi - lo) as usize, "shard {i} leaked foreign feature");
+                assert!(
+                    (idx as usize) < (hi - lo) as usize,
+                    "shard {i} leaked foreign feature"
+                );
             }
         }
     }
