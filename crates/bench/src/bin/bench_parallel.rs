@@ -1,0 +1,237 @@
+//! **Parallel-efficiency benchmark**: wall-clock of GPU-sim HE batch
+//! launches as the host thread pool widens, with a bit-identical output
+//! check across every thread count.
+//!
+//! The rayon shim runs kernel bodies on a real work-stealing pool, so a
+//! batch encryption's wall-clock should drop near-linearly with workers
+//! on a multi-core host while the ciphertexts stay byte-for-byte
+//! identical (per-item blinding is derived from the batch seed, never
+//! from scheduling order). This harness measures exactly that and writes
+//! `results/bench_summary.json` for the CI gate.
+//!
+//! On a single-core host every pool width collapses to one worker, so
+//! the speedup column is only meaningful when `host_parallelism > 1`
+//! (recorded in the JSON so downstream checks can condition on it).
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin bench_parallel -- \
+//!     [--items 256] [--keys 1024] [--threads 1,4] [--out results/bench_summary.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flbooster_bench::table::Table;
+use flbooster_bench::{shared_keys, Args};
+use gpu_sim::{Device, DeviceConfig};
+use he::{GpuHe, HeBackend};
+use mpint::Natural;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic plaintexts below `n`: 64-bit quantized gradient words,
+/// the shape the FL layer feeds the HE batch API.
+fn plaintexts(items: usize) -> Vec<Natural> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE9C_4_EAC);
+    (0..items).map(|_| Natural::from(rng.next_u64())).collect()
+}
+
+struct Run {
+    threads: usize,
+    pool_threads: usize,
+    wall_seconds: f64,
+    identical: bool,
+}
+
+struct OpResult {
+    op: &'static str,
+    runs: Vec<Run>,
+}
+
+/// Times `body` inside a pool of `threads` workers, returning the result,
+/// the wall-clock, and the pool width the shim actually reported.
+fn timed_in_pool<T>(threads: usize, body: impl FnOnce() -> T + Send) -> (T, f64, usize)
+where
+    T: Send,
+{
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build");
+    pool.install(|| {
+        let pool_threads = rayon::current_num_threads();
+        let start = Instant::now();
+        let out = body();
+        (out, start.elapsed().as_secs_f64(), pool_threads)
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let items: usize = args
+        .get("items")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let key_bits = *args.key_sizes_or(&[1024]).first().unwrap_or(&1024);
+    let out_path = args
+        .get("out")
+        .unwrap_or("results/bench_summary.json")
+        .to_string();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = match args.get("threads") {
+        Some(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        None => {
+            let mut t = vec![1, 4];
+            if host > 4 {
+                t.push(host);
+            }
+            t
+        }
+    };
+
+    println!("Parallel efficiency — {items} items, {key_bits}-bit keys, host parallelism {host}\n");
+    let keys = shared_keys(key_bits);
+    let (pk, sk) = (&keys.public, &keys.private);
+    let ms = plaintexts(items);
+    let seed = 0x5EED_CAFE;
+
+    let mut ops: Vec<OpResult> = Vec::new();
+    let mut table = Table::new(["Op", "Threads", "Wall (s)", "Speedup", "Identical"]);
+
+    for op in ["encrypt", "decrypt", "add"] {
+        // Baseline inputs computed once at one thread: the reference
+        // outputs every wider pool must reproduce bit-for-bit.
+        let base_ct = {
+            let device = Arc::new(Device::new(DeviceConfig::rtx3090()));
+            let ghe = GpuHe::new(device);
+            ghe.encrypt_batch(pk, &ms, seed).expect("encrypt").0
+        };
+        let mut runs = Vec::new();
+        let mut reference: Option<Vec<u8>> = None;
+        for &threads in &thread_counts {
+            // A fresh device per run keeps stats and wall-clock isolated.
+            let device = Arc::new(Device::new(DeviceConfig::rtx3090()));
+            let ghe = GpuHe::new(device);
+            let (digest, wall, pool_threads) = match op {
+                "encrypt" => {
+                    let (r, wall, pt) = timed_in_pool(threads, || ghe.encrypt_batch(pk, &ms, seed));
+                    let cts = r.expect("encrypt").0;
+                    (digest_cts(&cts), wall, pt)
+                }
+                "decrypt" => {
+                    let (r, wall, pt) = timed_in_pool(threads, || ghe.decrypt_batch(sk, &base_ct));
+                    let pts = r.expect("decrypt").0;
+                    (digest_nats(&pts), wall, pt)
+                }
+                _ => {
+                    let (r, wall, pt) =
+                        timed_in_pool(threads, || ghe.add_batch(pk, &base_ct, &base_ct));
+                    let cts = r.expect("add").0;
+                    (digest_cts(&cts), wall, pt)
+                }
+            };
+            let identical = match &reference {
+                None => {
+                    reference = Some(digest);
+                    true
+                }
+                Some(base) => *base == digest,
+            };
+            runs.push(Run {
+                threads,
+                pool_threads,
+                wall_seconds: wall,
+                identical,
+            });
+        }
+        let base_wall = runs.first().map(|r| r.wall_seconds).unwrap_or(0.0);
+        for r in &runs {
+            let speedup = if r.wall_seconds > 0.0 {
+                base_wall / r.wall_seconds
+            } else {
+                1.0
+            };
+            table.row([
+                op.to_string(),
+                r.threads.to_string(),
+                format!("{:.4}", r.wall_seconds),
+                format!("{speedup:.2}x"),
+                if r.identical { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        ops.push(OpResult { op, runs });
+    }
+    table.print();
+
+    let all_identical = ops.iter().all(|o| o.runs.iter().all(|r| r.identical));
+    assert!(
+        all_identical,
+        "outputs must be bit-identical across thread counts"
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"key_bits\": {key_bits},\n"));
+    json.push_str(&format!("  \"items\": {items},\n"));
+    json.push_str(&format!(
+        "  \"bit_identical_across_threads\": {all_identical},\n"
+    ));
+    json.push_str("  \"ops\": [\n");
+    for (i, o) in ops.iter().enumerate() {
+        let base_wall = o.runs.first().map(|r| r.wall_seconds).unwrap_or(0.0);
+        json.push_str(&format!("    {{\"op\": \"{}\", \"runs\": [", o.op));
+        for (j, r) in o.runs.iter().enumerate() {
+            let speedup = if r.wall_seconds > 0.0 {
+                base_wall / r.wall_seconds
+            } else {
+                1.0
+            };
+            json.push_str(&format!(
+                "{{\"threads\": {}, \"pool_threads\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1\": {:.3}}}",
+                r.threads, r.pool_threads, r.wall_seconds, speedup
+            ));
+            if j + 1 < o.runs.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("]}");
+        json.push_str(if i + 1 < ops.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("\nWrote {out_path}");
+    if host == 1 {
+        println!("Host is single-core: speedups are expected to be ~1x here.");
+    }
+}
+
+fn digest_cts(cts: &[he::paillier::Ciphertext]) -> Vec<u8> {
+    // Concatenated limb bytes are a faithful identity for the bitwise
+    // comparison; ordering is part of the contract.
+    let mut out = Vec::new();
+    for c in cts {
+        for &l in c.value.limbs() {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out.push(0xFF);
+    }
+    out
+}
+
+fn digest_nats(ns: &[Natural]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for n in ns {
+        for &l in n.limbs() {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out.push(0xFF);
+    }
+    out
+}

@@ -21,7 +21,11 @@
 //!
 //! The analyzer's own sources are excluded from the default walk: they
 //! discuss directives and violations in documentation and fixtures, and
-//! the tool is a dev-time binary, not part of the library surface.
+//! the tool is a dev-time binary, not part of the library surface. The
+//! dependency shims are skipped too, with one exception: the rayon shim
+//! hosts the work-stealing thread pool that every kernel launch runs on,
+//! so its lock discipline (per-worker deques vs the shared panic slot) is
+//! checked like any first-party crate.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,11 @@ pub const PANIC_FREEDOM_CRATES: &[&str] = &["mpint", "he", "codec", "core", "fl"
 
 /// Path components that terminate the walk.
 const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "flcheck", "fixtures"];
+
+/// Directories re-included despite a skipped ancestor: the rayon shim is
+/// real concurrent runtime code (workers, deques, a shared panic slot),
+/// not a thin API veneer, so its lock discipline is analyzed.
+const RESCAN_DIRS: &[&str] = &["rayon"];
 
 /// True when the panic-freedom family applies to this workspace-relative
 /// path (non-test source of a library crate).
@@ -76,8 +85,25 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                if name.starts_with('.') {
+                    continue;
+                }
+                if !SKIP_DIRS.contains(&name.as_ref()) {
                     stack.push(path);
+                } else if name == "shims" {
+                    // Descend selectively: most shims are inert API
+                    // veneers, but RESCAN_DIRS members carry real
+                    // concurrency worth checking.
+                    for sub in std::fs::read_dir(&path)? {
+                        let sub = sub?;
+                        let sub_name = sub.file_name();
+                        let sub_path = sub.path();
+                        if sub_path.is_dir()
+                            && RESCAN_DIRS.contains(&sub_name.to_string_lossy().as_ref())
+                        {
+                            stack.push(sub_path);
+                        }
+                    }
                 }
             } else if name.ends_with(".rs") {
                 files.push(path);
@@ -126,5 +152,37 @@ mod tests {
         assert_eq!(in_scope.len(), 2);
         let out_of_scope = check_file("crates/bench/src/x.rs", src);
         assert!(out_of_scope.is_empty());
+    }
+
+    #[test]
+    fn rayon_shim_is_scanned_but_other_shims_are_not() {
+        // Walk from the workspace root two levels up from this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let files = collect_files(&root).unwrap();
+        let rel: Vec<String> = files
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        assert!(
+            rel.iter().any(|p| p == "crates/shims/rayon/src/pool.rs"),
+            "pool.rs must be in the walk: {rel:?}"
+        );
+        assert!(
+            !rel.iter()
+                .any(|p| p.starts_with("crates/shims/parking_lot/")),
+            "inert shims stay excluded"
+        );
+        // Lock discipline applies to the shim; panic-freedom does not
+        // (it is still outside PANIC_FREEDOM_CRATES).
+        assert!(!panic_rules_apply("crates/shims/rayon/src/pool.rs"));
     }
 }

@@ -28,8 +28,10 @@ const SPLIT_BRANCH_PENALTY: f64 = 2.0;
 
 /// A simulated GPU.
 ///
-/// Kernel bodies run *for real* on the host thread pool (so results are
-/// exact), while the launch is *accounted* under the GPU execution model:
+/// Kernel bodies run *for real*, data-parallel across the host
+/// work-stealing pool (so results are exact and `wall_seconds` is a true
+/// parallel measurement), while the launch is *accounted* under the GPU
+/// execution model:
 /// the resource manager plans a grid, occupancy and utilization are
 /// derived from the plan, and simulated H2D/compute/D2H times follow the
 /// three-stage model of the paper's Sec. V-B.
@@ -85,8 +87,12 @@ impl Device {
     /// Launches `spec` over `items`, transferring `bytes_in` to the device
     /// beforehand and `bytes_out` back afterwards.
     ///
-    /// Each item runs `body(index, &item)` on the host pool; outputs are
-    /// returned in item order alongside the full [`LaunchReport`].
+    /// Each item runs `body(index, &item)` on the host work-stealing
+    /// pool; outputs are returned in item order alongside the full
+    /// [`LaunchReport`] regardless of how many workers executed them.
+    /// `body` must not panic across items it wants kept: a panic in any
+    /// item cancels the launch and propagates to the caller (the device
+    /// and its pool stay usable).
     pub fn launch<I, O, F>(
         &self,
         spec: &KernelSpec,
@@ -101,6 +107,7 @@ impl Device {
         F: Fn(usize, &I) -> ItemOutcome<O> + Sync,
     {
         let plan = self.manager.plan(&self.config, spec, items.len());
+        let pool_threads = rayon::current_num_threads();
 
         let started = Instant::now();
         let outcomes: Vec<ItemOutcome<O>> = items
@@ -155,6 +162,7 @@ impl Device {
             items: items.len(),
             plan,
             wall_seconds,
+            pool_threads,
             sim_h2d_seconds: sim_h2d,
             sim_kernel_seconds: sim_kernel,
             sim_d2h_seconds: sim_d2h,
@@ -301,6 +309,53 @@ mod tests {
         let q = d.alloc(512).unwrap();
         assert_eq!(p.addr, q.addr);
         assert_eq!(d.stats().memory.reuse_hits, 1);
+    }
+
+    #[test]
+    fn launch_reports_pool_threads_and_is_thread_count_invariant() {
+        let d = device();
+        let items: Vec<u64> = (0..333).collect();
+        let mut baseline: Option<Vec<u64>> = None;
+        for threads in [1usize, 4, 16] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let (out, report) = pool.install(|| {
+                d.launch(&spec(), &items, 0, 0, |i, &x| {
+                    ItemOutcome::new(x.wrapping_mul(x) ^ i as u64, 3)
+                })
+            });
+            assert_eq!(report.pool_threads, threads);
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => assert_eq!(&out, b, "outputs diverged at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_item_cancels_launch_but_device_survives() {
+        let d = device();
+        let items: Vec<u32> = (0..64).collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                d.launch(&spec(), &items, 0, 0, |_, &x| {
+                    if x == 13 {
+                        panic!("unlucky item");
+                    }
+                    ItemOutcome::new(x, 1)
+                })
+            })
+        }));
+        assert!(attempt.is_err(), "the item panic must surface");
+        // The device (and the pool behind it) is still fully usable.
+        let (out, _) = d.launch(&spec(), &items, 0, 0, |_, &x| ItemOutcome::new(x + 1, 1));
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 
     #[test]

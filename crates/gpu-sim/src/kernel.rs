@@ -85,8 +85,13 @@ pub struct LaunchReport {
     pub items: usize,
     /// The grid/occupancy plan chosen by the resource manager.
     pub plan: LaunchPlan,
-    /// Host wall-clock seconds spent executing the kernel bodies.
+    /// Host wall-clock seconds spent executing the kernel bodies — a real
+    /// parallel measurement across [`pool_threads`](Self::pool_threads)
+    /// workers.
     pub wall_seconds: f64,
+    /// Host pool workers the launch fanned out across, for parallel
+    /// efficiency reports (wall-clock vs `total_thread_ops`).
+    pub pool_threads: usize,
     /// Simulated host→device copy seconds.
     pub sim_h2d_seconds: f64,
     /// Simulated device compute seconds.
@@ -139,6 +144,7 @@ mod tests {
             items: 1,
             plan: dummy_plan(),
             wall_seconds: 0.0,
+            pool_threads: 1,
             sim_h2d_seconds: 1.0,
             sim_kernel_seconds: 2.0,
             sim_d2h_seconds: 3.0,

@@ -113,6 +113,7 @@ mod tests {
                 waves: 1,
             },
             wall_seconds: 0.5,
+            pool_threads: 1,
             sim_h2d_seconds: 1.0,
             sim_kernel_seconds: 2.0,
             sim_d2h_seconds: 1.0,

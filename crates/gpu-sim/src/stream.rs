@@ -99,6 +99,7 @@ mod tests {
                 waves: 1,
             },
             wall_seconds: 0.0,
+            pool_threads: 1,
             sim_h2d_seconds: h2d,
             sim_kernel_seconds: kernel,
             sim_d2h_seconds: d2h,

@@ -87,6 +87,14 @@ pub trait HeBackend: Send + Sync {
     ) -> Result<(Vec<Ciphertext>, HeTiming)>;
 }
 
+/// Chunk-granularity cap for HE batch loops: schedule every item as its
+/// own stealable task. One item is a full multi-kilobit modular
+/// exponentiation (≈10⁵–10⁶ limb ops at 1024 bits), which dwarfs the
+/// ~100 ns per-task scheduling cost, and per-item scheduling lets the
+/// pool rebalance skewed batches (e.g. `fold_groups` over uneven
+/// histogram buckets) that coarse chunking would serialize.
+const HE_MAX_CHUNK: usize = 1;
+
 /// Derives a per-item RNG from a batch seed, mirroring the paper's
 /// one-generator-per-thread design.
 fn item_rng(seed: u64, index: usize) -> ChaCha8Rng {
@@ -141,6 +149,7 @@ impl HeBackend for CpuHe {
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
         let out: crate::Result<Vec<Ciphertext>> = plaintexts
             .par_iter()
+            .with_max_len(HE_MAX_CHUNK)
             .enumerate()
             .map(|(i, m)| pk.encrypt_with_r(m, &blinding(pk, seed, i)))
             .collect();
@@ -154,8 +163,11 @@ impl HeBackend for CpuHe {
         sk: &PaillierPrivateKey,
         ciphertexts: &[Ciphertext],
     ) -> Result<(Vec<Natural>, HeTiming)> {
-        let out: crate::Result<Vec<Natural>> =
-            ciphertexts.par_iter().map(|c| sk.decrypt_crt(c)).collect();
+        let out: crate::Result<Vec<Natural>> = ciphertexts
+            .par_iter()
+            .with_max_len(HE_MAX_CHUNK)
+            .map(|c| sk.decrypt_crt(c))
+            .collect();
         let out = out?;
         let ops = sk.decrypt_op_estimate() * ciphertexts.len() as u64;
         Ok((out, self.timing(ops, ciphertexts.len())))
@@ -172,6 +184,7 @@ impl HeBackend for CpuHe {
         assert_eq!(a.len(), b.len(), "add_batch requires equal lengths");
         let out: crate::Result<Vec<Ciphertext>> = a
             .par_iter()
+            .with_max_len(HE_MAX_CHUNK)
             .zip(b.par_iter())
             .map(|(x, y)| pk.checked_add(x, y))
             .collect();
@@ -186,6 +199,7 @@ impl HeBackend for CpuHe {
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
         let out: crate::Result<Vec<Ciphertext>> = groups
             .par_iter()
+            .with_max_len(HE_MAX_CHUNK)
             .map(|group| {
                 let mut acc = pk.zero_ciphertext();
                 for c in group {

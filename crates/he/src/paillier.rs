@@ -4,9 +4,14 @@
 //! `Z*_{n²}`:
 //!
 //! - **Key generation**: primes `p, q` of `k/2` bits, `n = p·q`,
-//!   `λ = lcm(p-1, q-1)`; we use the standard generator `g = n + 1`, which
+//!   `λ = lcm(p-1, q-1)`. The default generator is `g = n + 1`, which
 //!   satisfies the paper's `gcd(n, L(g^λ mod n²)) = 1` condition and makes
-//!   `g^m mod n² = 1 + m·n` a single multiplication.
+//!   `g^m mod n² = 1 + m·n` a single multiplication — the fast path every
+//!   encryption takes. [`PaillierKeyPair::from_primes_with_g`] accepts an
+//!   arbitrary valid `g`; those keys fall back to a generic constant-time
+//!   exponentiation for `g^m` (the plaintext is secret), one extra modexp
+//!   per encryption, reflected in
+//!   [`PaillierPublicKey::encrypt_op_estimate`].
 //! - **Encryption** (paper Eq. 3): `E(m) = g^m · r^n mod n²`.
 //! - **Decryption** (paper Eq. 4): `D(c) = L(c^λ mod n²) / L(g^λ mod n²)
 //!   mod n`, with an optional CRT fast path that exponentiates modulo `p²`
@@ -53,8 +58,12 @@ pub struct PaillierPublicKey {
     pub n: Natural,
     /// `n²`, the ciphertext modulus.
     pub n_squared: Natural,
+    /// The generator `g ∈ Z*_{n²}` (normally `n + 1`).
+    pub g: Natural,
     /// Nominal key size in bits.
     pub key_bits: u32,
+    /// Whether `g = n + 1`, enabling the closed-form `g^m = 1 + m·n`.
+    pub(crate) g_fast: bool,
     pub(crate) ctx_n2: MontgomeryCtx,
     pub(crate) key_id: u64,
 }
@@ -141,21 +150,42 @@ impl PaillierKeyPair {
     }
 
     /// Builds a key pair from explicit primes (used by tests and by the
-    /// deterministic benchmark harness).
+    /// deterministic benchmark harness) with the standard fast generator
+    /// `g = n + 1`.
     pub fn from_primes(p: Natural, q: Natural, key_bits: u32) -> Result<Self> {
+        let g = &(&p * &q) + &Natural::one();
+        Self::from_primes_with_g(p, q, key_bits, g)
+    }
+
+    /// Builds a key pair from explicit primes and an explicit generator
+    /// `g ∈ Z*_{n²}`.
+    ///
+    /// `g = n + 1` (what [`from_primes`](Self::from_primes) passes) gets
+    /// the closed-form encryption fast path; any other `g` is validated by
+    /// deriving `μ = L(g^λ mod n²)^{-1} mod n` — an invalid generator
+    /// (e.g. `g = 1`, or any `g` whose order does not make `L(g^λ)`
+    /// invertible) fails here with an [`Error::Arithmetic`] inverse
+    /// failure instead of producing a key that decrypts to garbage.
+    pub fn from_primes_with_g(p: Natural, q: Natural, key_bits: u32, g: Natural) -> Result<Self> {
         let n = &p * &q;
         let n_squared = n.square();
+        let one = Natural::one();
+        if g.is_zero() || g >= n_squared {
+            return Err(Error::InvalidParameter("generator g must lie in [1, n²)"));
+        }
+        let g_fast = g == &n + &one;
         let ctx_n2 = MontgomeryCtx::new(&n_squared)?;
-        let key_id = key_fingerprint(&n);
+        let key_id = key_fingerprint(&n, &g);
         let public = PaillierPublicKey {
             n: n.clone(),
             n_squared: n_squared.clone(),
+            g: g.clone(),
             key_bits,
+            g_fast,
             ctx_n2,
             key_id,
         };
 
-        let one = Natural::one();
         let p_minus_1 = p
             .checked_sub(&one)
             .ok_or(Error::InvalidParameter("prime factor p must exceed 1"))?;
@@ -164,19 +194,36 @@ impl PaillierKeyPair {
             .ok_or(Error::InvalidParameter("prime factor q must exceed 1"))?;
         let lambda = mpint::lcm(&p_minus_1, &q_minus_1);
 
-        // μ = L(g^λ mod n²)^{-1} mod n, with g = n+1 so
-        // g^λ mod n² = 1 + λ·n mod n², hence L(g^λ) = λ mod n.
-        let mu = mod_inv(&(&lambda % &n), &n)?;
+        // μ = L(g^λ mod n²)^{-1} mod n. With g = n+1,
+        // g^λ mod n² = 1 + λ·n mod n², hence L(g^λ) = λ mod n; a generic g
+        // needs the exponentiation (λ is secret, so the ct ladder).
+        let l_g_lambda = if g_fast {
+            &lambda % &n
+        } else {
+            let g_lambda = pow_secret(&public.ctx_n2, &g, &lambda, n.bit_len());
+            &l_function(&g_lambda, &n) % &n
+        };
+        let mu = mod_inv(&l_g_lambda, &n)?;
 
         // CRT precomputation.
         let p_squared = p.square();
         let q_squared = q.square();
         let ctx_p2 = MontgomeryCtx::new(&p_squared)?;
         let ctx_q2 = MontgomeryCtx::new(&q_squared)?;
-        // g = n+1 ≡ 1 + n (mod p²); g^{p-1} mod p² = 1 + (p-1)·n mod p².
-        let g_p = mod_pow_ctx(&ctx_p2, &(&n + &one), &p_minus_1);
+        // With g = n+1: n² ≡ 0 (mod p²), so g^k mod p² = 1 + k·n mod p² —
+        // no exponentiation needed. Generic g goes through the ct ladder
+        // (the exponent p-1 is private-key material).
+        let g_p = if g_fast {
+            &(&one + &(&p_minus_1 * &n)) % &p_squared
+        } else {
+            pow_secret(&ctx_p2, &(&g % &p_squared), &p_minus_1, p.bit_len())
+        };
         let h_p = mod_inv(&(&l_function(&g_p, &p) % &p), &p)?;
-        let g_q = mod_pow_ctx(&ctx_q2, &(&n + &one), &q_minus_1);
+        let g_q = if g_fast {
+            &(&one + &(&q_minus_1 * &n)) % &q_squared
+        } else {
+            pow_secret(&ctx_q2, &(&g % &q_squared), &q_minus_1, q.bit_len())
+        };
         let h_q = mod_inv(&(&l_function(&g_q, &q) % &q), &q)?;
         let p_inv_q = mod_inv(&(&p % &q), &q)?;
 
@@ -200,11 +247,13 @@ impl PaillierKeyPair {
     }
 }
 
-/// Cheap structural fingerprint of a key's modulus, embedded in
-/// ciphertexts to catch cross-key mixing.
-fn key_fingerprint(n: &Natural) -> u64 {
+/// Cheap structural fingerprint of a key's modulus and generator, embedded
+/// in ciphertexts to catch cross-key mixing. Two keys sharing `n` but
+/// using different `g` decrypt each other's ciphertexts to garbage, so `g`
+/// is part of the identity.
+fn key_fingerprint(n: &Natural, g: &Natural) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
-    for &l in n.limbs() {
+    for &l in n.limbs().iter().chain(g.limbs()) {
         h ^= l;
         h = h.wrapping_mul(0x100000001b3);
     }
@@ -226,8 +275,15 @@ impl PaillierPublicKey {
                 modulus_bits: self.n.bit_len(),
             });
         }
-        // g^m mod n² = 1 + m·n (g = n+1) — one multiplication.
-        let g_m = &(&Natural::one() + &(m * &self.n)) % &self.n_squared;
+        // Fast path (g = n+1): g^m mod n² = 1 + m·n — one multiplication.
+        // Generic g pays a full exponentiation; the plaintext m is secret,
+        // so it goes through the constant-time ladder with the public
+        // bound m < n.
+        let g_m = if self.g_fast {
+            &(&Natural::one() + &(m * &self.n)) % &self.n_squared
+        } else {
+            pow_secret(&self.ctx_n2, &self.g, m, self.n.bit_len())
+        };
         // r^n mod n²: the expensive modular exponentiation.
         let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
         let value = self.ctx_n2.mod_mul(&g_m, &r_n);
@@ -276,13 +332,17 @@ impl PaillierPublicKey {
     /// Estimated limb-level operation count of one encryption, used by the
     /// GPU simulator's timing model: a `bits(n)`-bit exponentiation of
     /// `s²`-cost Montgomery multiplications plus the blinding multiply.
+    /// Keys with a generic generator (no `g = n+1` closed form) also pay
+    /// the constant-time `g^m` ladder: one squaring and one multiply per
+    /// exponent bit.
     pub fn encrypt_op_estimate(&self) -> u64 {
         let s = self.ctx_n2.width() as u64;
         let e_bits = self.n.bit_len() as u64;
         let w = window_size_for(self.n.bit_len()) as u64;
         // squarings + window multiplies + table build
         let mont_muls = e_bits + e_bits / (w + 1) + (1 << (w - 1));
-        (mont_muls + 2) * s * s
+        let g_muls = if self.g_fast { 0 } else { 2 * e_bits };
+        (mont_muls + g_muls + 2) * s * s
     }
 
     /// Estimated limb-level operation count of one homomorphic addition.
@@ -507,6 +567,87 @@ mod tests {
         assert!(k2.public.encrypt_op_estimate() > 4 * k1.public.encrypt_op_estimate());
         assert!(k2.private.decrypt_op_estimate() > 4 * k1.private.decrypt_op_estimate());
         assert!(k1.public.add_op_estimate() < k1.public.encrypt_op_estimate());
+    }
+
+    /// Key pair over the same primes as `keys(128)` but with the generic
+    /// generator `g = 1 + 2n` (valid: `L((1+2n)^λ) = 2λ mod n`, coprime to
+    /// the odd `n` because `gcd(λ, n) = 1` for equal-size primes).
+    fn generic_g_keys() -> PaillierKeyPair {
+        let k = keys(128);
+        let n = &k.public.n;
+        let g = &Natural::one() + &(&Natural::from(2u64) * n);
+        PaillierKeyPair::from_primes_with_g(k.private.p.clone(), k.private.q.clone(), 128, g)
+            .unwrap()
+    }
+
+    #[test]
+    fn generic_g_roundtrip_and_addition() {
+        let k = generic_g_keys();
+        assert!(!k.public.g_fast);
+        let mut r = rng();
+        for v in [0u64, 1, 42, 0xFFFF_FFFF] {
+            let c = k.public.encrypt(&nat(v), &mut r).unwrap();
+            assert_eq!(k.private.decrypt(&c).unwrap(), nat(v), "direct {v}");
+            assert_eq!(k.private.decrypt_crt(&c).unwrap(), nat(v), "crt {v}");
+        }
+        let c1 = k.public.encrypt(&nat(1000), &mut r).unwrap();
+        let c2 = k.public.encrypt(&nat(2345), &mut r).unwrap();
+        let sum = k.public.checked_add(&c1, &c2).unwrap();
+        assert_eq!(k.private.decrypt(&sum).unwrap(), nat(3345));
+    }
+
+    #[test]
+    fn explicit_n_plus_1_matches_default_path() {
+        let k = keys(128);
+        let g = &k.public.n + &Natural::one();
+        let k2 =
+            PaillierKeyPair::from_primes_with_g(k.private.p.clone(), k.private.q.clone(), 128, g)
+                .unwrap();
+        assert!(k2.public.g_fast);
+        assert_eq!(k.public.key_id, k2.public.key_id);
+        let r = nat(987_654_321);
+        let c1 = k.public.encrypt_with_r(&nat(7777), &r).unwrap();
+        let c2 = k2.public.encrypt_with_r(&nat(7777), &r).unwrap();
+        assert_eq!(c1.value, c2.value);
+    }
+
+    #[test]
+    fn invalid_generators_rejected() {
+        let k = keys(128);
+        let (p, q) = (k.private.p.clone(), k.private.q.clone());
+        // g = 1 has order 1: L(1^λ) = 0, not invertible.
+        assert!(
+            PaillierKeyPair::from_primes_with_g(p.clone(), q.clone(), 128, Natural::one()).is_err()
+        );
+        // g outside [1, n²) is structurally invalid.
+        assert!(matches!(
+            PaillierKeyPair::from_primes_with_g(
+                p.clone(),
+                q.clone(),
+                128,
+                k.public.n_squared.clone()
+            ),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            PaillierKeyPair::from_primes_with_g(p, q, 128, Natural::from(0u64)),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn generic_g_costs_more_and_mixing_fails() {
+        let fast = keys(128);
+        let slow = generic_g_keys();
+        // Same modulus width, but the generic ladder adds 2·bits(n)
+        // Montgomery multiplications per encryption.
+        assert!(slow.public.encrypt_op_estimate() > fast.public.encrypt_op_estimate());
+        // Same n, different g: the fingerprint must differ so cross-g
+        // mixing fails loudly instead of decrypting to garbage.
+        assert_ne!(fast.public.key_id, slow.public.key_id);
+        let mut r = rng();
+        let c = fast.public.encrypt(&nat(5), &mut r).unwrap();
+        assert_eq!(slow.private.decrypt(&c), Err(Error::KeyMismatch));
     }
 
     #[test]

@@ -1,81 +1,44 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — now a real parallel runtime.
 //!
-//! `par_iter()` here returns the ordinary sequential iterator, so every
-//! rayon call site compiles and produces identical results with the
-//! parallelism degraded to 1. Hot paths that matter for wall-clock
-//! performance in this repository are modelled by the GPU simulator, not
-//! by host-thread fan-out, so sequential execution preserves semantics.
+//! Earlier revisions of this shim degraded every `par_iter()` to the
+//! sequential iterator. That made the GPU simulator's "kernel launches"
+//! run on one host thread, so every wall-clock number in the bench
+//! harness measured serial execution. This crate now implements the
+//! subset of rayon the workspace uses on top of a dependency-free
+//! work-stealing pool:
+//!
+//! - [`prelude`]: `par_iter` / `par_iter_mut` / `into_par_iter` with
+//!   `map`, `enumerate`, `zip`, `fold`/`reduce`, `sum`, `for_each`, and
+//!   order-preserving `collect` (including `collect::<Result<Vec<_>, E>>`
+//!   with deterministic earliest-error selection).
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] for explicit thread
+//!   counts, plus a global default sized from `RAYON_NUM_THREADS` or
+//!   `std::thread::available_parallelism()`.
+//! - Work stealing: per-worker deques seeded with contiguous chunk
+//!   spans; idle workers steal from the back of a victim's deque, so
+//!   skewed item costs (e.g. `fold_groups` over uneven histogram
+//!   buckets) rebalance automatically. See [`pool`] for the execution
+//!   model and panic semantics.
+//!
+//! Determinism contract: item values, collect order, and zip alignment
+//! are identical at every thread count (including 1); only wall-clock
+//! changes. A panic in one item cancels the remaining work, is re-raised
+//! on the caller, and leaves the pool reusable.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
 pub mod prelude {
-    //! Parallel-iterator traits (sequentially implemented).
-
-    /// `.par_iter()` on slices and `Vec`s.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type (here: the sequential borrow iterator).
-        type Iter: Iterator;
-
-        /// Returns a "parallel" iterator over `&self`.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    /// `.into_par_iter()` on owned collections.
-    pub trait IntoParallelIterator {
-        /// Produced item type.
-        type Item;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-
-        /// Converts into a "parallel" iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `.par_iter_mut()` on slices and `Vec`s.
-    pub trait IntoParallelRefMutIterator<'data> {
-        /// The iterator type.
-        type Iter: Iterator;
-
-        /// Returns a "parallel" iterator over `&mut self`.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
+    //! The conversion traits, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParIter,
+    };
 }
 
 #[cfg(test)]
@@ -89,5 +52,12 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
         let sum: i32 = v.into_par_iter().sum();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn env_override_is_respected_or_default_positive() {
+        // The global default is computed once per process; whatever it
+        // resolved to must be a positive worker count.
+        assert!(crate::current_num_threads() >= 1);
     }
 }

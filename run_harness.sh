@@ -1,5 +1,6 @@
 #!/bin/bash
 # Final harness sequence: every table and figure, laptop-scaled.
+set -o pipefail
 cd /root/repo
 R=results
 mkdir -p $R
@@ -18,8 +19,26 @@ run table3_epoch_time --quick --keys 1024
 run table3_epoch_time --quick --keys 2048 --models homo-lr --datasets rcv1
 run table5_ablation --quick --keys 1024 --datasets rcv1,synthetic         
 run table7_bias --quick --epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic
-run fig8_convergence --quick --epochs 3 --models homo-lr,hetero-nn        
+run fig8_convergence --quick --epochs 3 --models homo-lr,hetero-nn
 run ablation_quantization --quick
+
+# Parallel-efficiency gate: wall-clock per thread count plus the
+# bit-identical-output check, recorded in results/bench_summary.json.
+run bench_parallel --items 256 --keys 1024
+
+# Thread-count invariance gate: the tier-1 test suite must pass both
+# pinned to one worker and at the host's full width (the pool reads
+# RAYON_NUM_THREADS at first use).
+echo "=== tier-1 tests: RAYON_NUM_THREADS=1 ==="
+if ! RAYON_NUM_THREADS=1 cargo test -q --release 2>&1 | tail -40; then
+  echo "HARNESS_FAILED: tests under RAYON_NUM_THREADS=1"
+  exit 1
+fi
+echo "=== tier-1 tests: unbounded pool ==="
+if ! cargo test -q --release 2>&1 | tail -40; then
+  echo "HARNESS_FAILED: tests under unbounded pool"
+  exit 1
+fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
 echo "=== flcheck: static analysis ==="

@@ -1,0 +1,133 @@
+//! Cross-layer determinism under the work-stealing pool: every public
+//! parallel surface — shim iterators, GPU-sim launches, HE batches —
+//! must produce bit-identical results at any thread count, and a panic
+//! in one work item must surface without wedging later work.
+
+use std::sync::Arc;
+
+use gpu_sim::{Device, DeviceConfig, ItemOutcome};
+use he::paillier::PaillierKeyPair;
+use he::{CpuHe, GpuHe, HeBackend};
+use mpint::Natural;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Runs `body` inside a dedicated pool of `threads` workers.
+fn in_pool<T: Send>(threads: usize, body: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build")
+        .install(body)
+}
+
+#[test]
+fn collect_order_and_zip_alignment_are_thread_count_invariant() {
+    let data: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+    let weights: Vec<u64> = (0..1000).map(|i| i % 13).collect();
+    let reference: Vec<u64> = data
+        .iter()
+        .zip(&weights)
+        .enumerate()
+        .map(|(i, (d, w))| d * w + i as u64)
+        .collect();
+    for threads in THREAD_COUNTS {
+        let got: Vec<u64> = in_pool(threads, || {
+            data.par_iter()
+                .zip(weights.par_iter())
+                .enumerate()
+                .map(|(i, (d, w))| d * w + i as u64)
+                .collect()
+        });
+        assert_eq!(got, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn device_launch_outputs_identical_across_thread_counts() {
+    let inputs: Vec<u64> = (0..512).map(|i| i * i + 1).collect();
+    let spec = gpu_sim::KernelSpec::simple("determinism_probe");
+    let mut reference: Option<(Vec<u64>, usize)> = None;
+    for threads in THREAD_COUNTS {
+        let device = Device::new(DeviceConfig::rtx3090());
+        let (outputs, report) = in_pool(threads, || {
+            device.launch(&spec, &inputs, 0, 0, |i, &x| {
+                ItemOutcome::new(x.wrapping_mul(0x9E37_79B9).rotate_left((i % 31) as u32), 3)
+            })
+        });
+        assert_eq!(report.pool_threads, threads, "threads={threads}");
+        match &reference {
+            None => reference = Some((outputs, report.items)),
+            Some((ref_out, ref_items)) => {
+                assert_eq!(&outputs, ref_out, "threads={threads}");
+                assert_eq!(report.items, *ref_items);
+            }
+        }
+    }
+}
+
+#[test]
+fn he_batches_are_bit_identical_across_thread_counts() {
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD0_0D);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let ms: Vec<Natural> = (0..96).map(|_| Natural::from(rng.next_u64())).collect();
+    let seed = 0xFEED_F00D;
+
+    let mut reference: Option<Vec<Natural>> = None;
+    for threads in THREAD_COUNTS {
+        // Exercise both backends: CpuHe parallelizes directly over the
+        // shim; GpuHe goes through Device::launch.
+        let cpu = CpuHe::default();
+        let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())));
+        let (cts_cpu, cts_gpu) = in_pool(threads, || {
+            let a = cpu.encrypt_batch(&keys.public, &ms, seed).expect("cpu").0;
+            let b = gpu.encrypt_batch(&keys.public, &ms, seed).expect("gpu").0;
+            (a, b)
+        });
+        let values: Vec<Natural> = cts_cpu.iter().map(|c| c.value.clone()).collect();
+        let gpu_values: Vec<Natural> = cts_gpu.iter().map(|c| c.value.clone()).collect();
+        assert_eq!(
+            values, gpu_values,
+            "cpu and gpu backends agree at threads={threads}"
+        );
+        match &reference {
+            None => reference = Some(values),
+            Some(r) => assert_eq!(&values, r, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn panic_in_one_item_surfaces_and_pool_stays_usable() {
+    let hit = std::panic::catch_unwind(|| {
+        let v: Vec<u32> = (0..64u32).collect();
+        let _: Vec<u32> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 37 {
+                    panic!("item 37 exploded");
+                }
+                x * 2
+            })
+            .collect();
+    });
+    let payload = hit.expect_err("the item panic must surface to the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("item 37"), "payload preserved: {msg}");
+
+    // The global pool must keep working after the panic.
+    let v: Vec<u32> = (0..256u32).collect();
+    let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+    assert_eq!(doubled, (0..256u32).map(|x| x * 2).collect::<Vec<_>>());
+}
