@@ -85,14 +85,24 @@ impl BatchCodec {
     /// Quantizes and packs a gradient vector into big-integer plaintexts
     /// (Eq. 9 layout: slot `i` of a word occupies bits
     /// `[i·(r+b), (i+1)·(r+b))`).
+    // flcheck: secret(values)
     pub fn pack(&self, values: &[f64]) -> Result<Vec<Natural>> {
         let slot_bits = self.quantizer.config().slot_bits();
         let mut words = Vec::with_capacity(self.words_for(values.len()));
         for chunk in values.chunks(self.slots_per_word) {
             let mut word = Natural::zero();
             for (i, &v) in chunk.iter().enumerate() {
+                // Packing runs on the data owner's host before encryption;
+                // its timing is visible only to the plaintext owner, never
+                // to the aggregator.
+                // flcheck: allow(ct-taint)
                 let q = self.quantizer.quantize(v)?;
+                // Deliberate sparsity fast path: skipping zero slots
+                // branches on the (owner-local) quantized value.
+                // flcheck: allow(ct-taint)
                 if q != 0 {
+                    // Owner-local, as above.
+                    // flcheck: allow(ct-taint)
                     word.add_assign_ref(&Natural::from(q).shl_bits(i as u32 * slot_bits));
                 }
             }

@@ -238,10 +238,16 @@ impl Accelerator {
     }
 
     /// Quantizes, packs (if enabled), and encrypts a gradient vector.
+    // flcheck: secret(values)
     pub fn encrypt(&self, values: &[f64], seed: u64) -> Result<EncryptedVector> {
         let plaintexts: Vec<Natural> = if self.batch_compression {
+            // Quantize-and-pack runs on the data owner's host before
+            // encryption; its timing is visible only to the plaintext owner.
+            // flcheck: allow(ct-taint)
             self.codec.pack(values)?
         } else {
+            // Same owner-local boundary as the packed branch.
+            // flcheck: allow(ct-taint)
             values
                 .iter()
                 .map(|&v| self.codec.quantizer().quantize(v).map(Natural::from))
@@ -249,7 +255,13 @@ impl Accelerator {
         };
         let (cts, t) = self
             .he
+            // Delegation boundary: the HE layer's encrypt entry points
+            // carry their own secret(m) seeds.
+            // flcheck: allow(ct-taint)
             .encrypt_batch(&self.keys.public, &plaintexts, seed)?;
+        // `t` is the simulated timing record — a function of batch size and
+        // key width, not of the plaintext values.
+        // flcheck: allow(ct-taint)
         self.charge(&t, values.len());
         Ok(EncryptedVector {
             cts,

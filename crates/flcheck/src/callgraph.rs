@@ -1,0 +1,373 @@
+//! Workspace call graph and the interprocedural panic-propagation pass.
+//!
+//! [`CallGraph::build`] resolves every [`crate::parse::CallSite`] against
+//! the `fn` items of all parsed files by name: method calls (`x.f(..)`)
+//! resolve to `self`-taking fns, free calls to the rest (falling back to
+//! methods for UFCS `Type::method(x)` paths), same-file candidates win
+//! over cross-file ones, and non-test candidates win over test helpers.
+//! Unresolvable names (std/core, shims outside the scan set) simply have
+//! no edge — the graph is a *may-call* over-approximation restricted to
+//! first-party code.
+//!
+//! [`check_reach`] closes the existing panic-freedom facts over that
+//! graph: a public fn in a panic-freedom crate whose transitive callees
+//! contain an unallowed `pf-*` site is flagged `pf-reach`, carrying the
+//! full call chain in the finding. The walk is a breadth-first search
+//! with a visited set, so recursive cycles terminate and reported chains
+//! are shortest paths.
+
+use crate::parse::ParsedFile;
+use crate::report::Finding;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Node id: (file index, fn index) into the parsed-file slice.
+pub type NodeId = (usize, usize);
+
+/// One resolved call edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Index into the caller's `FnItem::calls`.
+    pub call: usize,
+    /// Resolved callee.
+    pub to: NodeId,
+}
+
+/// Workspace call graph over a slice of [`ParsedFile`]s.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// `edges[file][fn]` = resolved out-edges, in call-site order (one
+    /// edge per candidate when a name is ambiguous).
+    pub edges: Vec<Vec<Vec<Edge>>>,
+}
+
+impl CallGraph {
+    /// Builds the graph by name resolution over all fn items.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for (gi, f) in pf.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((fi, gi));
+            }
+        }
+        let mut edges = Vec::with_capacity(files.len());
+        for (fi, pf) in files.iter().enumerate() {
+            let mut file_edges = Vec::with_capacity(pf.fns.len());
+            for f in &pf.fns {
+                let mut fn_edges = Vec::new();
+                for (ci, call) in f.calls.iter().enumerate() {
+                    for to in resolve(files, &by_name, fi, call.is_method, &call.callee) {
+                        fn_edges.push(Edge { call: ci, to });
+                    }
+                }
+                file_edges.push(fn_edges);
+            }
+            edges.push(file_edges);
+        }
+        CallGraph { edges }
+    }
+
+    /// Out-edges of one node.
+    pub fn out(&self, n: NodeId) -> &[Edge] {
+        &self.edges[n.0][n.1]
+    }
+}
+
+/// Resolves one call by name. Returns every candidate that survives the
+/// filters, in (file, fn) order.
+fn resolve(
+    files: &[ParsedFile],
+    by_name: &HashMap<&str, Vec<NodeId>>,
+    caller_file: usize,
+    is_method: bool,
+    callee: &str,
+) -> Vec<NodeId> {
+    let Some(all) = by_name.get(callee) else {
+        return Vec::new();
+    };
+    let mut cands: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|&(fi, gi)| files[fi].fns[gi].is_method == is_method)
+        .collect();
+    if cands.is_empty() && !is_method {
+        // `Type::method(x)` — a free-looking path call into a method.
+        cands = all.to_vec();
+    }
+    if cands.iter().any(|&(fi, _)| fi == caller_file) {
+        cands.retain(|&(fi, _)| fi == caller_file);
+    }
+    if cands.iter().any(|&(fi, gi)| !files[fi].fns[gi].in_test) {
+        cands.retain(|&(fi, gi)| !files[fi].fns[gi].in_test);
+    }
+    cands
+}
+
+/// Formats one call-chain hop.
+fn hop(files: &[ParsedFile], n: NodeId) -> String {
+    let f = &files[n.0].fns[n.1];
+    format!("{} ({}:{})", f.name, files[n.0].src.rel_path, f.line)
+}
+
+/// Attributes a finding line to the innermost enclosing fn of a file.
+fn enclosing_fn(pf: &ParsedFile, line: u32) -> Option<usize> {
+    let mut best: Option<(usize, u32)> = None;
+    for (gi, f) in pf.fns.iter().enumerate() {
+        let end_line = pf
+            .src
+            .tokens
+            .get(f.body_end.saturating_sub(1))
+            .map_or(f.line, |t| t.line);
+        if line >= f.line && line <= end_line {
+            // Innermost = latest-starting containing fn.
+            if best.is_none_or(|(_, l)| f.line >= l) {
+                best = Some((gi, f.line));
+            }
+        }
+    }
+    best.map(|(gi, _)| gi)
+}
+
+/// Interprocedural panic propagation: flags public fns in panic-freedom
+/// crates that transitively reach an unallowed panic site, with the call
+/// chain. Direct panics are already reported by the intraprocedural
+/// `pf-*` rules and seed this pass; `pf-reach` only fires across at
+/// least one call edge.
+pub fn check_reach(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    // Per-node panic facts from the existing (allow- and test-filtered)
+    // intraprocedural pass.
+    let mut facts: BTreeMap<NodeId, Vec<Finding>> = BTreeMap::new();
+    for (fi, pf) in files.iter().enumerate() {
+        if !crate::panic_rules_apply(&pf.src.rel_path) {
+            continue;
+        }
+        let mut direct = Vec::new();
+        crate::rules::check_panics(&pf.src, &mut direct);
+        for d in direct {
+            if let Some(gi) = enclosing_fn(pf, d.line) {
+                facts.entry((fi, gi)).or_default().push(d);
+            }
+        }
+    }
+    for v in facts.values_mut() {
+        v.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    }
+
+    for (fi, pf) in files.iter().enumerate() {
+        if !crate::panic_rules_apply(&pf.src.rel_path) {
+            continue;
+        }
+        for (gi, f) in pf.fns.iter().enumerate() {
+            if !f.is_pub || f.in_test {
+                continue;
+            }
+            let start: NodeId = (fi, gi);
+            // BFS with predecessor tracking; the visited set terminates
+            // recursive cycles.
+            let mut pred: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+            let mut queue: VecDeque<NodeId> = VecDeque::new();
+            queue.push_back(start);
+            let mut reached: Vec<NodeId> = Vec::new();
+            while let Some(n) = queue.pop_front() {
+                for e in graph.out(n) {
+                    if e.to == start || pred.contains_key(&e.to) {
+                        continue;
+                    }
+                    pred.insert(e.to, n);
+                    if facts.contains_key(&e.to) {
+                        reached.push(e.to);
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+            for m in reached {
+                // Reconstruct start -> .. -> m.
+                let mut path = vec![m];
+                while let Some(&p) = pred.get(path.last().unwrap()) {
+                    path.push(p);
+                    if p == start {
+                        break;
+                    }
+                }
+                path.reverse();
+                let first_callee = path[1];
+                let line = graph
+                    .out(start)
+                    .iter()
+                    .find(|e| e.to == first_callee)
+                    .map(|e| pf.fns[gi].calls[e.call].line)
+                    .unwrap_or(f.line);
+                if pf.src.is_allowed("pf-reach", line) {
+                    continue;
+                }
+                let fact = &facts[&m][0];
+                let mut chain: Vec<String> = path.iter().map(|&n| hop(files, n)).collect();
+                chain.push(format!("{} ({}:{})", fact.rule, fact.file, fact.line));
+                let target = &files[m.0].fns[m.1];
+                out.push(Finding::with_chain(
+                    "pf-reach",
+                    &pf.src.rel_path,
+                    line,
+                    format!(
+                        "public fn `{}` can reach a panic: `{}` has an unallowed `{}` at {}:{} ({} call{} deep)",
+                        f.name,
+                        target.name,
+                        fact.rule,
+                        fact.file,
+                        fact.line,
+                        path.len() - 1,
+                        if path.len() - 1 == 1 { "" } else { "s" },
+                    ),
+                    chain,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Vec<ParsedFile> {
+        files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect()
+    }
+
+    fn named_edges(files: &[ParsedFile], g: &CallGraph) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for (gi, f) in pf.fns.iter().enumerate() {
+                for e in g.out((fi, gi)) {
+                    out.push((f.name.clone(), files[e.to.0].fns[e.to.1].name.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cross_module_and_method_edges_are_exact() {
+        let files = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn entry(s: &State) { s.step(); helper(1); }\nfn helper(x: u8) {}\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "impl State { pub fn step(&self) { tick(); } }\nfn tick() {}\nfn helper(y: u8) {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        // `helper` exists in both files; the same-file candidate wins, so
+        // exactly one `entry -> helper` edge lands in a.rs. `s.step()` is
+        // a method call and resolves cross-module to the only self-taking
+        // `step`.
+        assert_eq!(
+            named_edges(&files, &g),
+            vec![
+                ("entry".to_string(), "step".to_string()),
+                ("entry".to_string(), "helper".to_string()),
+                ("step".to_string(), "tick".to_string()),
+            ]
+        );
+        let entry_edges = g.out((0, 0));
+        assert_eq!(entry_edges[1].to, (0, 1), "same-file helper preferred");
+    }
+
+    #[test]
+    fn free_calls_do_not_resolve_to_methods() {
+        let files = ws(&[(
+            "crates/core/src/a.rs",
+            "impl T { fn norm(&self) {} }\nfn norm(x: u8) {}\nfn f(x: u8) { norm(x); }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let edges = named_edges(&files, &g);
+        assert_eq!(edges, vec![("f".to_string(), "norm".to_string())]);
+        // Resolved to the free fn (index 1), not the method (index 0).
+        assert_eq!(g.out((0, 2))[0].to, (0, 1));
+    }
+
+    #[test]
+    fn recursive_cycle_terminates_and_reports_reach() {
+        let files = ws(&[(
+            "crates/core/src/cycle.rs",
+            "\
+pub fn api(n: u32) {
+    ping(n);
+}
+fn ping(n: u32) {
+    pong(n);
+}
+fn pong(n: u32) {
+    ping(n);
+    boom();
+}
+fn boom() {
+    panic!(\"boom\");
+}
+",
+        )]);
+        let g = CallGraph::build(&files);
+        // Exact edges, including the ping <-> pong cycle.
+        assert_eq!(
+            named_edges(&files, &g),
+            vec![
+                ("api".to_string(), "ping".to_string()),
+                ("ping".to_string(), "pong".to_string()),
+                ("pong".to_string(), "ping".to_string()),
+                ("pong".to_string(), "boom".to_string()),
+            ]
+        );
+        let mut out = Vec::new();
+        check_reach(&files, &g, &mut out);
+        assert_eq!(out.len(), 1);
+        let f = &out[0];
+        assert_eq!(f.rule, "pf-reach");
+        assert_eq!(f.line, 2, "flagged at api's call into the chain");
+        assert_eq!(
+            f.chain,
+            vec![
+                "api (crates/core/src/cycle.rs:1)",
+                "ping (crates/core/src/cycle.rs:4)",
+                "pong (crates/core/src/cycle.rs:7)",
+                "boom (crates/core/src/cycle.rs:11)",
+                "pf-panic (crates/core/src/cycle.rs:12)",
+            ]
+        );
+    }
+
+    #[test]
+    fn reach_respects_allow_and_non_pub_scope() {
+        let src = "\
+pub fn api(v: &[u8]) {
+    // flcheck: allow(pf-reach)
+    helper(v);
+}
+fn helper(v: &[u8]) {
+    inner(v);
+}
+fn inner(v: &[u8]) {
+    v.first().unwrap();
+}
+";
+        let files = ws(&[("crates/mpint/src/x.rs", src)]);
+        let g = CallGraph::build(&files);
+        let mut out = Vec::new();
+        check_reach(&files, &g, &mut out);
+        // The only public entry point is allowed; private helpers are not
+        // flagged by pf-reach (the direct pf-unwrap still fires from the
+        // intraprocedural pass, which is separate).
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn reach_outside_panic_crates_is_silent() {
+        let files = ws(&[(
+            "crates/bench/src/x.rs",
+            "pub fn api() { helper(); }\nfn helper() { panic!(\"x\"); }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let mut out = Vec::new();
+        check_reach(&files, &g, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -156,6 +156,20 @@ pub fn lex(src: &str) -> Lexed {
                     i = j;
                 }
             }
+            'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|&b| is_ident_char(b) && !b.is_ascii_digit()) =>
+            {
+                // Raw identifier `r#fn`: one Ident token whose text keeps the
+                // `r#` prefix, so `r#fn` never masquerades as the `fn` keyword.
+                let begin = i;
+                i += 2;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push_tok!(TokKind::Ident, src[begin..i].to_string(), start_line);
+            }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let begin = i;
                 while i < bytes.len() && is_ident_char(bytes[i]) {
@@ -244,7 +258,13 @@ fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line continuation) still ends a line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -261,10 +281,11 @@ fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize 
         i += 1;
     }
     if i < bytes.len() && bytes[i] == b'\'' {
-        // byte char literal b'x'
+        // Byte char literal `b'x'`; an escape consumes the *next* byte too,
+        // so `b'\''` does not stop at the escaped quote.
         i += 1;
         if i < bytes.len() && bytes[i] == b'\\' {
-            i += 1;
+            i += 2;
         }
         while i < bytes.len() && bytes[i] != b'\'' {
             i += 1;
@@ -427,5 +448,146 @@ mod tests {
         let l = lex("/* a /* b */ c */ fn f() {}");
         assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
         assert_eq!(l.comments.len(), 1);
+    }
+
+    /// Full (kind, text) stream — the parser consumes exactly this.
+    fn stream(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn token_stream_lifetimes_vs_char_literals() {
+        use TokKind::*;
+        // `'a` (lifetime), `'a'` (char), `'\''` (escaped char), `'_`
+        // (anonymous lifetime), labeled loop `'outer:` — every quote form
+        // the parser can meet in a signature or body.
+        let got = stream("fn f<'a>(x: &'a u8) { let c = 'a'; let q = '\\''; 'outer: loop {} }");
+        let want: Vec<(TokKind, &str)> = vec![
+            (Ident, "fn"),
+            (Ident, "f"),
+            (Op, "<"),
+            (Lifetime, "'a"),
+            (Op, ">"),
+            (Open, "("),
+            (Ident, "x"),
+            (Op, ":"),
+            (Op, "&"),
+            (Lifetime, "'a"),
+            (Ident, "u8"),
+            (Close, ")"),
+            (Open, "{"),
+            (Ident, "let"),
+            (Ident, "c"),
+            (Op, "="),
+            (Lit, "'..'"),
+            (Op, ";"),
+            (Ident, "let"),
+            (Ident, "q"),
+            (Op, "="),
+            (Lit, "'..'"),
+            (Op, ";"),
+            (Lifetime, "'outer"),
+            (Op, ":"),
+            (Ident, "loop"),
+            (Open, "{"),
+            (Close, "}"),
+            (Close, "}"),
+        ];
+        let want: Vec<(TokKind, String)> = want.into_iter().map(|(k, t)| (k, t.into())).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn token_stream_nested_block_comments() {
+        use TokKind::*;
+        // Nesting must balance: an unwrap() two comment levels deep stays
+        // out-of-band, and the token after the comment keeps its line.
+        let src = "let a = 1; /* x /* y.unwrap() */ /* z */ w */ let b = 2;";
+        let got = stream(src);
+        let want: Vec<(TokKind, String)> = [
+            (Ident, "let"),
+            (Ident, "a"),
+            (Op, "="),
+            (Num, "1"),
+            (Op, ";"),
+            (Ident, "let"),
+            (Ident, "b"),
+            (Op, "="),
+            (Num, "2"),
+            (Op, ";"),
+        ]
+        .into_iter()
+        .map(|(k, t)| (k, t.to_string()))
+        .collect();
+        assert_eq!(got, want);
+        let l = lex(src);
+        // One top-level comment: both inner `/* .. */` pairs nest inside it.
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn token_stream_raw_strings_with_hashes() {
+        use TokKind::*;
+        // `r##"..."#..."##` must not terminate at the single-hash quote,
+        // and a raw byte string `br#".."#` is one literal.
+        let src = "let s = r##\"quote \"# inside\"##; let b = br#\"x.unwrap()\"#; done();";
+        let got = stream(src);
+        let want: Vec<(TokKind, String)> = [
+            (Ident, "let"),
+            (Ident, "s"),
+            (Op, "="),
+            (Lit, "\"..\""),
+            (Op, ";"),
+            (Ident, "let"),
+            (Ident, "b"),
+            (Op, "="),
+            (Lit, "\"..\""),
+            (Op, ";"),
+            (Ident, "done"),
+            (Open, "("),
+            (Close, ")"),
+            (Op, ";"),
+        ]
+        .into_iter()
+        .map(|(k, t)| (k, t.to_string()))
+        .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn escaped_byte_char_does_not_leak_a_stray_quote() {
+        // `b'\''` once left the closing quote behind, poisoning everything
+        // after it into a bogus lifetime/char run.
+        let got = stream("let q = b'\\''; next();");
+        assert!(
+            got.iter().any(|(k, t)| *k == TokKind::Ident && t == "next"),
+            "{got:?}"
+        );
+        assert!(
+            !got.iter().any(|(k, _)| *k == TokKind::Lifetime),
+            "no stray lifetime: {got:?}"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_masquerade_as_keywords() {
+        let got = stream("let r#fn = 1; call(r#match);");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+        assert!(
+            !got.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"),
+            "r#fn must not produce a bare `fn` token: {got:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        let l = lex("let s = \"a\\\nb\";\nlet t = 1;");
+        let t = l.tokens.iter().find(|t| t.is_ident("t")).expect("t");
+        assert_eq!(t.line, 3);
     }
 }

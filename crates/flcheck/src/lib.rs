@@ -14,9 +14,13 @@
 //! | ct-discipline   | `ct-branch`, `ct-return`, `ct-compare`, `ct-shortcircuit`|
 //! | panic-freedom   | `pf-unwrap`, `pf-expect`, `pf-panic`, `pf-assert`, `pf-index` |
 //! | lock-discipline | `ld-order`, `ld-wait`                                    |
+//! | interprocedural | `ct-taint` (secret propagation), `pf-reach` (transitive panics) |
 //!
-//! See [`rules`] for rule semantics and [`source`] for the directive
-//! grammar (`ct-fn` markers, `allow` / `allow-file` suppressions,
+//! The first three families are per-file lexer passes; the fourth runs on
+//! a workspace call graph built by the item-level parser ([`parse`],
+//! [`callgraph`], [`taint`]) and reports full call chains. See [`rules`]
+//! for rule semantics and [`source`] for the directive grammar (`ct-fn`
+//! and `secret(..)` markers, `allow` / `allow-file` suppressions,
 //! `lock-order` declarations).
 //!
 //! The analyzer's own sources are excluded from the default walk: they
@@ -30,10 +34,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod taint;
 
 use report::{Finding, Report};
 use source::SourceFile;
@@ -59,9 +66,11 @@ pub fn panic_rules_apply(rel_path: &str) -> bool {
         .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")))
 }
 
-/// Analyzes one file's source text. `rel_path` selects which rule
-/// families apply (panic-freedom is scoped by crate; ct- and
-/// lock-discipline run everywhere markers/locks appear).
+/// Analyzes one file's source text with the intraprocedural rule
+/// families only. `rel_path` selects which apply (panic-freedom is
+/// scoped by crate; ct- and lock-discipline run everywhere
+/// markers/locks appear). The interprocedural passes need the whole
+/// workspace — see [`check_workspace`].
 pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
     let file = SourceFile::parse(rel_path, src);
     let mut out = Vec::new();
@@ -71,6 +80,25 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
     }
     rules::check_locks(&file, &mut out);
     out
+}
+
+/// Analyzes a whole workspace given as (workspace-relative path, source)
+/// pairs: the per-file rule families, then the call graph and the two
+/// interprocedural passes (`ct-taint` secret propagation, `pf-reach`
+/// panic propagation) on top.
+pub fn check_workspace(inputs: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    let mut parsed = Vec::with_capacity(inputs.len());
+    for (rel, src) in inputs {
+        report.findings.extend(check_file(rel, src));
+        parsed.push(parse::ParsedFile::parse(rel, src));
+        report.files_scanned += 1;
+    }
+    let graph = callgraph::CallGraph::build(&parsed);
+    taint::check_taint(&parsed, &graph, &mut report.findings);
+    callgraph::check_reach(&parsed, &graph, &mut report.findings);
+    report.sort();
+    report
 }
 
 /// Recursively collects the `.rs` files to analyze under `root`,
@@ -116,7 +144,7 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 
 /// Runs the full analysis over a workspace rooted at `root`.
 pub fn run(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    let mut inputs = Vec::new();
     for path in collect_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -124,11 +152,9 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
-        report.findings.extend(check_file(&rel, &src));
-        report.files_scanned += 1;
+        inputs.push((rel, src));
     }
-    report.sort();
-    Ok(report)
+    Ok(check_workspace(&inputs))
 }
 
 #[cfg(test)]

@@ -1,8 +1,17 @@
 //! Findings and report serialization (human text + hand-rolled JSON —
 //! the crate carries no serde).
+//!
+//! The JSON report is **schema 2**: every finding carries a `chain`
+//! array (empty for intraprocedural rules, the full call chain for
+//! `pf-reach` / interprocedural `ct-taint`), and findings are sorted by
+//! (file, line, rule, message) so output is byte-identical regardless of
+//! scan order or thread count.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// JSON report schema version emitted by [`Report::render_json`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,16 +24,34 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Call chain for interprocedural findings (`pf-reach`, propagated
+    /// `ct-taint`), outermost first; empty for single-site findings.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
-    /// Convenience constructor.
+    /// Convenience constructor (no chain).
     pub fn new(rule: &str, file: &str, line: u32, message: impl Into<String>) -> Finding {
         Finding {
             rule: rule.to_string(),
             file: file.to_string(),
             line,
             message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Constructor for interprocedural findings carrying a call chain.
+    pub fn with_chain(
+        rule: &str,
+        file: &str,
+        line: u32,
+        message: impl Into<String>,
+        chain: Vec<String>,
+    ) -> Finding {
+        Finding {
+            chain,
+            ..Finding::new(rule, file, line, message)
         }
     }
 }
@@ -32,17 +59,19 @@ impl Finding {
 /// A full analysis report.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All findings, sorted by (file, line, rule).
+    /// All findings, sorted by (file, line, rule, message).
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
-    /// Canonical ordering so output is diff-stable.
+    /// Canonical ordering so output is diff-stable across scan orders and
+    /// thread counts.
     pub fn sort(&mut self) {
-        self.findings
-            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+        });
     }
 
     /// Count of findings per rule id.
@@ -54,11 +83,15 @@ impl Report {
         map
     }
 
-    /// Human-readable rendering, one line per finding plus a summary.
+    /// Human-readable rendering, one line per finding (plus its call
+    /// chain, when present) and a summary.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            for (depth, hop) in f.chain.iter().enumerate() {
+                let _ = writeln!(out, "  {}-> {}", "  ".repeat(depth), hop);
+            }
         }
         if self.findings.is_empty() {
             let _ = writeln!(
@@ -80,9 +113,10 @@ impl Report {
         out
     }
 
-    /// Machine-readable JSON rendering.
+    /// Machine-readable JSON rendering (schema [`SCHEMA_VERSION`]).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\n  \"schema\": {SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -91,12 +125,19 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"chain\": [",
                 json_str(&f.rule),
                 json_str(&f.file),
                 f.line,
                 json_str(&f.message)
             );
+            for (j, hop) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(hop));
+            }
+            out.push_str("]}");
         }
         if !self.findings.is_empty() {
             out.push_str("\n  ");
@@ -144,20 +185,48 @@ mod tests {
         };
         r.sort();
         let j = r.render_json();
+        assert!(j.contains("\"schema\": 2"));
         assert!(j.contains("\"rule\": \"pf-unwrap\""));
         assert!(j.contains("a \\\"b\\\".rs"));
         assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"chain\": []"));
         assert!(j.contains("\"total\": 1"));
         assert!(j.contains("\"pf-unwrap\": 1"));
     }
 
     #[test]
-    fn sort_is_by_file_line_rule() {
+    fn chains_render_in_json_and_human_output() {
+        let mut r = Report {
+            findings: vec![Finding::with_chain(
+                "pf-reach",
+                "crates/core/src/a.rs",
+                4,
+                "public `api` can reach a panic",
+                vec![
+                    "api (crates/core/src/a.rs:4)".to_string(),
+                    "deep (crates/core/src/a.rs:9)".to_string(),
+                ],
+            )],
+            files_scanned: 1,
+        };
+        r.sort();
+        let j = r.render_json();
+        assert!(j.contains(
+            "\"chain\": [\"api (crates/core/src/a.rs:4)\", \"deep (crates/core/src/a.rs:9)\"]"
+        ));
+        let h = r.render_human();
+        assert!(h.contains("-> api (crates/core/src/a.rs:4)"));
+        assert!(h.contains("-> deep (crates/core/src/a.rs:9)"));
+    }
+
+    #[test]
+    fn sort_is_by_file_line_rule_message() {
         let mut r = Report {
             findings: vec![
                 Finding::new("z", "b.rs", 1, ""),
                 Finding::new("a", "a.rs", 9, ""),
-                Finding::new("a", "a.rs", 2, ""),
+                Finding::new("a", "a.rs", 2, "second"),
+                Finding::new("a", "a.rs", 2, "first"),
             ],
             files_scanned: 2,
         };
@@ -165,9 +234,17 @@ mod tests {
         let order: Vec<_> = r
             .findings
             .iter()
-            .map(|f| (f.file.as_str(), f.line))
+            .map(|f| (f.file.as_str(), f.line, f.message.as_str()))
             .collect();
-        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "first"),
+                ("a.rs", 2, "second"),
+                ("a.rs", 9, ""),
+                ("b.rs", 1, "")
+            ]
+        );
     }
 
     #[test]

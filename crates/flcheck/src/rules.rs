@@ -412,7 +412,7 @@ fn is_macro_bang(toks: &[Token], i: usize) -> bool {
 /// Is the `[` at index `i` an indexing expression? True when preceded by a
 /// non-keyword identifier, a closing bracket, or `?` — i.e. an expression
 /// that produces a value being indexed.
-fn is_indexing(toks: &[Token], i: usize) -> bool {
+pub(crate) fn is_indexing(toks: &[Token], i: usize) -> bool {
     let Some(prev) = i.checked_sub(1).map(|k| &toks[k]) else {
         return false;
     };
@@ -426,7 +426,7 @@ fn is_indexing(toks: &[Token], i: usize) -> bool {
 
 /// When `i` starts a `debug_assert*!(...)` invocation, returns the index
 /// one past its closing delimiter.
-fn debug_assert_span(toks: &[Token], i: usize) -> Option<usize> {
+pub(crate) fn debug_assert_span(toks: &[Token], i: usize) -> Option<usize> {
     let t = &toks[i];
     if t.kind == TokKind::Ident
         && t.text.starts_with("debug_assert")

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! flcheck: ct-fn                      mark the next `fn` as a constant-time region
+//! flcheck: secret(a, b)               mark params/locals of the next `fn` as secret
 //! flcheck: allow(rule-a, rule-b)      suppress rules on this line and the next
 //! flcheck: allow-file(rule-a)         suppress a rule for the whole file
 //! flcheck: lock-order(a < b < c)      declare a canonical lock acquisition order
@@ -26,6 +27,9 @@ pub struct FnSpan {
     pub body_end: usize,
     /// Marked with `// flcheck: ct-fn`.
     pub is_ct: bool,
+    /// Identifiers named by a `// flcheck: secret(..)` marker on this fn:
+    /// parameters or locals whose values are secret (taint sources).
+    pub secrets: Vec<String>,
 }
 
 /// A fully analyzed source file, ready for the rule passes.
@@ -60,8 +64,8 @@ impl SourceFile {
             fns: Vec::new(),
             test_regions: Vec::new(),
         };
-        let ct_marker_lines = file.parse_directives(&lexed.comments);
-        file.extract_fns(&ct_marker_lines);
+        let markers = file.parse_directives(&lexed.comments);
+        file.extract_fns(&markers);
         file.extract_test_regions();
         file
     }
@@ -82,10 +86,10 @@ impl SourceFile {
         self.test_regions.iter().any(|&(s, e)| idx >= s && idx < e)
     }
 
-    /// Parses all directives out of the comments; returns the lines that
-    /// carry `ct-fn` markers.
-    fn parse_directives(&mut self, comments: &[Comment]) -> Vec<u32> {
-        let mut ct_lines = Vec::new();
+    /// Parses all directives out of the comments; returns the fn-attached
+    /// markers (`ct-fn`, `secret(..)`) with the lines they sit on.
+    fn parse_directives(&mut self, comments: &[Comment]) -> Vec<FnMarker> {
+        let mut markers = Vec::new();
         for c in comments {
             // Anchor at the start (after doc-comment markers) so prose that
             // merely *mentions* a directive does not register one.
@@ -97,7 +101,22 @@ impl SourceFile {
             };
             let body = body.trim();
             if body.starts_with("ct-fn") {
-                ct_lines.push(c.line);
+                markers.push(FnMarker {
+                    line: c.line,
+                    secrets: Vec::new(),
+                });
+            } else if let Some(args) = strip_call(body, "secret") {
+                let names: Vec<String> = args
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if !names.is_empty() {
+                    markers.push(FnMarker {
+                        line: c.line,
+                        secrets: names,
+                    });
+                }
             } else if let Some(args) = strip_call(body, "allow-file") {
                 for rule in args.split(',') {
                     self.allow_file.insert(rule.trim().to_string());
@@ -121,11 +140,11 @@ impl SourceFile {
                 }
             }
         }
-        ct_lines
+        markers
     }
 
     /// Walks the token stream extracting `fn` items and their body spans.
-    fn extract_fns(&mut self, ct_marker_lines: &[u32]) {
+    fn extract_fns(&mut self, markers: &[FnMarker]) {
         let toks = &self.tokens;
         let mut i = 0usize;
         while i < toks.len() {
@@ -174,18 +193,24 @@ impl SourceFile {
                 body_start: body_start + 1,
                 body_end,
                 is_ct: false,
+                secrets: Vec::new(),
             });
             i = body_start + 1; // nested fns get their own entries
         }
-        // A ct-fn marker applies to the first fn that starts after it.
-        for &marker in ct_marker_lines {
+        // A fn marker (`ct-fn`, `secret(..)`) applies to the first fn that
+        // starts after it.
+        for marker in markers {
             if let Some(f) = self
                 .fns
                 .iter_mut()
-                .filter(|f| f.line > marker)
+                .filter(|f| f.line > marker.line)
                 .min_by_key(|f| f.line)
             {
-                f.is_ct = true;
+                if marker.secrets.is_empty() {
+                    f.is_ct = true;
+                } else {
+                    f.secrets.extend(marker.secrets.iter().cloned());
+                }
             }
         }
     }
@@ -246,6 +271,13 @@ impl SourceFile {
             }
         }
     }
+}
+
+/// A directive that attaches to the next `fn` item: `ct-fn` (empty
+/// `secrets`) or `secret(a, b)`.
+struct FnMarker {
+    line: u32,
+    secrets: Vec<String>,
 }
 
 /// `strip_call("allow(a, b) trailing", "allow")` -> `Some("a, b")`.
@@ -310,6 +342,22 @@ fn b() {}
         let f = SourceFile::parse("x.rs", src);
         assert!(f.is_allowed("ct-compare", 3));
         assert!(!f.is_allowed("ct-compare", 4));
+    }
+
+    #[test]
+    fn secret_markers_attach_to_the_next_fn() {
+        let src = "\
+// flcheck: secret(exp)
+// flcheck: secret(key , other)
+pub fn ladder(base: u64, exp: u64) {}
+fn plain(x: u64) {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let ladder = f.fns.iter().find(|f| f.name == "ladder").expect("ladder");
+        assert_eq!(ladder.secrets, vec!["exp", "key", "other"]);
+        assert!(!ladder.is_ct, "secret() does not imply ct-fn");
+        let plain = f.fns.iter().find(|f| f.name == "plain").expect("plain");
+        assert!(plain.secrets.is_empty());
     }
 
     #[test]

@@ -104,3 +104,102 @@ fn walker_skips_the_fixture_directory() {
         "fixtures must be excluded from the walk, got {files:?}"
     );
 }
+
+fn workspace(inputs: &[(&str, &str)]) -> flcheck::report::Report {
+    let owned: Vec<(String, String)> = inputs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    flcheck::check_workspace(&owned)
+}
+
+#[test]
+fn taint_fixture_reports_interprocedural_leak_with_chain() {
+    let src = include_str!("fixtures/taint_leak.rs");
+    let path = "crates/mpint/src/taint_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    let want: Vec<(String, u32)> = [
+        ("ct-branch", 13),  // `if` inside the ct helper
+        ("ct-compare", 13), // `==` in its predicate
+        ("ct-taint", 13),   // secret `key` reached the branch via `whiten`
+        ("ct-return", 14),  // early exit inside the ct helper
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, want);
+
+    let taint = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "ct-taint")
+        .expect("ct-taint finding");
+    assert_eq!(
+        taint.chain,
+        vec![format!("seal ({path}:6)"), format!("whiten ({path}:12)")],
+        "provenance chain must name the seed fn and the leaking callee"
+    );
+    assert!(
+        taint.message.contains("`x`") && taint.message.contains("`whiten`"),
+        "unexpected message: {}",
+        taint.message
+    );
+}
+
+#[test]
+fn reach_fixture_reports_transitive_panic_with_chain() {
+    let src = include_str!("fixtures/reach_violations.rs");
+    let path = "crates/core/src/reach_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    let want: Vec<(String, u32)> = [
+        ("pf-reach", 5),   // `api`'s call into `middle`
+        ("pf-unwrap", 13), // the underlying panic site in `deep`
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, want);
+
+    let reach = &report.findings[0];
+    assert_eq!(
+        reach.chain,
+        vec![
+            format!("api ({path}:4)"),
+            format!("middle ({path}:8)"),
+            format!("deep ({path}:12)"),
+            format!("pf-unwrap ({path}:13)"),
+        ],
+        "chain must walk the full call path down to the panic fact"
+    );
+    assert!(
+        reach.message.contains("2 calls deep"),
+        "unexpected message: {}",
+        reach.message
+    );
+}
+
+#[test]
+fn workspace_report_is_deterministic_across_input_order() {
+    let taint = include_str!("fixtures/taint_leak.rs");
+    let reach = include_str!("fixtures/reach_violations.rs");
+    let fwd = workspace(&[
+        ("crates/mpint/src/taint_fixture.rs", taint),
+        ("crates/core/src/reach_fixture.rs", reach),
+    ]);
+    let rev = workspace(&[
+        ("crates/core/src/reach_fixture.rs", reach),
+        ("crates/mpint/src/taint_fixture.rs", taint),
+    ]);
+    assert_eq!(fwd.render_json(), rev.render_json());
+    assert!(fwd.render_json().contains("\"schema\": 2"));
+}

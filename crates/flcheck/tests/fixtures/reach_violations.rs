@@ -1,0 +1,14 @@
+//! Fixture: a public API that reaches a panic two calls deep — the
+//! interprocedural pf-reach case.
+
+pub fn api(v: &[u64]) -> u64 {
+    middle(v)
+}
+
+fn middle(v: &[u64]) -> u64 {
+    deep(v)
+}
+
+fn deep(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,17 @@
+//! Fixture: a secret that propagates through a constant-time helper and
+//! leaks at a branch inside it — the interprocedural ct-taint case.
+
+// flcheck: ct-fn
+// flcheck: secret(key)
+pub fn seal(key: u64, data: u64) -> u64 {
+    let k = key ^ 0x5a5a;
+    whiten(k, data)
+}
+
+// flcheck: ct-fn
+fn whiten(x: u64, d: u64) -> u64 {
+    if x & 1 == 1 {
+        return d;
+    }
+    x ^ d
+}

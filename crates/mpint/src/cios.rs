@@ -66,6 +66,8 @@ impl LaneStats {
 ///
 /// `a` and `b` must be padded to exactly `s` limbs ([`Natural::to_padded_limbs`]);
 /// `n0_inv = -n[0]^{-1} mod 2^64` ([`crate::limb::mont_neg_inv`]).
+// flcheck: ct-fn
+// flcheck: secret(a, b)
 pub fn mont_mul(a: &[Limb], b: &[Limb], n: &[Limb], n0_inv: Limb) -> Vec<Limb> {
     let s = n.len();
     assert_eq!(a.len(), s, "operand a must be padded to the modulus width");
@@ -187,6 +189,7 @@ pub fn mont_mul_partitioned(
 /// leaked whether the final subtraction ran. `ct_ge_then_sub` executes an
 /// identical instruction sequence either way.
 // flcheck: ct-fn
+// flcheck: secret(t)
 fn conditional_subtract(t: &mut [Limb], n: &[Limb]) {
     crate::ct::ct_ge_then_sub(t, n);
 }

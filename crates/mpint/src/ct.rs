@@ -21,6 +21,7 @@ use crate::limb::{sbb, Limb, LIMB_BITS};
 
 /// Returns `1` if `x == 0`, else `0`, without branching on `x`.
 // flcheck: ct-fn
+// flcheck: secret(x)
 #[inline]
 #[must_use]
 pub fn ct_is_zero(x: Limb) -> Limb {
@@ -31,6 +32,7 @@ pub fn ct_is_zero(x: Limb) -> Limb {
 
 /// Returns all-ones if `flag == 1`, all-zeros if `flag == 0`.
 // flcheck: ct-fn
+// flcheck: secret(flag)
 #[inline]
 #[must_use]
 pub fn ct_mask(flag: Limb) -> Limb {
@@ -40,6 +42,7 @@ pub fn ct_mask(flag: Limb) -> Limb {
 
 /// Selects `a` where `mask` is all-ones, `b` where it is all-zeros.
 // flcheck: ct-fn
+// flcheck: secret(mask, a, b)
 #[inline]
 #[must_use]
 pub fn ct_select(mask: Limb, a: Limb, b: Limb) -> Limb {
@@ -51,6 +54,7 @@ pub fn ct_select(mask: Limb, a: Limb, b: Limb) -> Limb {
 ///
 /// Both slices must have the same (public) length.
 // flcheck: ct-fn
+// flcheck: secret(a, b)
 #[must_use]
 pub fn ct_eq(a: &[Limb], b: &[Limb]) -> Limb {
     debug_assert_eq!(a.len(), b.len(), "ct_eq operands must share a width");
@@ -64,6 +68,7 @@ pub fn ct_eq(a: &[Limb], b: &[Limb]) -> Limb {
 /// Returns `1` if `a < b` (as little-endian limb vectors of equal public
 /// length), else `0`, via a full borrow chain — no early exit.
 // flcheck: ct-fn
+// flcheck: secret(a, b)
 #[must_use]
 pub fn ct_lt(a: &[Limb], b: &[Limb]) -> Limb {
     debug_assert_eq!(a.len(), b.len(), "ct_lt operands must share a width");
@@ -78,6 +83,7 @@ pub fn ct_lt(a: &[Limb], b: &[Limb]) -> Limb {
 /// In-place conditional selection over limb vectors: where `mask` is
 /// all-ones, `dst` keeps its value; where all-zeros, `dst` takes `src`.
 // flcheck: ct-fn
+// flcheck: secret(mask, dst, src)
 pub fn ct_select_limbs(mask: Limb, dst: &mut [Limb], src: &[Limb]) {
     debug_assert_eq!(dst.len(), src.len());
     for (d, s) in dst.iter_mut().zip(src.iter()) {
@@ -94,6 +100,7 @@ pub fn ct_select_limbs(mask: Limb, dst: &mut [Limb], src: &[Limb]) {
 /// then a masked subtraction — the sequence of executed instructions and
 /// touched addresses depends only on the public lengths.
 // flcheck: ct-fn
+// flcheck: secret(t)
 pub fn ct_ge_then_sub(t: &mut [Limb], n: &[Limb]) -> Limb {
     debug_assert!(t.len() >= n.len(), "t must be at least as wide as n");
     let ext = |i: usize| -> Limb {
@@ -108,6 +115,8 @@ pub fn ct_ge_then_sub(t: &mut [Limb], n: &[Limb]) -> Limb {
     };
     // Pass 1: probe borrow of t - n over the full width.
     let mut borrow: Limb = 0;
+    // t's width is the caller's public padded length, not a secret.
+    // flcheck: allow(ct-taint)
     for i in 0..t.len() {
         let (_, br) = sbb(t[i], ext(i), borrow);
         borrow = br;
@@ -117,6 +126,8 @@ pub fn ct_ge_then_sub(t: &mut [Limb], n: &[Limb]) -> Limb {
     let sub_mask = ct_mask(did_sub);
     // Pass 2: masked subtraction; a no-op (t - 0) when sub_mask is zero.
     let mut borrow2: Limb = 0;
+    // Same public padded width as pass 1.
+    // flcheck: allow(ct-taint)
     for i in 0..t.len() {
         let (d, br) = sbb(t[i], ext(i) & sub_mask, borrow2);
         t[i] = d;

@@ -23,6 +23,7 @@ pub const LIMB_BYTES: usize = (LIMB_BITS as usize) / 8;
 ///
 /// This is the `(C, S) <- a + b + C` primitive of Algorithm 2; `carry_out`
 /// is always 0 or 1.
+// flcheck: ct-fn
 #[inline(always)]
 pub fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
     let t = a as DoubleLimb + b as DoubleLimb + carry as DoubleLimb;
@@ -32,6 +33,7 @@ pub fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
 /// Subtracts `a - b - borrow`, returning `(diff, borrow_out)`.
 ///
 /// `borrow_out` is always 0 or 1.
+// flcheck: ct-fn
 #[inline(always)]
 pub fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
     let t = (a as DoubleLimb)
@@ -45,6 +47,7 @@ pub fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
 /// The result never overflows: `(2^w-1)^2 + 2*(2^w-1) = 2^{2w} - 1`.
 /// This is the inner-product step `(C, S) <- t[k] + a[k]*b_i[j] + C` of
 /// Algorithm 2.
+// flcheck: ct-fn
 #[inline(always)]
 pub fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
     let t = a as DoubleLimb * b as DoubleLimb + c as DoubleLimb + carry as DoubleLimb;
@@ -52,6 +55,7 @@ pub fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
 }
 
 /// Full `w x w -> 2w` multiplication, returning `(low, high)`.
+// flcheck: ct-fn
 #[inline(always)]
 pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
     let t = a as DoubleLimb * b as DoubleLimb;

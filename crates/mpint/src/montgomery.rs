@@ -114,6 +114,7 @@ impl MontgomeryCtx {
     }
 
     /// Converts out of the domain: `aR^{-1} mod n` (i.e. REDC of `a`).
+    // flcheck: ct-fn
     pub fn from_mont(&self, a: &Natural) -> Natural {
         self.redc(a.clone())
     }

@@ -4,6 +4,15 @@ set -o pipefail
 cd /root/repo
 R=results
 mkdir -p $R
+
+# Build gate: the whole workspace must compile with warnings as errors
+# before any benchmark binary runs.
+echo "=== build: RUSTFLAGS=-D warnings ==="
+if ! RUSTFLAGS="-D warnings" cargo build --release 2>&1 | tail -20; then
+  echo "HARNESS_FAILED: release build with -D warnings"
+  exit 1
+fi
+
 run() {
   name=$1; shift
   echo "=== $name: $* ===" 
@@ -41,12 +50,23 @@ if ! cargo test -q --release 2>&1 | tail -40; then
 fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
+# The gate reads the finding total out of the JSON report rather than
+# trusting the exit status alone, so a crash, an unwritable report, and a
+# non-empty finding list all fail.
 echo "=== flcheck: static analysis ==="
 ./target/release/flcheck --root . --json $R/flcheck_report.json | tee $R/flcheck.txt
 fl_status=${PIPESTATUS[0]}
-if [ "$fl_status" -ne 0 ]; then
-  echo "HARNESS_FAILED: flcheck found violations (exit $fl_status)"
-  exit "$fl_status"
+fl_total=$(grep -o '"total": *[0-9]*' $R/flcheck_report.json 2>/dev/null | grep -o '[0-9]*$')
+echo "--- flcheck findings by rule (total: ${fl_total:-unreadable}) ---"
+if [ -n "$fl_total" ] && [ "$fl_total" -gt 0 ]; then
+  grep -o '"rule": *"[^"]*"' $R/flcheck_report.json \
+    | sed 's/.*"rule": *"\(.*\)"/\1/' | sort | uniq -c
+else
+  echo "  (none)"
+fi
+if [ "$fl_status" -ne 0 ] || [ -z "$fl_total" ] || [ "$fl_total" -gt 0 ]; then
+  echo "HARNESS_FAILED: flcheck gate (exit $fl_status, findings ${fl_total:-unreadable})"
+  exit 1
 fi
 echo "=== cargo fmt --check ==="
 if ! cargo fmt --check; then
