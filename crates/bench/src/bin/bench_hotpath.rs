@@ -1,0 +1,491 @@
+//! **Hot-path kernel benchmark**: before→after ops/sec and limb-mult
+//! counts for the three PR-4 optimisations (dedicated Montgomery
+//! squaring, blinding-factor pooling, Straus multi-exponentiation).
+//!
+//! For every key size it measures five hot operations:
+//!
+//! * `encrypt` — *before* is the inline path (`encrypt_with_r`, which
+//!   computes `r^n mod n²` on the spot); *after* draws the
+//!   pre-generated `(r, r^n)` pair from a warm [`ObfuscatorPool`].
+//! * `decrypt` / `decrypt_crt` — *after* is the real constant-time
+//!   ladder (squarings on the dedicated kernel); *before* replays the
+//!   identical ladder schedule with `mont_mul(a, a)` standing in for
+//!   every squaring — a cost replica of the pre-squaring-kernel code
+//!   whose output is discarded.
+//! * `scalar_mul` — same squaring-kernel delta on the 32-bit windowed
+//!   exponentiation.
+//! * `aggregate64` — 64-way weighted aggregation; *before* is the
+//!   naive per-party `checked_scalar_mul` + `checked_add` loop, *after*
+//!   is the shared-squaring-chain `weighted_sum` (Straus).
+//!
+//! Limb-mult counts are analytic (1 unit = one `s²`-MAC `mont_mul`
+//! equivalent, the workspace's historical convention) and therefore
+//! machine-independent; ops/sec are wall-clock. Results go to
+//! `results/BENCH_hotpath.json`.
+//!
+//! Two gates make this binary fail (exit 1) so the harness can trap
+//! regressions:
+//!
+//! 1. **Speedup floor** (only when 1024-bit keys are benchmarked):
+//!    measured pool-warm encrypt must be ≥ 1.3× inline, and Straus
+//!    aggregation ≥ 1.2× the naive loop.
+//! 2. **Count regression**: if `results/bench_hotpath_baseline.json`
+//!    exists, the *after* limb-mult counts for encrypt and aggregate
+//!    may not exceed the recorded baseline by more than 5 %.
+//!    `--write-baseline` refreshes the baseline instead of gating.
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin bench_hotpath -- \
+//!     [--keys 512,1024,2048] [--items 64] [--out results/BENCH_hotpath.json] \
+//!     [--baseline results/bench_hotpath_baseline.json] [--write-baseline]
+//! ```
+
+use std::time::Instant;
+
+use flbooster_bench::table::Table;
+use flbooster_bench::{shared_keys, Args};
+use he::paillier::{Ciphertext, ObfuscatorPool, PaillierKeyPair};
+use mpint::cios::{mont_mul_mac_count, mont_sqr_mac_count};
+use mpint::{modpow, MontgomeryCtx, Natural};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How many parties the weighted-aggregate measurement fans in.
+const AGG_WAYS: usize = 64;
+/// Aggregation-weight width: quantized per-party sample counts.
+const WEIGHT_BITS: u32 = 32;
+/// Minimum wall-clock per measurement before we trust the mean.
+const MIN_MEASURE_SECS: f64 = 0.2;
+
+/// One before→after measurement of one operation at one key size.
+struct OpRow {
+    op: &'static str,
+    before_ops_sec: f64,
+    after_ops_sec: f64,
+    before_limb_mults: u64,
+    after_limb_mults: u64,
+}
+
+impl OpRow {
+    fn speedup(&self) -> f64 {
+        if self.before_ops_sec > 0.0 {
+            self.after_ops_sec / self.before_ops_sec
+        } else {
+            1.0
+        }
+    }
+
+    fn mult_ratio(&self) -> f64 {
+        if self.after_limb_mults > 0 {
+            self.before_limb_mults as f64 / self.after_limb_mults as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Calls `body` repeatedly until at least [`MIN_MEASURE_SECS`] of
+/// wall-clock accumulates, returning operations per second.
+fn ops_per_sec(mut body: impl FnMut()) -> f64 {
+    // Warm-up pass so lazy setup (pool threads, page faults) is not billed.
+    body();
+    let mut reps = 0u64;
+    let start = Instant::now();
+    loop {
+        body();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_MEASURE_SECS {
+            return reps as f64 / elapsed;
+        }
+    }
+}
+
+/// Analytic MAC count of a `w`-windowed `e_bits`-bit exponentiation at
+/// width `s`, with `sqr_mac` as the per-squaring cost (pass
+/// `mont_mul_mac_count(s)` for the pre-PR generic kernel).
+fn window_pow_macs(s: usize, e_bits: u32, sqr_mac: u64) -> u64 {
+    let w = modpow::window_size_for(e_bits) as u64;
+    let e = e_bits as u64;
+    e * sqr_mac + (e / (w + 1) + (1 << (w - 1))) * mont_mul_mac_count(s)
+}
+
+/// Analytic MAC count of a square-and-multiply-always ladder.
+fn ladder_pow_macs(s: usize, e_bits: u32, sqr_mac: u64) -> u64 {
+    e_bits as u64 * (sqr_mac + mont_mul_mac_count(s))
+}
+
+/// Replays the windowed-exponentiation schedule with `mont_mul(a, a)`
+/// for every squaring — the pre-PR cost profile. The result is only
+/// consumed through `black_box`; correctness is covered elsewhere.
+fn replay_window_pow_mul_sqr(ctx: &MontgomeryCtx, base_m: &Natural, e_bits: u32) {
+    let w = modpow::window_size_for(e_bits);
+    let mut table = vec![base_m.clone()];
+    for _ in 1..(1u32 << (w - 1)) {
+        table.push(ctx.mont_mul(table.last().expect("non-empty"), base_m));
+    }
+    let mut acc = ctx.one_mont();
+    let mut since_mul = 0;
+    for i in 0..e_bits {
+        acc = ctx.mont_mul(&acc, &acc);
+        since_mul += 1;
+        if since_mul == w + 1 {
+            acc = ctx.mont_mul(&acc, &table[i as usize % table.len()]);
+            since_mul = 0;
+        }
+    }
+    std::hint::black_box(acc);
+}
+
+/// Replays the constant-time ladder schedule (one squaring, one
+/// multiply per exponent bit) with the generic multiply kernel.
+fn replay_ladder_mul_sqr(ctx: &MontgomeryCtx, base_m: &Natural, e_bits: u32) {
+    let mut acc = ctx.one_mont();
+    for _ in 0..e_bits {
+        acc = ctx.mont_mul(&acc, &acc);
+        acc = ctx.mont_mul(&acc, base_m);
+    }
+    std::hint::black_box(acc);
+}
+
+/// Deterministic sub-`n` plaintexts (quantized gradient words).
+fn plaintexts(items: usize) -> Vec<Natural> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x407_9A78);
+    (0..items).map(|_| Natural::from(rng.next_u64())).collect()
+}
+
+/// Deterministic odd 32-bit aggregation weights.
+fn weights(count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|k| (k.wrapping_mul(2_654_435_761) & 0xFFFF_FFFF) | 1)
+        .collect()
+}
+
+fn bench_key_size(keys: &PaillierKeyPair, items: usize) -> Vec<OpRow> {
+    let pk = &keys.public;
+    let sk = &keys.private;
+    let key_bits = pk.key_bits;
+    let ms = plaintexts(items);
+    let seed = 0xB00C_57E5 ^ key_bits as u64;
+
+    let n2 = &pk.n * &pk.n;
+    let ctx2 = MontgomeryCtx::new(&n2).expect("n² is odd");
+    let s2 = ctx2.width();
+    let mul2 = mont_mul_mac_count(s2);
+    let sqr2 = mont_sqr_mac_count(s2);
+    // n itself is an odd modulus of exactly the CRT half-key operand
+    // width, so a ladder over it replays the per-prime decrypt cost.
+    let ctx1 = MontgomeryCtx::new(&pk.n).expect("n is odd");
+    let s1 = ctx1.width();
+    let base2 = ctx2.to_mont(&(&Natural::from(0xDEAD_BEEFu64) % &n2));
+    let base1 = ctx1.to_mont(&(&Natural::from(0xFACE_FEEDu64) % &pk.n));
+    let n_bits = pk.n.bit_len();
+    let half_bits = key_bits / 2;
+
+    let mut rows = Vec::new();
+
+    // -- encrypt: inline r^n vs pool-warm obfuscator ------------------
+    let mut i_before = 0usize;
+    let before_enc = ops_per_sec(|| {
+        let r = pk.batch_blinding(seed, i_before);
+        std::hint::black_box(
+            pk.encrypt_with_r(&ms[i_before % items], &r)
+                .expect("encrypt"),
+        );
+        i_before += 1;
+    });
+    // Pool-warm steady state: each refill round happens *outside* the
+    // timed window — pre-generation is amortized background work, which
+    // is exactly the paper's pooling argument.
+    let pool = ObfuscatorPool::new(pk);
+    let after_enc = {
+        let batch = 1024usize;
+        let mut timed = 0.0f64;
+        let mut reps = 0u64;
+        let mut round = 0u64;
+        while timed < MIN_MEASURE_SECS {
+            let round_seed = seed ^ round.wrapping_mul(0x1_0000_0001);
+            pool.prefill_batch(pk, round_seed, batch).expect("prefill");
+            let start = Instant::now();
+            for i in 0..batch {
+                let obf = pool.take(round_seed, i).expect("warm pool");
+                std::hint::black_box(
+                    pk.encrypt_with_obfuscator(&ms[i % items], obf)
+                        .expect("encrypt"),
+                );
+            }
+            timed += start.elapsed().as_secs_f64();
+            reps += batch as u64;
+            round += 1;
+        }
+        reps as f64 / timed
+    };
+    rows.push(OpRow {
+        op: "encrypt",
+        before_ops_sec: before_enc,
+        after_ops_sec: after_enc,
+        before_limb_mults: window_pow_macs(s2, n_bits, mul2) / 2 + pk.encrypt_pooled_op_estimate(),
+        after_limb_mults: pk.encrypt_pooled_op_estimate(),
+    });
+
+    // Shared ciphertext material for the remaining operations.
+    let cts: Vec<Ciphertext> = ms
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            pk.encrypt_with_r(m, &pk.batch_blinding(seed ^ 0xC7, i))
+                .expect("encrypt")
+        })
+        .collect();
+
+    // -- decrypt: full-width CT ladder, mul-squaring vs dedicated -----
+    let before_dec = ops_per_sec(|| replay_ladder_mul_sqr(&ctx2, &base2, n_bits));
+    let mut i_dec = 0usize;
+    let after_dec = ops_per_sec(|| {
+        std::hint::black_box(sk.decrypt(&cts[i_dec % items]).expect("decrypt"));
+        i_dec += 1;
+    });
+    rows.push(OpRow {
+        op: "decrypt",
+        before_ops_sec: before_dec,
+        after_ops_sec: after_dec,
+        before_limb_mults: (ladder_pow_macs(s2, n_bits, mul2) + 2 * mul2) / 2,
+        after_limb_mults: (ladder_pow_macs(s2, n_bits, sqr2) + 2 * mul2) / 2,
+    });
+
+    // -- decrypt_crt: two half-width ladders --------------------------
+    let before_crt = ops_per_sec(|| {
+        replay_ladder_mul_sqr(&ctx1, &base1, half_bits);
+        replay_ladder_mul_sqr(&ctx1, &base1, half_bits);
+    });
+    let mut i_crt = 0usize;
+    let after_crt = ops_per_sec(|| {
+        std::hint::black_box(sk.decrypt_crt(&cts[i_crt % items]).expect("decrypt_crt"));
+        i_crt += 1;
+    });
+    rows.push(OpRow {
+        op: "decrypt_crt",
+        before_ops_sec: before_crt,
+        after_ops_sec: after_crt,
+        before_limb_mults: 2
+            * (ladder_pow_macs(s1, half_bits, mont_mul_mac_count(s1)) + 2 * mont_mul_mac_count(s1))
+            / 2,
+        after_limb_mults: sk.decrypt_op_estimate(),
+    });
+
+    // -- scalar_mul: 32-bit public weight -----------------------------
+    let k32 = Natural::from(0xDEAD_BEEFu64 & 0xFFFF_FFFF);
+    let before_smul = ops_per_sec(|| {
+        replay_window_pow_mul_sqr(&ctx2, &base2, WEIGHT_BITS);
+        // The final from-Montgomery/product multiply.
+        std::hint::black_box(ctx2.mont_mul(&base2, &base2));
+    });
+    let mut i_smul = 0usize;
+    let after_smul = ops_per_sec(|| {
+        std::hint::black_box(pk.scalar_mul(&cts[i_smul % items], &k32));
+        i_smul += 1;
+    });
+    rows.push(OpRow {
+        op: "scalar_mul",
+        before_ops_sec: before_smul,
+        after_ops_sec: after_smul,
+        before_limb_mults: (window_pow_macs(s2, WEIGHT_BITS, mul2) + mul2) / 2,
+        after_limb_mults: pk.scalar_mul_op_estimate(WEIGHT_BITS),
+    });
+
+    // -- aggregate64: naive scalar_mul+add loop vs Straus -------------
+    let agg_cts: Vec<Ciphertext> = (0..AGG_WAYS).map(|i| cts[i % items].clone()).collect();
+    let ws = weights(AGG_WAYS);
+    let wnat: Vec<Natural> = ws.iter().map(|&w| Natural::from(w)).collect();
+    let before_agg = ops_per_sec(|| {
+        let mut acc = pk.zero_ciphertext();
+        for (c, w) in agg_cts.iter().zip(&wnat) {
+            let scaled = pk.checked_scalar_mul(c, w).expect("scalar_mul");
+            acc = pk.checked_add(&acc, &scaled).expect("add");
+        }
+        std::hint::black_box(acc);
+    });
+    let after_agg = ops_per_sec(|| {
+        std::hint::black_box(pk.weighted_sum(&agg_cts, &wnat).expect("weighted_sum"));
+    });
+    let naive_per_party =
+        (window_pow_macs(s2, WEIGHT_BITS, mul2) + mul2) / 2 + pk.add_op_estimate();
+    rows.push(OpRow {
+        op: "aggregate64",
+        before_ops_sec: before_agg,
+        after_ops_sec: after_agg,
+        before_limb_mults: AGG_WAYS as u64 * naive_per_party,
+        after_limb_mults: pk.weighted_sum_op_estimate(AGG_WAYS, WEIGHT_BITS),
+    });
+
+    rows
+}
+
+/// Pulls `"<field>": <integer>` out of a hand-rolled JSON object body.
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Baseline entries `(key_bits, encrypt_limb_mults, aggregate_limb_mults)`
+/// parsed from the recorded baseline file.
+fn parse_baseline(text: &str) -> Vec<(u64, u64, u64)> {
+    text.split('{')
+        .filter_map(|obj| {
+            Some((
+                json_u64(obj, "key_bits")?,
+                json_u64(obj, "encrypt_limb_mults")?,
+                json_u64(obj, "aggregate_limb_mults")?,
+            ))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let key_sizes = args.key_sizes_or(&[512, 1024, 2048]);
+    let items: usize = args.get("items").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let out_path = args
+        .get("out")
+        .unwrap_or("results/BENCH_hotpath.json")
+        .to_string();
+    let baseline_path = args
+        .get("baseline")
+        .unwrap_or("results/bench_hotpath_baseline.json")
+        .to_string();
+
+    println!("Hot-path kernels — {items} items, {AGG_WAYS}-way aggregate, keys {key_sizes:?}\n");
+
+    let mut table = Table::new([
+        "Key",
+        "Op",
+        "Before ops/s",
+        "After ops/s",
+        "Speedup",
+        "Before mults",
+        "After mults",
+        "Mult ratio",
+    ]);
+    let mut all: Vec<(u32, Vec<OpRow>)> = Vec::new();
+    for &key_bits in &key_sizes {
+        let keys = shared_keys(key_bits);
+        let rows = bench_key_size(&keys, items);
+        for r in &rows {
+            table.row([
+                key_bits.to_string(),
+                r.op.to_string(),
+                format!("{:.1}", r.before_ops_sec),
+                format!("{:.1}", r.after_ops_sec),
+                format!("{:.2}x", r.speedup()),
+                r.before_limb_mults.to_string(),
+                r.after_limb_mults.to_string(),
+                format!("{:.2}x", r.mult_ratio()),
+            ]);
+        }
+        all.push((key_bits, rows));
+    }
+    table.print();
+
+    // JSON artifact (hand-rolled; the offline workspace has no serde).
+    let mut json = String::from("{\n  \"agg_ways\": 64,\n  \"entries\": [\n");
+    for (i, (key_bits, rows)) in all.iter().enumerate() {
+        json.push_str(&format!("    {{\"key_bits\": {key_bits}, \"ops\": [\n"));
+        for (j, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"op\": \"{}\", \"before_ops_sec\": {:.3}, \"after_ops_sec\": {:.3}, \
+                 \"speedup\": {:.3}, \"before_limb_mults\": {}, \"after_limb_mults\": {}}}{}\n",
+                r.op,
+                r.before_ops_sec,
+                r.after_ops_sec,
+                r.speedup(),
+                r.before_limb_mults,
+                r.after_limb_mults,
+                if j + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("\nWrote {out_path}");
+
+    let mut failed = false;
+
+    // Gate 1: measured speedup floors at the paper's 1024-bit setting.
+    if let Some((_, rows)) = all.iter().find(|(k, _)| *k == 1024) {
+        for (op, floor) in [("encrypt", 1.3), ("aggregate64", 1.2)] {
+            let row = rows.iter().find(|r| r.op == op).expect("op present");
+            let s = row.speedup();
+            if s < floor {
+                println!("GATE FAILED: 1024-bit {op} speedup {s:.2}x < required {floor}x");
+                failed = true;
+            } else {
+                println!("gate ok: 1024-bit {op} speedup {s:.2}x >= {floor}x");
+            }
+        }
+    }
+
+    // Gate 2: limb-mult counts vs the recorded baseline (±5 %).
+    let baseline_entries = std::fs::read_to_string(&baseline_path)
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
+    if args.has("write-baseline") || baseline_entries.is_empty() {
+        let mut b = String::from("{\n  \"entries\": [\n");
+        for (i, (key_bits, rows)) in all.iter().enumerate() {
+            let enc = rows.iter().find(|r| r.op == "encrypt").expect("encrypt");
+            let agg = rows
+                .iter()
+                .find(|r| r.op == "aggregate64")
+                .expect("aggregate");
+            b.push_str(&format!(
+                "    {{\"key_bits\": {key_bits}, \"encrypt_limb_mults\": {}, \
+                 \"aggregate_limb_mults\": {}}}{}\n",
+                enc.after_limb_mults,
+                agg.after_limb_mults,
+                if i + 1 < all.len() { "," } else { "" }
+            ));
+        }
+        b.push_str("  ]\n}\n");
+        std::fs::write(&baseline_path, &b).expect("write baseline");
+        println!("Recorded baseline at {baseline_path}");
+    } else {
+        for (key_bits, enc_base, agg_base) in &baseline_entries {
+            let Some((_, rows)) = all.iter().find(|(k, _)| *k as u64 == *key_bits) else {
+                continue;
+            };
+            for (op, base) in [("encrypt", *enc_base), ("aggregate64", *agg_base)] {
+                let now = rows
+                    .iter()
+                    .find(|r| r.op == op)
+                    .expect("op present")
+                    .after_limb_mults;
+                // Integer form of `now > base * 1.05`.
+                if now * 100 > base * 105 {
+                    println!(
+                        "GATE FAILED: {key_bits}-bit {op} limb-mults {now} exceed \
+                         baseline {base} by more than 5%"
+                    );
+                    failed = true;
+                } else {
+                    println!("gate ok: {key_bits}-bit {op} limb-mults {now} vs baseline {base}");
+                }
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("All hot-path gates passed.");
+}

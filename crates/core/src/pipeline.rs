@@ -15,7 +15,7 @@ use std::time::Instant;
 use codec::{BatchCodec, QuantizerConfig};
 use gpu_sim::{Device, DeviceConfig};
 use he::ghe::{GpuHe, HeTiming};
-use he::paillier::{Ciphertext, PaillierKeyPair};
+use he::paillier::{Ciphertext, ObfuscatorPool, PaillierKeyPair};
 use he::HeBackend;
 use mpint::Natural;
 use rand::Rng;
@@ -126,7 +126,8 @@ impl FlBoosterBuilder {
             .unwrap_or_else(|| QuantizerConfig::paper_default(self.participants));
         let codec = BatchCodec::new(qcfg, self.key_bits)?;
         let device = Arc::new(Device::new(self.device_config));
-        let ghe = GpuHe::new(Arc::clone(&device));
+        let pool = Arc::new(ObfuscatorPool::new(&keys.public));
+        let ghe = GpuHe::new(Arc::clone(&device)).with_pool(Arc::clone(&pool));
         Ok(FlBooster {
             keys,
             device,
@@ -134,6 +135,7 @@ impl FlBoosterBuilder {
             codec,
             batch_compression: self.batch_compression,
             chunk_size: self.chunk_size,
+            pool,
         })
     }
 }
@@ -150,6 +152,8 @@ pub struct FlBooster {
     pub codec: BatchCodec,
     batch_compression: bool,
     chunk_size: usize,
+    /// Blinding-factor pool feeding [`FlBooster::ghe`]'s encrypt path.
+    pool: Arc<ObfuscatorPool>,
 }
 
 impl FlBooster {
@@ -185,9 +189,15 @@ impl FlBooster {
         let mut cts = Vec::with_capacity(plaintexts.len());
         let mut he = HeTiming::default();
         for (i, chunk) in plaintexts.chunks(self.chunk_size).enumerate() {
+            let chunk_seed = seed ^ ((i as u64) << 32);
+            // Pre-generate the chunk's (r, r^n) pairs: same deterministic
+            // r derivation as the inline path (ciphertexts unchanged),
+            // with the r^n exponentiations amortized off the hot path.
+            self.pool
+                .prefill_batch(&self.keys.public, chunk_seed, chunk.len())?;
             let (mut chunk_cts, t) =
                 self.ghe
-                    .encrypt_batch(&self.keys.public, chunk, seed ^ ((i as u64) << 32))?;
+                    .encrypt_batch(&self.keys.public, chunk, chunk_seed)?;
             he.merge(&t);
             cts.append(&mut chunk_cts);
         }
@@ -216,6 +226,29 @@ impl FlBooster {
             he.merge(&t);
             acc = next;
         }
+        let report = PipelineReport {
+            codec_seconds: 0.0,
+            he,
+            ciphertexts: acc.len(),
+            ciphertext_bytes: acc.iter().map(|c| c.wire_size_bytes() as u64).sum(),
+            values: 0,
+        };
+        Ok((acc, report))
+    }
+
+    /// Weighted homomorphic aggregation: slot `j` of the result holds
+    /// `E(Σᵢ weights[i] · mᵢⱼ)`, computed as one Straus
+    /// multi-exponentiation per slot with a single shared squaring chain
+    /// across the batch (replacing a per-party `scalar_mul` + `add`
+    /// loop). Weights are public sample counts.
+    pub fn aggregate_weighted(
+        &self,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+    ) -> Result<(Vec<Ciphertext>, PipelineReport)> {
+        let (acc, he) = self
+            .ghe
+            .weighted_aggregate(&self.keys.public, batches, weights)?;
         let report = PipelineReport {
             codec_seconds: 0.0,
             he,

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use codec::{BatchCodec, QuantizerConfig};
 use gpu_sim::{resource::ResourceManager, Device, DeviceConfig, DeviceStats};
 use he::ghe::{CpuHe, GpuHe, HeTiming};
-use he::paillier::{Ciphertext, PaillierKeyPair};
+use he::paillier::{Ciphertext, ObfuscatorPool, PaillierKeyPair};
 use he::HeBackend;
 use mpint::Natural;
 use parking_lot::Mutex;
@@ -130,6 +130,10 @@ pub struct Accelerator {
     net_profile: NetworkConfig,
     participants: u32,
     timing: Mutex<AccelTiming>,
+    /// Blinding-factor pool for the FLBooster-family backends; the FATE
+    /// and HAFLO baselines encrypt without pre-generation, as the
+    /// systems they model do.
+    pool: Option<Arc<ObfuscatorPool>>,
 }
 
 impl Accelerator {
@@ -160,8 +164,25 @@ impl Accelerator {
         let key_bits = keys.public.key_bits;
         let codec = BatchCodec::new(qcfg, key_bits).map_err(flbooster_core::Error::from)?;
 
+        // Blinding-factor pre-generation is an FLBooster-family
+        // optimization (and rides along in both ablations); the FATE and
+        // HAFLO baselines pay the full `r^n` on every encryption.
+        let pool = match kind {
+            BackendKind::Fate | BackendKind::Haflo => None,
+            BackendKind::FlBooster | BackendKind::WithoutGhe | BackendKind::WithoutBc => {
+                Some(Arc::new(ObfuscatorPool::new(&keys.public)))
+            }
+        };
+
         let (he, device): (Box<dyn HeBackend>, Option<Arc<Device>>) = match kind {
-            BackendKind::Fate | BackendKind::WithoutGhe => (Box::new(CpuHe::default()), None),
+            BackendKind::Fate => (Box::new(CpuHe::default()), None),
+            BackendKind::WithoutGhe => {
+                let mut cpu = CpuHe::default();
+                if let Some(p) = &pool {
+                    cpu = cpu.with_pool(Arc::clone(p));
+                }
+                (Box::new(cpu), None)
+            }
             BackendKind::Haflo => {
                 // Naive launch: fixed 256-thread blocks, no branch
                 // combining — what a direct CUDA port does.
@@ -173,7 +194,11 @@ impl Accelerator {
             }
             BackendKind::FlBooster | BackendKind::WithoutBc => {
                 let device = Arc::new(Device::new(DeviceConfig::rtx3090()));
-                (Box::new(GpuHe::new(Arc::clone(&device))), Some(device))
+                let mut gpu = GpuHe::new(Arc::clone(&device));
+                if let Some(p) = &pool {
+                    gpu = gpu.with_pool(Arc::clone(p));
+                }
+                (Box::new(gpu), Some(device))
             }
         };
 
@@ -193,6 +218,7 @@ impl Accelerator {
             net_profile,
             participants,
             timing: Mutex::new(AccelTiming::default()),
+            pool,
         })
     }
 
@@ -253,6 +279,20 @@ impl Accelerator {
                 .map(|&v| self.codec.quantizer().quantize(v).map(Natural::from))
                 .collect::<codec::Result<_>>()?
         };
+        // Pool presence is backend configuration, fixed at construction —
+        // the branch does not depend on the gradient values.
+        // flcheck: allow(ct-taint)
+        if let Some(pool) = &self.pool {
+            // Pre-generate the batch's (r, r^n) pairs sized to the
+            // gradient vector. The pairs use the same deterministic r
+            // derivation as the inline path, so ciphertexts are
+            // unchanged; the r^n exponentiations are amortized background
+            // work (the paper's pooling argument) and not charged to the
+            // simulated epoch. Only the public batch *size* crosses into
+            // the refill; the plaintext values do not.
+            // flcheck: allow(ct-taint)
+            pool.prefill_batch(&self.keys.public, seed, plaintexts.len())?;
+        }
         let (cts, t) = self
             .he
             // Delegation boundary: the HE layer's encrypt entry points
@@ -292,6 +332,40 @@ impl Accelerator {
             acc = next;
         }
         Ok(EncryptedVector { cts: acc, count })
+    }
+
+    /// Weighted homomorphic aggregation: slot `j` of the result holds
+    /// `E(Σᵢ weights[i] · mᵢⱼ)`. One Straus multi-exponentiation per slot
+    /// replaces the per-party `scalar_mul` + `add` loop — a single
+    /// shared squaring chain for the whole batch (see
+    /// [`he::paillier::PaillierPublicKey::weighted_sum`]). Key identity
+    /// is checked per ciphertext, so cross-key mixes fail loudly in
+    /// release builds too.
+    pub fn aggregate_weighted(
+        &self,
+        vectors: &[EncryptedVector],
+        weights: &[u64],
+    ) -> Result<EncryptedVector> {
+        let count = match vectors.first() {
+            Some(v) => v.count,
+            None => {
+                return Ok(EncryptedVector {
+                    cts: Vec::new(),
+                    count: 0,
+                })
+            }
+        };
+        for v in vectors {
+            // Protocol invariant: every party submits same-shaped vectors.
+            // flcheck: allow(pf-assert)
+            assert_eq!(v.count, count, "aggregating vectors of different sizes");
+        }
+        let batches: Vec<Vec<Ciphertext>> = vectors.iter().map(|v| v.cts.clone()).collect();
+        let (cts, t) = self
+            .he
+            .weighted_aggregate(&self.keys.public, &batches, weights)?;
+        self.charge(&t, 0);
+        Ok(EncryptedVector { cts, count })
     }
 
     /// Decrypts an aggregated vector whose slots hold sums of `terms`

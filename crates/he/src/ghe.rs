@@ -20,11 +20,9 @@ use std::sync::Arc;
 
 use gpu_sim::{Device, KernelSpec};
 use mpint::Natural;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use crate::paillier::{Ciphertext, PaillierPrivateKey, PaillierPublicKey};
+use crate::paillier::{Ciphertext, ObfuscatorPool, PaillierPrivateKey, PaillierPublicKey};
 use crate::Result;
 
 /// Timing and volume accounting for one batched HE call.
@@ -85,6 +83,19 @@ pub trait HeBackend: Send + Sync {
         pk: &PaillierPublicKey,
         groups: &[Vec<Ciphertext>],
     ) -> Result<(Vec<Ciphertext>, HeTiming)>;
+
+    /// Weighted aggregation across participant batches:
+    /// `out[j] = ∏ᵢ batches[i][j] ^ weights[i] mod n²` — one Straus
+    /// multi-exponentiation per slot
+    /// ([`PaillierPublicKey::weighted_sum`]), parallel across slots.
+    /// Weights are public sample counts. All batches must share a length;
+    /// an empty batch list yields an empty output.
+    fn weighted_aggregate(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)>;
 }
 
 /// Chunk-granularity cap for HE batch loops: schedule every item as its
@@ -95,15 +106,64 @@ pub trait HeBackend: Send + Sync {
 /// histogram buckets) that coarse chunking would serialize.
 const HE_MAX_CHUNK: usize = 1;
 
-/// Derives a per-item RNG from a batch seed, mirroring the paper's
-/// one-generator-per-thread design.
-fn item_rng(seed: u64, index: usize) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+/// Derives the per-item blinding factor from a batch seed — delegated to
+/// the key so [`ObfuscatorPool::prefill_batch`] derives the *same* `r`
+/// values and pooled encryption stays bit-identical.
+fn blinding(pk: &PaillierPublicKey, seed: u64, index: usize) -> Natural {
+    pk.batch_blinding(seed, index)
 }
 
-fn blinding(pk: &PaillierPublicKey, seed: u64, index: usize) -> Natural {
-    let mut rng = item_rng(seed, index);
-    mpint::random::random_coprime(&mut rng, &pk.n)
+/// Encrypts one batch item, preferring a pool-precomputed `(r, r^n)`
+/// pair; on a pool miss it computes `r^n` inline from the same
+/// deterministically derived `r`, so the ciphertext is bit-identical
+/// either way. Returns whether the pool served the item (the pooled path
+/// skips the `bits(n)`-bit exponentiation, so it is charged differently).
+fn encrypt_item(
+    pk: &PaillierPublicKey,
+    pool: Option<&ObfuscatorPool>,
+    m: &Natural,
+    seed: u64,
+    index: usize,
+) -> (Result<Ciphertext>, bool) {
+    match pool.and_then(|p| p.take(seed, index)) {
+        Some(obf) => (pk.encrypt_with_obfuscator(m, obf), true),
+        None => (pk.encrypt_with_r(m, &blinding(pk, seed, index)), false),
+    }
+}
+
+/// Shape-checks a weighted-aggregate call: one weight per batch, all
+/// batches the same length. Returns the slot count and the weights as
+/// [`Natural`]s.
+fn weighted_shape(batches: &[Vec<Ciphertext>], weights: &[u64]) -> (usize, Vec<Natural>) {
+    // Documented trait contract: misaligned batches are a caller bug.
+    // flcheck: allow(pf-assert)
+    assert_eq!(
+        batches.len(),
+        weights.len(),
+        "weighted_aggregate requires one weight per batch"
+    );
+    let slots = batches.first().map_or(0, Vec::len);
+    for b in batches {
+        // flcheck: allow(pf-assert)
+        assert_eq!(b.len(), slots, "weighted_aggregate requires equal lengths");
+    }
+    (slots, weights.iter().map(|&w| Natural::from(w)).collect())
+}
+
+/// Gathers slot `j` across every participant batch.
+fn slot_column(batches: &[Vec<Ciphertext>], j: usize) -> Vec<Ciphertext> {
+    // In range: weighted_shape verified every batch has `slots` items.
+    // flcheck: allow(pf-index)
+    batches.iter().map(|b| b[j].clone()).collect()
+}
+
+/// Bit length of the widest weight.
+fn max_weight_bits(weights: &[u64]) -> u32 {
+    weights
+        .iter()
+        .map(|&w| 64 - w.leading_zeros())
+        .max()
+        .unwrap_or(0)
 }
 
 // ---------------------------------------------------------------------
@@ -123,6 +183,7 @@ fn blinding(pk: &PaillierPublicKey, seed: u64, index: usize) -> Natural {
 pub struct CpuHe {
     /// Seconds per limb-level operation (`β_cpu`).
     pub seconds_per_op: f64,
+    pool: Option<Arc<ObfuscatorPool>>,
 }
 
 /// Calibrated default `β_cpu` (see struct docs).
@@ -132,7 +193,17 @@ impl Default for CpuHe {
     fn default() -> Self {
         CpuHe {
             seconds_per_op: DEFAULT_CPU_SECONDS_PER_OP,
+            pool: None,
         }
+    }
+}
+
+impl CpuHe {
+    /// Attaches a blinding-factor pool: batch encryption consumes
+    /// precomputed `(r, r^n)` pairs where available.
+    pub fn with_pool(mut self, pool: Arc<ObfuscatorPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 }
 
@@ -147,14 +218,17 @@ impl HeBackend for CpuHe {
         plaintexts: &[Natural],
         seed: u64,
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
-        let out: crate::Result<Vec<Ciphertext>> = plaintexts
+        let results: Vec<(crate::Result<Ciphertext>, bool)> = plaintexts
             .par_iter()
             .with_max_len(HE_MAX_CHUNK)
             .enumerate()
-            .map(|(i, m)| pk.encrypt_with_r(m, &blinding(pk, seed, i)))
+            .map(|(i, m)| encrypt_item(pk, self.pool.as_deref(), m, seed, i))
             .collect();
+        let pooled = results.iter().filter(|(_, hit)| *hit).count() as u64;
+        let out: crate::Result<Vec<Ciphertext>> = results.into_iter().map(|(r, _)| r).collect();
         let out = out?;
-        let ops = pk.encrypt_op_estimate() * plaintexts.len() as u64;
+        let full = plaintexts.len() as u64 - pooled;
+        let ops = pk.encrypt_op_estimate() * full + pk.encrypt_pooled_op_estimate() * pooled;
         Ok((out, self.timing(ops, plaintexts.len())))
     }
 
@@ -212,6 +286,22 @@ impl HeBackend for CpuHe {
         let ops = pk.add_op_estimate() * adds;
         Ok((out?, self.timing(ops, groups.len())))
     }
+
+    fn weighted_aggregate(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let (slots, wnat) = weighted_shape(batches, weights);
+        let out: crate::Result<Vec<Ciphertext>> = (0..slots)
+            .into_par_iter()
+            .with_max_len(HE_MAX_CHUNK)
+            .map(|j| pk.weighted_sum(&slot_column(batches, j), &wnat))
+            .collect();
+        let per_slot = pk.weighted_sum_op_estimate(batches.len(), max_weight_bits(weights));
+        Ok((out?, self.timing(per_slot * slots as u64, slots)))
+    }
 }
 
 impl CpuHe {
@@ -232,12 +322,20 @@ impl CpuHe {
 #[derive(Clone)]
 pub struct GpuHe {
     device: Arc<Device>,
+    pool: Option<Arc<ObfuscatorPool>>,
 }
 
 impl GpuHe {
     /// Wraps a simulated device.
     pub fn new(device: Arc<Device>) -> Self {
-        GpuHe { device }
+        GpuHe { device, pool: None }
+    }
+
+    /// Attaches a blinding-factor pool: batch encryption consumes
+    /// precomputed `(r, r^n)` pairs where available.
+    pub fn with_pool(mut self, pool: Arc<ObfuscatorPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The underlying device (for stats inspection).
@@ -282,7 +380,8 @@ impl HeBackend for GpuHe {
         seed: u64,
     ) -> Result<(Vec<Ciphertext>, HeTiming)> {
         let spec = Self::kernel_spec("paillier_encrypt", pk.key_bits, true);
-        let per_item_ops = pk.encrypt_op_estimate();
+        let full_ops = pk.encrypt_op_estimate();
+        let pooled_ops = pk.encrypt_pooled_op_estimate();
         // Plaintexts go up (quantized words), ciphertexts come back.
         let bytes_in: u64 = plaintexts
             .iter()
@@ -294,9 +393,9 @@ impl HeBackend for GpuHe {
         let (results, report) =
             self.device
                 .launch(&spec, plaintexts, bytes_in, bytes_out, |i, m| {
-                    let r = blinding(pk, seed, i);
-                    let out = pk.encrypt_with_r(m, &r);
-                    gpu_sim::kernel::outcome_from_result(out, per_item_ops, i % 2 == 0)
+                    let (out, hit) = encrypt_item(pk, self.pool.as_deref(), m, seed, i);
+                    let ops = if hit { pooled_ops } else { full_ops };
+                    gpu_sim::kernel::outcome_from_result(out, ops, i % 2 == 0)
                 });
         let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
@@ -392,6 +491,38 @@ impl HeBackend for GpuHe {
         let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
     }
+
+    fn weighted_aggregate(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let (slots, wnat) = weighted_shape(batches, weights);
+        let spec = Self::kernel_spec("paillier_weighted_sum", pk.key_bits, true);
+        let per_item_ops = pk
+            .weighted_sum_op_estimate(batches.len(), max_weight_bits(weights))
+            .max(1);
+        let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
+        // Participant ciphertexts are device-resident from prior phases
+        // (paper Fig. 4 ⑩–⑫); only the weights go up and the aggregated
+        // slots come back.
+        let bytes_in = 8 * weights.len() as u64;
+        let bytes_out = ct_bytes * slots as u64;
+
+        let items: Vec<usize> = (0..slots).collect();
+        let (results, report) = self
+            .device
+            .launch(&spec, &items, bytes_in, bytes_out, |i, &j| {
+                gpu_sim::kernel::outcome_from_result(
+                    pk.weighted_sum(&slot_column(batches, j), &wnat),
+                    per_item_ops,
+                    i % 2 == 0,
+                )
+            });
+        let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
 }
 
 /// Converts a launch report into HE timing under *epoch-amortized*
@@ -424,6 +555,8 @@ mod tests {
     use super::*;
     use crate::paillier::PaillierKeyPair;
     use gpu_sim::DeviceConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn keys() -> PaillierKeyPair {
         let mut rng = ChaCha8Rng::seed_from_u64(42);

@@ -20,11 +20,18 @@
 //!   plus plaintext-scalar multiplication `E(m)^k = E(k·m)` used for
 //!   weighted gradient aggregation.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mpint::cios::{mont_mul_mac_count, mont_sqr_mac_count};
 use mpint::modpow::{mod_pow_ct, mod_pow_ctx, window_size_for};
 use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
 use mpint::random::random_coprime;
+use mpint::straus;
 use mpint::{mod_inv, MontgomeryCtx, Natural};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::{Error, Result};
 
@@ -126,6 +133,31 @@ fn l_function(x: &Natural, n: &Natural) -> Natural {
 // flcheck: secret(exp)
 fn pow_secret(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, bits: u32) -> Natural {
     mod_pow_ct(ctx, base, exp, bits)
+}
+
+/// Limb-op estimate of one sliding-window exponentiation (`mod_pow_ctx`)
+/// with a public `e_bits`-bit exponent over `s`-limb operands.
+///
+/// The simulator's historical unit charges one `s`-limb `mont_mul` as
+/// `s²` limb ops — half its 64×64 MAC count — so totals here are MAC
+/// counts halved. Squarings are charged at the dedicated
+/// [`mont_sqr`](mpint::cios::mont_sqr) kernel's cheaper rate (~¾ of a
+/// general multiply), which the exponentiation ladders now use for every
+/// squaring step.
+fn window_pow_ops(s: usize, e_bits: u32) -> u64 {
+    let w = window_size_for(e_bits) as u64;
+    let e = e_bits as u64;
+    let sqr_macs = e * mont_sqr_mac_count(s);
+    let mul_macs = (e / (w + 1) + (1 << (w - 1))) * mont_mul_mac_count(s);
+    (sqr_macs + mul_macs) / 2
+}
+
+/// Limb-op estimate of one square-and-multiply-always ladder
+/// (`mod_pow_ct`): exactly one squaring and one multiply per exponent
+/// step, regardless of the exponent bits. Same unit as
+/// [`window_pow_ops`].
+fn ladder_pow_ops(s: usize, e_bits: u32) -> u64 {
+    (e_bits as u64) * (mont_sqr_mac_count(s) + mont_mul_mac_count(s)) / 2
 }
 
 impl PaillierKeyPair {
@@ -261,6 +293,158 @@ fn key_fingerprint(n: &Natural, g: &Natural) -> u64 {
     h
 }
 
+/// A precomputed Paillier blinding pair: `r^n mod n²` for a fresh `r`.
+///
+/// `r^n mod n²` is the expensive half of encryption (a full `bits(n)`-bit
+/// exponentiation) and depends only on the key — never on the plaintext —
+/// so it can be computed ahead of the gradient batch. An obfuscator is
+/// consumed **by value** in
+/// [`PaillierPublicKey::encrypt_with_obfuscator`], so each `r` blinds
+/// exactly one ciphertext; reusing `r` across two ciphertexts would let
+/// their quotient cancel the blinding.
+#[derive(Debug)]
+pub struct Obfuscator {
+    /// `r^n mod n²`, ready to multiply onto `g^m`.
+    r_n: Natural,
+    key_id: u64,
+}
+
+/// Acquires a std mutex, recovering the data from a poisoned lock: pool
+/// state is a plain map/queue of finished values, valid even if another
+/// thread panicked mid-insert.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Pre-generated blinding pairs for batched encryption (HAFLO-style
+/// obfuscator pooling).
+///
+/// Two stores, never locked together:
+///
+/// - an **indexed** store keyed by `(seed, index)`, filled by
+///   [`prefill_batch`](Self::prefill_batch) with the *same*
+///   deterministically derived `r` values the batch encrypt path would
+///   compute inline ([`PaillierPublicKey::batch_blinding`]) — so pooled
+///   and unpooled encryption are bit-identical;
+/// - an **anonymous** FIFO for callers without a batch schedule, filled
+///   by [`pregenerate`](Self::pregenerate) from caller randomness.
+///
+/// Each pair is handed out at most once (`take` removes it), preserving
+/// the one-ciphertext-per-`r` rule. Refills fan the `r^n` exponentiations
+/// out on the work-stealing pool and take each lock once, briefly, to
+/// deposit finished values.
+pub struct ObfuscatorPool {
+    key_id: u64,
+    indexed: Mutex<HashMap<(u64, u64), Obfuscator>>,
+    anon: Mutex<VecDeque<Obfuscator>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ObfuscatorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObfuscatorPool")
+            .field("indexed", &lock(&self.indexed).len())
+            .field("anon", &lock(&self.anon).len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ObfuscatorPool {
+    /// An empty pool bound to `pk`'s key identity.
+    pub fn new(pk: &PaillierPublicKey) -> Self {
+        ObfuscatorPool {
+            key_id: pk.key_id,
+            indexed: Mutex::new(HashMap::new()),
+            anon: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Precomputes the blinding pairs for items `0..count` of the batch
+    /// identified by `seed`, in parallel. The `r` values are the same
+    /// ones the inline path derives, so consuming these pairs changes
+    /// nothing about the ciphertexts — only when `r^n` is paid for.
+    pub fn prefill_batch(&self, pk: &PaillierPublicKey, seed: u64, count: usize) -> Result<()> {
+        if pk.key_id != self.key_id {
+            return Err(Error::KeyMismatch);
+        }
+        let pairs: Vec<((u64, u64), Obfuscator)> = (0..count)
+            .into_par_iter()
+            .with_max_len(1)
+            .map(|i| {
+                let r = pk.batch_blinding(seed, i);
+                ((seed, i as u64), pk.precompute_obfuscator(&r))
+            })
+            .collect();
+        lock(&self.indexed).extend(pairs);
+        Ok(())
+    }
+
+    /// Takes the precomputed pair for batch `seed`, item `index`, if the
+    /// pool holds one. Each pair can be taken only once.
+    pub fn take(&self, seed: u64, index: usize) -> Option<Obfuscator> {
+        let taken = lock(&self.indexed).remove(&(seed, index as u64));
+        let counter = if taken.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        taken
+    }
+
+    /// Pre-generates `count` anonymous pairs from caller randomness: the
+    /// `r` draws are serial (deterministic for a seeded `rng`), the
+    /// `r^n` exponentiations run in parallel.
+    pub fn pregenerate<R: Rng + ?Sized>(
+        &self,
+        pk: &PaillierPublicKey,
+        rng: &mut R,
+        count: usize,
+    ) -> Result<()> {
+        if pk.key_id != self.key_id {
+            return Err(Error::KeyMismatch);
+        }
+        let rs: Vec<Natural> = (0..count).map(|_| random_coprime(rng, &pk.n)).collect();
+        let obfs: Vec<Obfuscator> = rs
+            .par_iter()
+            .with_max_len(1)
+            .map(|r| pk.precompute_obfuscator(r))
+            .collect();
+        lock(&self.anon).extend(obfs);
+        Ok(())
+    }
+
+    /// Takes the oldest anonymous pair, if any.
+    pub fn take_anon(&self) -> Option<Obfuscator> {
+        lock(&self.anon).pop_front()
+    }
+
+    /// Pairs currently parked in the indexed store.
+    pub fn indexed_len(&self) -> usize {
+        lock(&self.indexed).len()
+    }
+
+    /// Pairs currently parked in the anonymous FIFO.
+    pub fn anon_len(&self) -> usize {
+        lock(&self.anon).len()
+    }
+
+    /// `take` calls served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// `take` calls that fell through to inline computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 impl PaillierPublicKey {
     /// Encrypts `m < n` with a fresh blinding factor (paper Eq. 3).
     pub fn encrypt<R: Rng + ?Sized>(&self, m: &Natural, rng: &mut R) -> Result<Ciphertext> {
@@ -271,6 +455,48 @@ impl PaillierPublicKey {
     /// Encrypts with an explicit blinding factor (deterministic tests).
     // flcheck: secret(m)
     pub fn encrypt_with_r(&self, m: &Natural, r: &Natural) -> Result<Ciphertext> {
+        // Delegation boundary: the callee carries its own secret(m) seed
+        // and allows, so taint re-enters analysis there.
+        // flcheck: allow(ct-taint)
+        self.encrypt_with_obfuscator(m, self.precompute_obfuscator(r))
+    }
+
+    /// The deterministic per-item blinding factor for item `index` of the
+    /// batch identified by `seed` — each item gets an independent ChaCha8
+    /// stream, matching the paper's one-generator-per-thread design. Both
+    /// the inline batch-encrypt path and
+    /// [`ObfuscatorPool::prefill_batch`] derive `r` through here, which
+    /// is what makes pooled and unpooled encryption bit-identical.
+    pub fn batch_blinding(&self, seed: u64, index: usize) -> Natural {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+            seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        random_coprime(&mut rng, &self.n)
+    }
+
+    /// Computes the expensive half of an encryption — `r^n mod n²` — for
+    /// an explicit blinding factor, packaging it for a later
+    /// [`encrypt_with_obfuscator`](Self::encrypt_with_obfuscator). The
+    /// exponent `n` is public; the base `r` is the blinding secret, but
+    /// the sliding-window schedule depends only on the exponent bits.
+    // flcheck: secret(r)
+    pub fn precompute_obfuscator(&self, r: &Natural) -> Obfuscator {
+        // The window walk is driven by the public exponent n, not r.
+        // flcheck: allow(ct-taint)
+        let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
+        Obfuscator {
+            r_n,
+            key_id: self.key_id,
+        }
+    }
+
+    /// Encrypts using a precomputed blinding pair, consuming it: only
+    /// `g^m` and one blinding multiplication remain on the hot path.
+    // flcheck: secret(m)
+    pub fn encrypt_with_obfuscator(&self, m: &Natural, obf: Obfuscator) -> Result<Ciphertext> {
+        if obf.key_id != self.key_id {
+            return Err(Error::KeyMismatch);
+        }
         // The range check leaks only whether the plaintext is valid — a
         // bit the caller already knows.
         // flcheck: allow(ct-taint)
@@ -294,12 +520,10 @@ impl PaillierPublicKey {
         } else {
             pow_secret(&self.ctx_n2, &self.g, m, self.n.bit_len())
         };
-        // r^n mod n²: the expensive modular exponentiation.
-        let r_n = mod_pow_ctx(&self.ctx_n2, r, &self.n);
         // mod_mul's reduction cost tracks the public operand widths (all
         // values are full-width mod n²), not the residue being blinded.
         // flcheck: allow(ct-taint)
-        let value = self.ctx_n2.mod_mul(&g_m, &r_n);
+        let value = self.ctx_n2.mod_mul(&g_m, &obf.r_n);
         Ok(Ciphertext {
             value,
             key_id: self.key_id,
@@ -333,6 +557,48 @@ impl PaillierPublicKey {
         }
     }
 
+    /// Checked plaintext-scalar multiplication: fails on key mismatch
+    /// instead of silently producing garbage in release builds (where
+    /// [`scalar_mul`](Self::scalar_mul)'s `debug_assert!` compiles out).
+    pub fn checked_scalar_mul(&self, c: &Ciphertext, k: &Natural) -> Result<Ciphertext> {
+        if c.key_id != self.key_id {
+            return Err(Error::KeyMismatch);
+        }
+        Ok(self.scalar_mul(c, k))
+    }
+
+    /// Weighted homomorphic sum: `∏ cᵢ^{kᵢ} mod n² = E(Σ kᵢ·mᵢ mod n)`
+    /// via Straus interleaved multi-exponentiation — one shared squaring
+    /// chain for the whole batch instead of a `scalar_mul` + `add` per
+    /// term (see [`mpint::straus`]). Weights are public aggregation
+    /// metadata (sample counts), so the weight-dependent multiply
+    /// schedule is not a leak. An empty batch yields the encryption of
+    /// zero.
+    pub fn weighted_sum(&self, cts: &[Ciphertext], weights: &[Natural]) -> Result<Ciphertext> {
+        if cts.len() != weights.len() {
+            return Err(Error::InvalidParameter(
+                "each ciphertext needs exactly one weight",
+            ));
+        }
+        let mut bases_m = Vec::with_capacity(cts.len());
+        for c in cts {
+            if c.key_id != self.key_id {
+                return Err(Error::KeyMismatch);
+            }
+            if c.value >= self.n_squared {
+                return Err(Error::CiphertextOutOfRange);
+            }
+            bases_m.push(self.ctx_n2.to_mont(&c.value));
+        }
+        let max_bits = weights.iter().map(Natural::bit_len).max().unwrap_or(0);
+        let window = straus::straus_window_for(max_bits);
+        let product = straus::multi_exp_mont(&self.ctx_n2, &bases_m, weights, window);
+        Ok(Ciphertext {
+            value: self.ctx_n2.from_mont(&product),
+            key_id: self.key_id,
+        })
+    }
+
     /// Encryption of zero with unit blinding — the additive identity used
     /// to initialize aggregation accumulators.
     pub fn zero_ciphertext(&self) -> Ciphertext {
@@ -342,26 +608,62 @@ impl PaillierPublicKey {
         }
     }
 
-    /// Estimated limb-level operation count of one encryption, used by the
-    /// GPU simulator's timing model: a `bits(n)`-bit exponentiation of
-    /// `s²`-cost Montgomery multiplications plus the blinding multiply.
-    /// Keys with a generic generator (no `g = n+1` closed form) also pay
-    /// the constant-time `g^m` ladder: one squaring and one multiply per
-    /// exponent bit.
+    /// Estimated limb-level operation count of one encryption with an
+    /// inline `r^n mod n²`: the `bits(n)`-bit sliding-window
+    /// exponentiation (squarings at the dedicated `mont_sqr` rate) plus
+    /// the pooled-path remainder.
     pub fn encrypt_op_estimate(&self) -> u64 {
-        let s = self.ctx_n2.width() as u64;
-        let e_bits = self.n.bit_len() as u64;
-        let w = window_size_for(self.n.bit_len()) as u64;
-        // squarings + window multiplies + table build
-        let mont_muls = e_bits + e_bits / (w + 1) + (1 << (w - 1));
-        let g_muls = if self.g_fast { 0 } else { 2 * e_bits };
-        (mont_muls + g_muls + 2) * s * s
+        let s = self.ctx_n2.width();
+        window_pow_ops(s, self.n.bit_len()) + self.encrypt_pooled_op_estimate()
+    }
+
+    /// Estimated limb-level operation count of one encryption whose
+    /// `r^n` pair came precomputed from an [`ObfuscatorPool`]: only
+    /// `g^m` and the blinding multiplication remain on the hot path.
+    /// Keys with a generic generator (no `g = n+1` closed form) still pay
+    /// the constant-time `g^m` ladder per call.
+    pub fn encrypt_pooled_op_estimate(&self) -> u64 {
+        let s = self.ctx_n2.width();
+        let g_ops = if self.g_fast {
+            0
+        } else {
+            ladder_pow_ops(s, self.n.bit_len())
+        };
+        // Blinding mod_mul: two to-Montgomery conversions, the multiply,
+        // and the final reduction — four mont-muls' worth of MACs.
+        g_ops + 2 * mont_mul_mac_count(s)
     }
 
     /// Estimated limb-level operation count of one homomorphic addition.
     pub fn add_op_estimate(&self) -> u64 {
-        let s = self.ctx_n2.width() as u64;
-        3 * s * s // to-Montgomery ×2 is amortized; one mont-mul + reduce
+        // to-Montgomery ×2 is amortized; one mont-mul + reduce.
+        3 * mont_mul_mac_count(self.ctx_n2.width()) / 2
+    }
+
+    /// Estimated limb-level operation count of one scalar multiplication
+    /// `E(m)^k` with a public `k_bits`-bit scalar.
+    pub fn scalar_mul_op_estimate(&self, k_bits: u32) -> u64 {
+        let s = self.ctx_n2.width();
+        window_pow_ops(s, k_bits) + mont_mul_mac_count(s)
+    }
+
+    /// Estimated limb-level operation count of one `count`-way
+    /// [`weighted_sum`](Self::weighted_sum) with weights of at most
+    /// `max_weight_bits` bits: the shared squaring chain, the per-column
+    /// table multiplies, the per-base table builds and domain
+    /// conversions.
+    pub fn weighted_sum_op_estimate(&self, count: usize, max_weight_bits: u32) -> u64 {
+        if count == 0 || max_weight_bits == 0 {
+            return mont_mul_mac_count(self.ctx_n2.width()) / 2;
+        }
+        let s = self.ctx_n2.width();
+        let w = straus::straus_window_for(max_weight_bits);
+        let columns = max_weight_bits.div_ceil(w) as u64;
+        let sqr_macs = columns.saturating_sub(1) * w as u64 * mont_sqr_mac_count(s);
+        // Per base: one multiply per column (worst case), the table
+        // build, and the to-Montgomery conversion; plus the final REDC.
+        let muls = count as u64 * (columns + (1 << w) - 2 + 1) + 1;
+        (sqr_macs + muls * mont_mul_mac_count(s)) / 2
     }
 }
 
@@ -416,13 +718,14 @@ impl PaillierPrivateKey {
         Ok(&m_p + &(&self.p * &t))
     }
 
-    /// Estimated limb-level op count of one CRT decryption.
+    /// Estimated limb-level op count of one CRT decryption: two
+    /// half-width square-and-multiply-always ladders (the exponents are
+    /// private-key material, so decryption pays the constant-time
+    /// schedule, not the sliding window) plus the L-function and CRT
+    /// recombination arithmetic.
     pub fn decrypt_op_estimate(&self) -> u64 {
-        let s = self.ctx_p2.width() as u64;
-        let e_bits = self.p.bit_len() as u64;
-        let w = window_size_for(self.p.bit_len()) as u64;
-        let mont_muls = e_bits + e_bits / (w + 1) + (1 << (w - 1));
-        2 * (mont_muls + 4) * s * s // two half-width exponentiations
+        let s = self.ctx_p2.width();
+        2 * (ladder_pow_ops(s, self.p.bit_len()) + 2 * mont_mul_mac_count(s))
     }
 
     fn check(&self, c: &Ciphertext) -> Result<()> {
@@ -683,5 +986,163 @@ mod tests {
         let c1 = k.public.encrypt_with_r(&nat(7), &r).unwrap();
         let c2 = k.public.encrypt_with_r(&nat(7), &r).unwrap();
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn obfuscator_encryption_matches_inline() {
+        let k = keys(128);
+        let r = nat(987_654_321);
+        let inline = k.public.encrypt_with_r(&nat(42), &r).unwrap();
+        let obf = k.public.precompute_obfuscator(&r);
+        let pooled = k.public.encrypt_with_obfuscator(&nat(42), obf).unwrap();
+        assert_eq!(inline, pooled);
+    }
+
+    #[test]
+    fn obfuscator_from_wrong_key_rejected() {
+        let k1 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(1), 128).unwrap();
+        let k2 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(2), 128).unwrap();
+        let obf = k1.public.precompute_obfuscator(&nat(777));
+        assert_eq!(
+            k2.public.encrypt_with_obfuscator(&nat(1), obf),
+            Err(Error::KeyMismatch)
+        );
+    }
+
+    #[test]
+    fn pool_prefill_serves_each_pair_once() {
+        let k = keys(128);
+        let pool = ObfuscatorPool::new(&k.public);
+        pool.prefill_batch(&k.public, 9, 4).unwrap();
+        assert_eq!(pool.indexed_len(), 4);
+        assert!(pool.take(9, 2).is_some());
+        assert!(pool.take(9, 2).is_none(), "pairs are single-use");
+        assert!(pool.take(8, 0).is_none(), "other batches miss");
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 2);
+        assert_eq!(pool.indexed_len(), 3);
+    }
+
+    #[test]
+    fn pool_prefill_matches_batch_blinding_derivation() {
+        let k = keys(128);
+        let pool = ObfuscatorPool::new(&k.public);
+        pool.prefill_batch(&k.public, 31, 3).unwrap();
+        for i in 0..3 {
+            let obf = pool.take(31, i).unwrap();
+            let pooled = k.public.encrypt_with_obfuscator(&nat(5), obf).unwrap();
+            let inline = k
+                .public
+                .encrypt_with_r(&nat(5), &k.public.batch_blinding(31, i))
+                .unwrap();
+            assert_eq!(pooled, inline, "item {i}");
+        }
+    }
+
+    #[test]
+    fn pool_rejects_foreign_key_and_anon_fifo_works() {
+        let k1 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(1), 128).unwrap();
+        let k2 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(2), 128).unwrap();
+        let pool = ObfuscatorPool::new(&k1.public);
+        assert_eq!(
+            pool.prefill_batch(&k2.public, 0, 1),
+            Err(Error::KeyMismatch)
+        );
+        assert_eq!(
+            pool.pregenerate(&k2.public, &mut rng(), 1),
+            Err(Error::KeyMismatch)
+        );
+        pool.pregenerate(&k1.public, &mut rng(), 2).unwrap();
+        assert_eq!(pool.anon_len(), 2);
+        let obf = pool.take_anon().unwrap();
+        let c = k1.public.encrypt_with_obfuscator(&nat(3), obf).unwrap();
+        assert_eq!(k1.private.decrypt(&c).unwrap(), nat(3));
+        assert_eq!(pool.anon_len(), 1);
+    }
+
+    #[test]
+    fn checked_scalar_mul_rejects_cross_key() {
+        let k1 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(1), 128).unwrap();
+        let k2 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(2), 128).unwrap();
+        let mut r = rng();
+        let c = k1.public.encrypt(&nat(6), &mut r).unwrap();
+        assert_eq!(
+            k2.public.checked_scalar_mul(&c, &nat(3)),
+            Err(Error::KeyMismatch)
+        );
+        let ok = k1.public.checked_scalar_mul(&c, &nat(3)).unwrap();
+        assert_eq!(k1.private.decrypt(&ok).unwrap(), nat(18));
+    }
+
+    #[test]
+    fn weighted_sum_decrypts_to_weighted_total() {
+        let k = keys(128);
+        let mut r = rng();
+        let ms = [5u64, 11, 0, 1000];
+        let ws = [3u64, 1, 999, 7];
+        let cts: Vec<Ciphertext> = ms
+            .iter()
+            .map(|&m| k.public.encrypt(&nat(m), &mut r).unwrap())
+            .collect();
+        let wnat: Vec<Natural> = ws.iter().map(|&w| nat(w)).collect();
+        let sum = k.public.weighted_sum(&cts, &wnat).unwrap();
+        let expected: u64 = ms.iter().zip(&ws).map(|(m, w)| m * w).sum();
+        assert_eq!(k.private.decrypt(&sum).unwrap(), nat(expected));
+    }
+
+    #[test]
+    fn weighted_sum_matches_scalar_mul_add_loop_exactly() {
+        let k = keys(128);
+        let mut r = rng();
+        let cts: Vec<Ciphertext> = (1u64..6)
+            .map(|m| k.public.encrypt(&nat(m * 77), &mut r).unwrap())
+            .collect();
+        let ws: Vec<Natural> = (0u64..5).map(|w| nat(w * w + 1)).collect();
+        let straus = k.public.weighted_sum(&cts, &ws).unwrap();
+        let mut naive = k.public.zero_ciphertext();
+        for (c, w) in cts.iter().zip(&ws) {
+            let scaled = k.public.checked_scalar_mul(c, w).unwrap();
+            naive = k.public.checked_add(&naive, &scaled).unwrap();
+        }
+        // Both paths produce canonical residues mod n², so the ciphertext
+        // values — not just the decryptions — must agree bit-for-bit.
+        assert_eq!(straus.value, naive.value);
+    }
+
+    #[test]
+    fn weighted_sum_rejects_bad_shapes_and_keys() {
+        let k1 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(1), 128).unwrap();
+        let k2 = PaillierKeyPair::generate(&mut ChaCha8Rng::seed_from_u64(2), 128).unwrap();
+        let mut r = rng();
+        let c1 = k1.public.encrypt(&nat(1), &mut r).unwrap();
+        let c2 = k2.public.encrypt(&nat(2), &mut r).unwrap();
+        assert!(matches!(
+            k1.public.weighted_sum(&[c1.clone()], &[]),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert_eq!(
+            k1.public.weighted_sum(&[c1.clone(), c2], &[nat(1), nat(1)]),
+            Err(Error::KeyMismatch)
+        );
+        let oversized = Ciphertext {
+            value: k1.public.n_squared.clone(),
+            key_id: k1.public.key_id,
+        };
+        assert_eq!(
+            k1.public.weighted_sum(&[oversized], &[nat(1)]),
+            Err(Error::CiphertextOutOfRange)
+        );
+        // Empty batch: the encryption of zero.
+        let empty = k1.public.weighted_sum(&[], &[]).unwrap();
+        assert_eq!(k1.private.decrypt(&empty).unwrap(), nat(0));
+        let _ = c1;
+    }
+
+    #[test]
+    fn pooled_estimate_is_much_cheaper_than_full() {
+        let k = keys(256);
+        assert!(k.public.encrypt_pooled_op_estimate() * 10 < k.public.encrypt_op_estimate());
+        assert!(k.public.weighted_sum_op_estimate(64, 32) > 0);
+        assert!(k.public.scalar_mul_op_estimate(32) < k.public.encrypt_op_estimate());
     }
 }

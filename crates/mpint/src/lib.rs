@@ -54,6 +54,7 @@ mod natural;
 pub mod prime;
 pub mod random;
 mod shift;
+pub mod straus;
 
 pub use barrett::BarrettCtx;
 pub use ct::{ct_eq, ct_ge_then_sub, ct_lt, ct_select};

@@ -70,7 +70,7 @@ pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window
     let mut table = Vec::with_capacity(table_len);
     table.push(base_m.clone());
     if table_len > 1 {
-        let base_sq = ctx.mont_mul(base_m, base_m);
+        let base_sq = ctx.mont_sqr(base_m);
         for i in 1..table_len {
             let prev: &Natural = &table[i - 1];
             table.push(ctx.mont_mul(prev, &base_sq));
@@ -83,7 +83,7 @@ pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window
     while i >= 0 {
         if !exp.bit(i as u32) {
             if started {
-                acc = ctx.mont_mul(&acc, &acc);
+                acc = ctx.mont_sqr(&acc);
             }
             i -= 1;
             continue;
@@ -100,7 +100,7 @@ pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window
         debug_assert!(value & 1 == 1);
         if started {
             for _ in 0..width {
-                acc = ctx.mont_mul(&acc, &acc);
+                acc = ctx.mont_sqr(&acc);
             }
             acc = ctx.mont_mul(&acc, &table[(value >> 1) as usize]);
         } else {
@@ -115,13 +115,17 @@ pub fn mod_pow_mont(ctx: &MontgomeryCtx, base_m: &Natural, exp: &Natural, window
 /// Constant-time `base^exp mod n` for secret exponents: left-to-right
 /// square-and-multiply-**always** over exactly `exp_bits` ladder steps.
 ///
-/// Every step performs one squaring and one multiplication through the
+/// Every step performs one squaring (through the dedicated
+/// [`crate::cios::mont_sqr`] kernel — squarings happen on *every* ladder
+/// step regardless of the exponent bit, so the cheaper schedule is
+/// data-independent and CT-safe) and one multiplication through the
 /// fixed-width CIOS kernel, then keeps or discards the multiplied value
-/// with a masked limb-select — `2·exp_bits` Montgomery multiplications run
-/// for *every* exponent, so the instruction trace depends only on the
-/// public bound `exp_bits` (a key-size parameter such as `n.bit_len()`),
-/// never on the exponent's bit pattern. Compare the sliding-window path,
-/// whose multiply schedule mirrors the exponent's windows.
+/// with a masked limb-select — `exp_bits` squarings plus `exp_bits`
+/// multiplications run for *every* exponent, so the instruction trace
+/// depends only on the public bound `exp_bits` (a key-size parameter such
+/// as `n.bit_len()`), never on the exponent's bit pattern. Compare the
+/// sliding-window path, whose multiply schedule mirrors the exponent's
+/// windows.
 ///
 /// `base` may be unreduced (it is public in the decryption use-cases);
 /// `exp.bit_len()` must not exceed `exp_bits`. Returns the result in
@@ -146,7 +150,7 @@ pub fn mod_pow_ct(ctx: &MontgomeryCtx, base: &Natural, exp: &Natural, exp_bits: 
     let e = exp.to_padded_limbs(exp_bits.div_ceil(LIMB_BITS) as usize + 1);
     let mut acc = ctx.one_mont().to_padded_limbs(s);
     for i in (0..exp_bits).rev() {
-        acc = crate::cios::mont_mul(&acc, &acc, &n_limbs, n0);
+        acc = crate::cios::mont_sqr(&acc, &n_limbs, n0);
         let mut stepped = crate::cios::mont_mul(&acc, &base_m, &n_limbs, n0);
         let bit = (e[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1;
         // bit == 1 keeps `stepped`; bit == 0 rolls back to `acc`.

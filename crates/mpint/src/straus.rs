@@ -1,0 +1,261 @@
+//! Straus (interleaved) multi-exponentiation: `∏ bᵢ^{eᵢ} mod n` with one
+//! shared squaring chain.
+//!
+//! Weighted federated aggregation multiplies many ciphertext powers
+//! together: `∏ cᵢ^{kᵢ} mod n²` (each participant's gradient scaled by
+//! its sample count). Computed pairwise — one sliding-window
+//! exponentiation per base plus a product — every base pays its own
+//! squaring chain: `B·(bits + bits/(w+1))` Montgomery multiplications for
+//! `B` bases. Straus' trick (Straus 1964; Menezes et al., *Handbook of
+//! Applied Cryptography*, Alg. 14.88) scans all exponents' windows in
+//! lockstep from the most significant digit down, so the whole batch
+//! shares a *single* chain of `bits` squarings: `bits` squarings +
+//! `≤ B·bits/w` table multiplications + `B·(2^w − 2)` table-build
+//! multiplications. For the paper's 64-participant aggregates the shared
+//! chain cuts total Montgomery multiplications by well over 2×.
+//!
+//! Exponents here are *public* aggregation weights (sample counts), so
+//! the digit-dependent multiply schedule leaks nothing; secret exponents
+//! must keep using [`crate::modpow::mod_pow_ct`]. Squarings route through
+//! the dedicated [`crate::cios::mont_sqr`] kernel.
+
+use crate::montgomery::MontgomeryCtx;
+use crate::natural::Natural;
+
+/// Window width (bits per digit) for a Straus pass over `count` bases
+/// whose largest exponent has `max_bits` bits.
+///
+/// Per window column every base multiplies with probability
+/// `1 − 2^{-w}`, so widening `w` saves `≈ count·bits·(1/w − 1/(w+1))`
+/// multiplies while the table build costs `count·(2^w − 2)` extra; the
+/// break-even point depends only on `bits`, not `count`, and matches the
+/// single-base table of [`crate::modpow::window_size_for`] shifted one
+/// down (the shared squaring chain removes the incentive for very wide
+/// windows). Clamped to `[1, 8]`.
+pub fn straus_window_for(max_bits: u32) -> u32 {
+    match max_bits {
+        0..=8 => 1,
+        9..=32 => 2,
+        33..=128 => 3,
+        129..=768 => 4,
+        769..=2304 => 5,
+        _ => 6,
+    }
+}
+
+/// Interleaved multi-exponentiation over Montgomery-form bases: returns
+/// `∏ bases_m[i]^{exps[i]}` in Montgomery form. Empty input yields the
+/// Montgomery form of 1.
+///
+/// `bases_m` must be in the Montgomery domain of `ctx` and reduced mod
+/// `n`; `exps` are plain (non-Montgomery) public exponents.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `window` is outside `[1, 8]`.
+pub fn multi_exp_mont(
+    ctx: &MontgomeryCtx,
+    bases_m: &[Natural],
+    exps: &[Natural],
+    window: u32,
+) -> Natural {
+    // Documented precondition (see `# Panics`): callers validate shapes
+    // before entering the kernel (`weighted_sum` returns a typed error).
+    // flcheck: allow(pf-assert)
+    assert_eq!(
+        bases_m.len(),
+        exps.len(),
+        "each base needs exactly one exponent"
+    );
+    // Same documented precondition: window widths beyond 8 would build
+    // 255+-entry tables and are rejected up front.
+    // flcheck: allow(pf-assert)
+    assert!((1..=8).contains(&window), "window must be in [1, 8]");
+    let mut acc = ctx.one_mont();
+    let max_bits = exps.iter().map(Natural::bit_len).max().unwrap_or(0);
+    if max_bits == 0 {
+        // All exponents zero (or no bases): the empty product.
+        return acc;
+    }
+
+    // Per-base digit tables: tables[i][d-1] = bases_m[i]^d for
+    // d = 1..2^w − 1. Bases with a zero exponent never contribute a
+    // nonzero digit, so their table build is skipped outright.
+    let table_len = (1usize << window) - 1;
+    let tables: Vec<Vec<Natural>> = bases_m
+        .iter()
+        .zip(exps)
+        .map(|(b, e)| {
+            if e.is_zero() {
+                return Vec::new();
+            }
+            let mut t = Vec::with_capacity(table_len);
+            t.push(b.clone());
+            for d in 1..table_len {
+                // d ranges over 1..table_len and t holds d entries here,
+                // so t[d-1] is always the most recent push.
+                // flcheck: allow(pf-index)
+                t.push(ctx.mont_mul(&t[d - 1], b));
+            }
+            t
+        })
+        .collect();
+
+    // One shared squaring chain over the digit columns, most significant
+    // first: w squarings per column, then one table multiply per base
+    // whose digit is nonzero.
+    let columns = max_bits.div_ceil(window);
+    for col in (0..columns).rev() {
+        if col + 1 < columns {
+            for _ in 0..window {
+                acc = ctx.mont_sqr(&acc);
+            }
+        }
+        for (table, e) in tables.iter().zip(exps) {
+            if table.is_empty() {
+                continue;
+            }
+            let digit = e.extract_bits(col * window, window);
+            if digit != 0 {
+                // digit is a w-bit value in [1, 2^w - 1] and the table
+                // holds exactly 2^w - 1 entries, so digit-1 is in bounds.
+                // flcheck: allow(pf-index)
+                acc = ctx.mont_mul(&acc, &table[(digit - 1) as usize]);
+            }
+        }
+    }
+    acc
+}
+
+/// Convenience form over plain residues: reduces and converts each base
+/// into the Montgomery domain, runs [`multi_exp_mont`] with the window
+/// from [`straus_window_for`], and converts the product back out.
+pub fn multi_exp_ctx(ctx: &MontgomeryCtx, bases: &[Natural], exps: &[Natural]) -> Natural {
+    let bases_m: Vec<Natural> = bases
+        .iter()
+        .map(|b| ctx.to_mont(&(b % ctx.modulus())))
+        .collect();
+    let max_bits = exps.iter().map(Natural::bit_len).max().unwrap_or(0);
+    let window = straus_window_for(max_bits);
+    ctx.from_mont(&multi_exp_mont(ctx, &bases_m, exps, window))
+}
+
+/// Montgomery multiplications a Straus pass performs, worst case: the
+/// shared squaring chain, a full column of table multiplies per digit,
+/// and the table builds. Used by the GPU simulator's timing model and the
+/// hot-path bench's limb-mult accounting.
+pub fn straus_mult_count(count: u64, max_bits: u32, window: u32) -> u64 {
+    if count == 0 || max_bits == 0 {
+        return 0;
+    }
+    let w = window.max(1);
+    let columns = max_bits.div_ceil(w) as u64;
+    let squarings = columns.saturating_sub(1) * w as u64;
+    let column_muls = count * columns;
+    let table_muls = count * ((1u64 << w) - 2);
+    squarings + column_muls + table_muls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modpow::mod_pow_ctx;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    /// Reference: pairwise sliding-window exponentiation and product.
+    fn naive(ctx: &MontgomeryCtx, bases: &[Natural], exps: &[Natural]) -> Natural {
+        let mut acc = &Natural::one() % ctx.modulus();
+        for (b, e) in bases.iter().zip(exps) {
+            let p = mod_pow_ctx(ctx, b, e);
+            acc = ctx.mod_mul(&acc, &p);
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_naive_product() {
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let bases: Vec<Natural> = [3u128, (1 << 90) + 7, p - 2, 65537]
+            .iter()
+            .map(|&b| n(b))
+            .collect();
+        let exps: Vec<Natural> = [12345u128, 0, (1 << 60) + 3, 999_999_999]
+            .iter()
+            .map(|&e| n(e))
+            .collect();
+        assert_eq!(
+            multi_exp_ctx(&ctx, &bases, &exps),
+            naive(&ctx, &bases, &exps)
+        );
+    }
+
+    #[test]
+    fn empty_and_all_zero_exponents() {
+        let ctx = MontgomeryCtx::new(&n(101)).unwrap();
+        assert_eq!(multi_exp_ctx(&ctx, &[], &[]), n(1));
+        let bases = [n(7), n(9)];
+        let exps = [n(0), n(0)];
+        assert_eq!(multi_exp_ctx(&ctx, &bases, &exps), n(1));
+    }
+
+    #[test]
+    fn single_base_matches_mod_pow() {
+        let p = 1_000_000_007u128;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let (b, e) = (n(123_456_789), n(0xDEAD_BEEF_u128));
+        assert_eq!(
+            multi_exp_ctx(&ctx, &[b.clone()], &[e.clone()]),
+            mod_pow_ctx(&ctx, &b, &e)
+        );
+    }
+
+    #[test]
+    fn every_window_width_agrees() {
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let bases: Vec<Natural> = (2..10u128).map(n).collect();
+        let exps: Vec<Natural> = (0..8u128).map(|i| n(i * 7919 + 1)).collect();
+        let bases_m: Vec<Natural> = bases.iter().map(|b| ctx.to_mont(b)).collect();
+        let reference = naive(&ctx, &bases, &exps);
+        for w in 1..=8 {
+            let got = ctx.from_mont(&multi_exp_mont(&ctx, &bases_m, &exps, w));
+            assert_eq!(got, reference, "window {w}");
+        }
+    }
+
+    #[test]
+    fn unreduced_bases_are_reduced() {
+        let ctx = MontgomeryCtx::new(&n(97)).unwrap();
+        assert_eq!(
+            multi_exp_ctx(&ctx, &[n(1000)], &[n(3)]),
+            n(1000u128.pow(3) % 97)
+        );
+    }
+
+    #[test]
+    fn shared_chain_beats_pairwise_in_mult_count() {
+        // 64 bases, 32-bit weights, 1024-bit modulus: the Table-IV shape.
+        let bits = 32;
+        let w = straus_window_for(bits);
+        let straus = straus_mult_count(64, bits, w);
+        // Pairwise: per base, bits squarings + bits/(w'+1) multiplies +
+        // table + one product multiply.
+        let w1 = crate::modpow::window_size_for(bits) as u64;
+        let pairwise = 64 * (bits as u64 + bits as u64 / (w1 + 1) + (1 << (w1 - 1)) + 1);
+        assert!(
+            straus * 2 < pairwise,
+            "straus {straus} not 2x under pairwise {pairwise}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one exponent")]
+    fn mismatched_lengths_panic() {
+        let ctx = MontgomeryCtx::new(&n(101)).unwrap();
+        multi_exp_mont(&ctx, &[n(3)], &[], 4);
+    }
+}

@@ -4,7 +4,7 @@
 //! operands, and against algebraic identities (ring axioms, reconstruction,
 //! inverse laws) on multi-limb operands where no native oracle exists.
 
-use mpint::{cios, modpow, Natural};
+use mpint::{cios, modpow, straus, Natural};
 use proptest::prelude::*;
 
 fn nat(v: u128) -> Natural {
@@ -26,6 +26,24 @@ fn odd_modulus() -> impl Strategy<Value = Natural> {
         }
         n
     })
+}
+
+/// Arbitrary odd modulus of 1..=32 limbs with the top limb's high bit
+/// set, exercising the squaring kernel across its full width range —
+/// up to 2048-bit operands — with maximal-weight top words.
+fn wide_odd_modulus() -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(any::<u64>(), 1..=32).prop_map(|mut limbs| {
+        limbs[0] |= 1; // odd
+        let last = limbs.len() - 1;
+        limbs[last] |= 1 << 63; // top-limb-set
+        Natural::from_limbs(limbs)
+    })
+}
+
+/// Arbitrary natural up to 32 limbs (wide operands for the squaring
+/// kernel).
+fn wide_natural() -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(any::<u64>(), 0..=32).prop_map(Natural::from_limbs)
 }
 
 proptest! {
@@ -190,6 +208,36 @@ proptest! {
         let p2 = modpow::mod_pow(&base, &Natural::from(e2), &n).unwrap();
         let sum = modpow::mod_pow(&base, &Natural::from(e1 + e2), &n).unwrap();
         prop_assert_eq!(&(&p1 * &p2) % &n, sum);
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul(a in wide_natural(), n in wide_odd_modulus()) {
+        let ctx = mpint::MontgomeryCtx::new(&n).unwrap();
+        let am = ctx.to_mont(&(&a % &n));
+        // The dedicated squaring kernel must agree bit-for-bit with the
+        // general multiply on equal operands, at every limb width.
+        prop_assert_eq!(ctx.mont_sqr(&am), ctx.mont_mul(&am, &am));
+        // Boundary operands: zero and the maximal residue n-1.
+        let zero = Natural::zero();
+        prop_assert_eq!(ctx.mont_sqr(&zero), ctx.mont_mul(&zero, &zero));
+        let top = ctx.to_mont(&n.checked_sub(&Natural::one()).unwrap());
+        prop_assert_eq!(ctx.mont_sqr(&top), ctx.mont_mul(&top, &top));
+    }
+
+    #[test]
+    fn straus_multi_exp_matches_pairwise(
+        pairs in proptest::collection::vec((big_natural(), any::<u64>()), 0..6),
+        n in odd_modulus(),
+    ) {
+        let ctx = mpint::MontgomeryCtx::new(&n).unwrap();
+        let bases: Vec<Natural> = pairs.iter().map(|(b, _)| b % &n).collect();
+        let exps: Vec<Natural> = pairs.iter().map(|(_, e)| Natural::from(*e)).collect();
+        let got = straus::multi_exp_ctx(&ctx, &bases, &exps);
+        let mut expected = &Natural::one() % &n;
+        for (b, e) in bases.iter().zip(&exps) {
+            expected = &(&expected * &modpow::mod_pow(b, e, &n).unwrap()) % &n;
+        }
+        prop_assert_eq!(got, expected);
     }
 
     #[test]

@@ -35,6 +35,19 @@ run ablation_quantization --quick
 # bit-identical-output check, recorded in results/bench_summary.json.
 run bench_parallel --items 256 --keys 1024
 
+# Hot-path kernel gate: before→after ops/sec and limb-mult counts for
+# the squaring kernel, the blinding pool, and Straus aggregation
+# (results/BENCH_hotpath.json). The binary exits non-zero if the
+# 1024-bit measured speedups fall under their floors (encrypt 1.3x,
+# aggregate 1.2x) or if the after limb-mult counts for encrypt or
+# aggregate exceed results/bench_hotpath_baseline.json by more than 5%.
+echo "=== bench_hotpath: hot-path kernel gates ==="
+if ! ./target/release/bench_hotpath 2>&1 | tee $R/bench_hotpath.txt; then
+  echo "HARNESS_FAILED: bench_hotpath regression gate"
+  exit 1
+fi
+echo
+
 # Thread-count invariance gate: the tier-1 test suite must pass both
 # pinned to one worker and at the host's full width (the pool reads
 # RAYON_NUM_THREADS at first use).

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use gpu_sim::{Device, DeviceConfig, ItemOutcome};
-use he::paillier::PaillierKeyPair;
+use he::paillier::{ObfuscatorPool, PaillierKeyPair};
 use he::{CpuHe, GpuHe, HeBackend};
 use mpint::Natural;
 use rand::{RngCore, SeedableRng};
@@ -99,6 +99,138 @@ fn he_batches_are_bit_identical_across_thread_counts() {
         match &reference {
             None => reference = Some(values),
             Some(r) => assert_eq!(&values, r, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn pooled_encryption_is_bit_identical_to_inline_at_every_thread_count() {
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB11D);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let ms: Vec<Natural> = (0..64).map(|_| Natural::from(rng.next_u64())).collect();
+    let seed = 0xCAFE_D00D;
+
+    // Reference: no pool, single thread.
+    let reference: Vec<Natural> = in_pool(1, || {
+        CpuHe::default()
+            .encrypt_batch(&keys.public, &ms, seed)
+            .expect("inline")
+            .0
+            .iter()
+            .map(|c| c.value.clone())
+            .collect()
+    });
+
+    for threads in THREAD_COUNTS {
+        // Pool prefilled concurrently inside the same thread pool that
+        // then drains it — the refill fans r^n out across workers.
+        let (cpu_vals, gpu_vals, hits) = in_pool(threads, || {
+            let pool = Arc::new(ObfuscatorPool::new(&keys.public));
+            pool.prefill_batch(&keys.public, seed, ms.len())
+                .expect("prefill");
+            assert_eq!(pool.indexed_len(), ms.len(), "prefill sized to batch");
+            let cpu = CpuHe::default().with_pool(Arc::clone(&pool));
+            let a = cpu.encrypt_batch(&keys.public, &ms, seed).expect("cpu").0;
+            let cpu_hits = pool.hits();
+
+            let gpu_pool = Arc::new(ObfuscatorPool::new(&keys.public));
+            gpu_pool
+                .prefill_batch(&keys.public, seed, ms.len())
+                .expect("prefill");
+            let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())))
+                .with_pool(Arc::clone(&gpu_pool));
+            let b = gpu.encrypt_batch(&keys.public, &ms, seed).expect("gpu").0;
+            (
+                a.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+                b.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+                cpu_hits,
+            )
+        });
+        assert_eq!(hits, ms.len() as u64, "every item served from the pool");
+        assert_eq!(cpu_vals, reference, "pooled cpu threads={threads}");
+        assert_eq!(gpu_vals, reference, "pooled gpu threads={threads}");
+    }
+
+    // Partially-filled pool: the first half comes from the pool, the
+    // second falls back inline — outputs still identical.
+    let pool = Arc::new(ObfuscatorPool::new(&keys.public));
+    pool.prefill_batch(&keys.public, seed, ms.len() / 2)
+        .expect("prefill");
+    let cpu = CpuHe::default().with_pool(Arc::clone(&pool));
+    let half: Vec<Natural> = cpu
+        .encrypt_batch(&keys.public, &ms, seed)
+        .expect("half-pooled")
+        .0
+        .iter()
+        .map(|c| c.value.clone())
+        .collect();
+    assert_eq!(half, reference, "partial pool still bit-identical");
+    assert_eq!(pool.hits(), (ms.len() / 2) as u64);
+    assert_eq!(pool.misses(), (ms.len() - ms.len() / 2) as u64);
+}
+
+#[test]
+fn weighted_aggregate_matches_scalar_mul_add_loop_across_thread_counts() {
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x57A5);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let parties = 8usize;
+    let slots = 12usize;
+    let weights: Vec<u64> = (0..parties as u64).map(|k| k * 977 + 1).collect();
+    let batches: Vec<Vec<_>> = (0..parties)
+        .map(|k| {
+            let ms: Vec<Natural> = (0..slots as u64)
+                .map(|j| Natural::from(j * 31 + k as u64 + 1))
+                .collect();
+            CpuHe::default()
+                .encrypt_batch(&keys.public, &ms, k as u64)
+                .expect("encrypt")
+                .0
+        })
+        .collect();
+
+    // Naive reference: per-party scalar_mul then homomorphic add.
+    let naive: Vec<Natural> = (0..slots)
+        .map(|j| {
+            let mut acc = keys.public.zero_ciphertext();
+            for (k, batch) in batches.iter().enumerate() {
+                let scaled = keys
+                    .public
+                    .checked_scalar_mul(&batch[j], &Natural::from(weights[k]))
+                    .expect("scalar_mul");
+                acc = keys.public.checked_add(&acc, &scaled).expect("add");
+            }
+            acc.value
+        })
+        .collect();
+
+    let mut reference: Option<Vec<Natural>> = None;
+    for threads in THREAD_COUNTS {
+        let (cpu_vals, gpu_vals) = in_pool(threads, || {
+            let cpu = CpuHe::default();
+            let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())));
+            let a = cpu
+                .weighted_aggregate(&keys.public, &batches, &weights)
+                .expect("cpu")
+                .0;
+            let b = gpu
+                .weighted_aggregate(&keys.public, &batches, &weights)
+                .expect("gpu")
+                .0;
+            (
+                a.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+                b.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(cpu_vals, naive, "straus == naive at threads={threads}");
+        assert_eq!(gpu_vals, naive, "gpu straus == naive at threads={threads}");
+        match &reference {
+            None => reference = Some(cpu_vals),
+            Some(r) => assert_eq!(&cpu_vals, r, "threads={threads}"),
         }
     }
 }
