@@ -141,6 +141,9 @@ impl FlBoosterApi {
     // --- Paillier wrappers (Table I bottom half) ---
 
     /// `Paillier::key_gen(size)`.
+    // One-time key setup before training sits outside the per-item cost
+    // model (see PaillierKeyPair::generate).
+    // flcheck: allow(uncharged-work) — one-time key setup
     pub fn paillier_key_gen<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -197,6 +200,7 @@ impl FlBoosterApi {
     // --- RSA wrappers ---
 
     /// `RSA::key_gen(size)`.
+    // flcheck: allow(uncharged-work) — one-time key setup (see paillier_key_gen).
     pub fn rsa_key_gen<R: Rng + ?Sized>(&self, rng: &mut R, size: u32) -> Result<RsaKeyPair> {
         Ok(RsaKeyPair::generate(rng, size)?)
     }
@@ -220,12 +224,25 @@ impl FlBoosterApi {
         }
     }
 
-    /// `RSA::decrypt(pri_key, ciphertexts)` — batched.
+    /// `RSA::decrypt(pri_key, ciphertexts)` — batched. Dispatches to the
+    /// simulated device when one is configured, so CRT decryptions are
+    /// charged per item like every other Table I operation.
     pub fn rsa_decrypt(&self, sk: &RsaPrivateKey, ciphertexts: &[Natural]) -> Result<Vec<Natural>> {
-        ciphertexts
-            .iter()
-            .map(|c| sk.decrypt(c).map_err(Error::He))
-            .collect()
+        match &self.device {
+            None => ciphertexts
+                .iter()
+                .map(|c| sk.decrypt(c).map_err(Error::He))
+                .collect(),
+            Some(device) => {
+                let spec = he::GpuHe::kernel_spec("rsa_decrypt", sk.public.key_bits, false);
+                let ops = sk.decrypt_op_estimate();
+                let bytes: u64 = ciphertexts.iter().map(|c| c.wire_size_bytes() as u64).sum();
+                let (results, _) = device.launch(&spec, ciphertexts, bytes, bytes, |_, c| {
+                    gpu_sim::kernel::outcome_from_result(sk.decrypt(c), ops, false)
+                });
+                results.into_iter().map(|r| r.map_err(Error::He)).collect()
+            }
+        }
     }
 
     /// `RSA::mul(pub_key, c1, c2)` — batched homomorphic multiplication.
@@ -341,6 +358,25 @@ mod tests {
             cpu.rsa_encrypt(&keys.public, &ms).unwrap(),
             gpu.rsa_encrypt(&keys.public, &ms).unwrap()
         );
+    }
+
+    #[test]
+    fn gpu_rsa_decrypt_matches_cpu_and_charges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let keys = RsaKeyPair::generate(&mut rng, 128).unwrap();
+        let ms = nats(&[100, 200, 300]);
+        let device = Arc::new(Device::new(DeviceConfig::rtx3090()));
+        let cpu = FlBoosterApi::new();
+        let gpu = FlBoosterApi::with_device(Arc::clone(&device));
+        let cts = cpu.rsa_encrypt(&keys.public, &ms).unwrap();
+        assert_eq!(
+            cpu.rsa_decrypt(&keys.private, &cts).unwrap(),
+            gpu.rsa_decrypt(&keys.private, &cts).unwrap()
+        );
+        let stats = device.stats();
+        assert_eq!(stats.launches, 1, "decrypt must dispatch to the device");
+        assert_eq!(stats.items, ms.len() as u64);
+        assert!(stats.thread_ops > 0, "decrypt launches must charge ops");
     }
 
     #[test]

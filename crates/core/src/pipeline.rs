@@ -113,6 +113,10 @@ impl FlBoosterBuilder {
     }
 
     /// Generates keys and assembles the platform.
+    // Platform assembly runs once before training; the only MAC work is
+    // key generation, which the cost model excludes (see
+    // PaillierKeyPair::generate).
+    // flcheck: allow(uncharged-work) — one-time platform assembly
     pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Result<FlBooster> {
         let keys = PaillierKeyPair::generate(rng, self.key_bits)?;
         self.build_with_keys(keys)

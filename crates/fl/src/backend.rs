@@ -417,6 +417,7 @@ impl Accelerator {
         self.device.as_ref().map(|d| d.stats())
     }
 
+    // flcheck: charge-sink
     fn charge(&self, t: &HeTiming, values: usize) {
         let mut timing = self.timing.lock();
         timing.he_seconds += t.sim_seconds;
@@ -434,6 +435,7 @@ impl Accelerator {
     }
 
     /// Charges timing produced by direct [`Accelerator::he_backend`] use.
+    // flcheck: charge-sink
     pub fn charge_external(&self, t: &HeTiming, codec_values: usize) {
         self.charge(t, codec_values);
     }

@@ -155,6 +155,7 @@ impl FlEnv {
     }
 
     /// Charges `flops` of local model computation to "Others".
+    // flcheck: charge-sink
     pub fn charge_local_compute(
         &self,
         flops: u64,

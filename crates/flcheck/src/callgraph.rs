@@ -103,9 +103,72 @@ fn resolve(
 }
 
 /// Formats one call-chain hop.
-fn hop(files: &[ParsedFile], n: NodeId) -> String {
+pub(crate) fn hop(files: &[ParsedFile], n: NodeId) -> String {
     let f = &files[n.0].fns[n.1];
     format!("{} ({}:{})", f.name, files[n.0].src.rel_path, f.line)
+}
+
+/// Backward closure over call edges: every node whose call chain can reach
+/// a seed node (seeds included). A monotone fixpoint, so recursive cycles
+/// terminate.
+pub(crate) fn backward_reach(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    seed: std::collections::BTreeSet<NodeId>,
+) -> std::collections::BTreeSet<NodeId> {
+    let mut set = seed;
+    loop {
+        let mut changed = false;
+        for (fi, pf) in files.iter().enumerate() {
+            for gi in 0..pf.fns.len() {
+                let n = (fi, gi);
+                if !set.contains(&n) && graph.out(n).iter().any(|e| set.contains(&e.to)) {
+                    set.insert(n);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return set;
+        }
+    }
+}
+
+/// Shortest call path (BFS) from `start` to the first node satisfying
+/// `target`, both endpoints included. Deterministic: edges are visited in
+/// call-site order.
+pub(crate) fn path_to(
+    graph: &CallGraph,
+    start: NodeId,
+    target: impl Fn(NodeId) -> bool,
+) -> Option<Vec<NodeId>> {
+    if target(start) {
+        return Some(vec![start]);
+    }
+    let mut pred: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for e in graph.out(n) {
+            if e.to == start || pred.contains_key(&e.to) {
+                continue;
+            }
+            pred.insert(e.to, n);
+            if target(e.to) {
+                let mut path = vec![e.to];
+                while let Some(&p) = pred.get(path.last()?) {
+                    path.push(p);
+                    if p == start {
+                        break;
+                    }
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(e.to);
+        }
+    }
+    None
 }
 
 /// Attributes a finding line to the innermost enclosing fn of a file.

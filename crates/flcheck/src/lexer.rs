@@ -450,6 +450,42 @@ mod tests {
         assert_eq!(l.comments.len(), 1);
     }
 
+    #[test]
+    fn nested_block_comments_swallow_lock_syntax() {
+        // Lock-acquisition syntax inside a nested block comment must not
+        // leak tokens: a phantom `lock` ident here would seed the lock
+        // graph with an acquisition that does not exist.
+        let src = "/* outer /* let g = self.deques.lock(); */ Mutex::new(0) */ fn f() {}";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("lock")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Mutex")));
+        // The whole nested construct is one comment, closed at the outer
+        // `*/` — not at the inner one.
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("Mutex"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_lock_syntax() {
+        // Raw strings (any hash depth) documenting lock idioms must not
+        // produce `lock` / `Mutex` idents or acquisition call shapes.
+        let src = "let a = r\"self.deques.lock()\"; \
+                   let b = r#\"Mutex::new(lock(&x))\"#; \
+                   let c = br##\"table.lock() /* \"# */\"##;";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("lock")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Mutex")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("deques")));
+        assert_eq!(
+            idents(src),
+            vec!["let", "a", "let", "b", "let", "c"],
+            "raw-string contents must stay out of the ident stream"
+        );
+        // No comment is opened by the `/*` inside the raw string.
+        assert!(l.comments.is_empty());
+    }
+
     /// Full (kind, text) stream — the parser consumes exactly this.
     fn stream(src: &str) -> Vec<(TokKind, String)> {
         lex(src)

@@ -13,15 +13,17 @@
 //! |-----------------|----------------------------------------------------------|
 //! | ct-discipline   | `ct-branch`, `ct-return`, `ct-compare`, `ct-shortcircuit`|
 //! | panic-freedom   | `pf-unwrap`, `pf-expect`, `pf-panic`, `pf-assert`, `pf-index` |
-//! | lock-discipline | `ld-order`, `ld-wait`                                    |
+//! | lock-discipline | `ld-wait` (per-file), `lock-cycle`, `lock-across-hotpath`, `guard-across-steal` |
+//! | cost-model      | `uncharged-work`, `stale-estimate`                       |
 //! | interprocedural | `ct-taint` (secret propagation), `pf-reach` (transitive panics) |
 //!
-//! The first three families are per-file lexer passes; the fourth runs on
-//! a workspace call graph built by the item-level parser ([`parse`],
-//! [`callgraph`], [`taint`]) and reports full call chains. See [`rules`]
-//! for rule semantics and [`source`] for the directive grammar (`ct-fn`
-//! and `secret(..)` markers, `allow` / `allow-file` suppressions,
-//! `lock-order` declarations).
+//! The ct- and pf- families plus `ld-wait` are per-file lexer passes; the
+//! rest run on a workspace call graph built by the item-level parser
+//! ([`parse`], [`callgraph`], [`taint`], [`lockgraph`], [`costmodel`]) and
+//! report full call/lock chains. See [`rules`] for rule semantics and
+//! [`source`] for the directive grammar (`ct-fn`, `secret(..)`,
+//! `lock(..)`, `mac-prim`, `charge-sink`, and `estimates(..)` markers,
+//! `allow` / `allow-file` suppressions, `lock-order` declarations).
 //!
 //! The analyzer's own sources are excluded from the default walk: they
 //! discuss directives and violations in documentation and fixtures, and
@@ -35,16 +37,20 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod costmodel;
 pub mod lexer;
+pub mod lockgraph;
 pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod source;
 pub mod taint;
 
+use rayon::prelude::*;
 use report::{Finding, Report};
 use source::SourceFile;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Library crates subject to the panic-freedom rules. `bench` (a binary
 /// crate), the dependency shims, and flcheck itself are out of scope.
@@ -82,23 +88,85 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
     out
 }
 
+/// Wall-clock timings for each analysis phase of a workspace scan, used
+/// by the self-benchmark (`bench_flcheck`) and available to any caller
+/// via [`check_workspace_with_stats`]. Timings never influence report
+/// content — the report is byte-identical whatever these read.
+#[derive(Debug, Default, Clone)]
+pub struct ScanStats {
+    /// Per-file phase (lexing + intraprocedural rules + item parsing),
+    /// wall-clock across the parallel map, not summed per file.
+    pub per_file: Duration,
+    /// Call-graph construction.
+    pub callgraph: Duration,
+    /// `ct-taint` secret-propagation pass.
+    pub taint: Duration,
+    /// `pf-reach` panic-propagation pass.
+    pub reach: Duration,
+    /// Lock-graph pass (`lock-cycle`, `lock-across-hotpath`,
+    /// `guard-across-steal`).
+    pub lockgraph: Duration,
+    /// Cost-model pass (`uncharged-work`, `stale-estimate`).
+    pub costmodel: Duration,
+    /// Whole scan, including sort.
+    pub total: Duration,
+}
+
 /// Analyzes a whole workspace given as (workspace-relative path, source)
-/// pairs: the per-file rule families, then the call graph and the two
-/// interprocedural passes (`ct-taint` secret propagation, `pf-reach`
-/// panic propagation) on top.
+/// pairs: the per-file rule families (fanned out over the rayon
+/// work-stealing pool), then the call graph and the four interprocedural
+/// passes (`ct-taint`, `pf-reach`, the lock-graph rules, and the
+/// cost-model rules) on top.
 pub fn check_workspace(inputs: &[(String, String)]) -> Report {
+    check_workspace_with_stats(inputs).0
+}
+
+/// [`check_workspace`], additionally returning per-phase wall-clock
+/// timings. The per-file phase runs as a parallel map over the input
+/// list; every downstream pass consumes the collected results in input
+/// order, so findings (and the rendered report) are independent of
+/// thread count.
+pub fn check_workspace_with_stats(inputs: &[(String, String)]) -> (Report, ScanStats) {
+    let start = Instant::now();
+    let mut stats = ScanStats::default();
     let mut report = Report::default();
+
+    let t = Instant::now();
+    let per_file: Vec<(Vec<Finding>, parse::ParsedFile)> = inputs
+        .par_iter()
+        .map(|(rel, src)| (check_file(rel, src), parse::ParsedFile::parse(rel, src)))
+        .collect();
+    stats.per_file = t.elapsed();
     let mut parsed = Vec::with_capacity(inputs.len());
-    for (rel, src) in inputs {
-        report.findings.extend(check_file(rel, src));
-        parsed.push(parse::ParsedFile::parse(rel, src));
+    for (findings, file) in per_file {
+        report.findings.extend(findings);
+        parsed.push(file);
         report.files_scanned += 1;
     }
+
+    let t = Instant::now();
     let graph = callgraph::CallGraph::build(&parsed);
+    stats.callgraph = t.elapsed();
+
+    let t = Instant::now();
     taint::check_taint(&parsed, &graph, &mut report.findings);
+    stats.taint = t.elapsed();
+
+    let t = Instant::now();
     callgraph::check_reach(&parsed, &graph, &mut report.findings);
+    stats.reach = t.elapsed();
+
+    let t = Instant::now();
+    lockgraph::check_lock_graph(&parsed, &graph, &mut report.findings);
+    stats.lockgraph = t.elapsed();
+
+    let t = Instant::now();
+    costmodel::check_cost_model(&parsed, &graph, &mut report.findings);
+    stats.costmodel = t.elapsed();
+
     report.sort();
-    report
+    stats.total = start.elapsed();
+    (report, stats)
 }
 
 /// Recursively collects the `.rs` files to analyze under `root`,
@@ -144,6 +212,11 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 
 /// Runs the full analysis over a workspace rooted at `root`.
 pub fn run(root: &Path) -> std::io::Result<Report> {
+    Ok(run_with_stats(root)?.0)
+}
+
+/// [`run`], additionally returning per-phase wall-clock timings.
+pub fn run_with_stats(root: &Path) -> std::io::Result<(Report, ScanStats)> {
     let mut inputs = Vec::new();
     for path in collect_files(root)? {
         let rel = path
@@ -154,7 +227,7 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
         let src = std::fs::read_to_string(&path)?;
         inputs.push((rel, src));
     }
-    Ok(check_workspace(&inputs))
+    Ok(check_workspace_with_stats(&inputs))
 }
 
 #[cfg(test)]

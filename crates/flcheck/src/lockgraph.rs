@@ -1,0 +1,881 @@
+//! Whole-workspace lock-graph analysis.
+//!
+//! Lock acquisitions are seeded from guard bindings in the token stream
+//! (method-style `.lock()` / `.read()` / `.write()` and helper-style
+//! `lock(&expr)` calls, via [`crate::rules::find_acquisitions`]) plus
+//! fn-attached `// flcheck: lock(name)` directives for acquire effects the
+//! scan cannot see. Lock identity is the crate-qualified field name
+//! (`gpu-sim::memory`, `rayon::deques`); bare receivers that alias an
+//! enclosing-fn parameter are skipped, since they re-lock something the
+//! caller already names.
+//!
+//! Each acquisition has a token-level live range (a `let`-bound guard runs
+//! to its enclosing block close or an explicit `drop(var)`; a transient
+//! guard runs to the end of its statement, including any `if let` / `match`
+//! body it scrutinizes, matching Rust 2021 temporary extension). Held sets
+//! then propagate through the workspace call graph via the transitive
+//! acquire sets of every callee (a cycle-safe fixpoint, like `pf-reach`).
+//!
+//! Three rules over that graph:
+//!
+//! - **lock-cycle** — a directed cycle among acquisition-order edges
+//!   (observed `a` held while `b` acquired, plus declared
+//!   `lock-order(a < b)` edges), i.e. a potential deadlock. This replaces
+//!   the old per-file `ld-order` rule: a declared order plus a reversed
+//!   observation *is* a 2-cycle, and cross-file inversions now count too.
+//! - **lock-across-hotpath** — a guard held across a call chain that
+//!   reaches a hot-path kernel (`mont_mul` / `mont_sqr` / `mod_pow*` /
+//!   `encrypt*`): serializing the workspace's dominant compute under a
+//!   lock is a performance bug even when it cannot deadlock.
+//! - **guard-across-steal** — a pool worker in `crates/shims/rayon`
+//!   holding a deque guard across a park/steal operation, which stalls
+//!   every thief contending for that deque.
+
+use crate::callgraph::{backward_reach, hop, path_to, CallGraph, NodeId};
+use crate::lexer::{TokKind, Token};
+use crate::parse::ParsedFile;
+use crate::report::Finding;
+use crate::rules::{find_acquisitions, Acquisition};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calls that block the current thread (matched by name even when the
+/// callee does not resolve into first-party code, e.g. `std::thread::park`).
+const BLOCKING_CALLS: &[&str] = &[
+    "park",
+    "park_timeout",
+    "sleep",
+    "yield_now",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "join",
+];
+
+/// The crate component of a workspace-relative path: `crates/gpu-sim/..`
+/// is `gpu-sim`, `crates/shims/rayon/..` is `rayon`, anything else (the
+/// root package, `tests/`, `examples/`) is `workspace`.
+pub(crate) fn crate_of(rel_path: &str) -> &str {
+    let rest = rel_path
+        .strip_prefix("crates/shims/")
+        .or_else(|| rel_path.strip_prefix("crates/"));
+    match rest.and_then(|r| r.split('/').next()) {
+        Some(c) if !c.is_empty() => c,
+        _ => "workspace",
+    }
+}
+
+/// One lock held over a token range of a function body.
+#[derive(Debug, Clone)]
+struct Held {
+    /// Crate-qualified lock name, e.g. `gpu-sim::memory`.
+    qual: String,
+    /// Unqualified field name, e.g. `memory`.
+    label: String,
+    line: u32,
+    /// Token index where the hold begins.
+    start: usize,
+    /// Token index one past the live range.
+    end: usize,
+}
+
+/// One edge site in the acquisition-order graph.
+#[derive(Debug, Clone)]
+struct Site {
+    file: String,
+    line: u32,
+    detail: String,
+    declared: bool,
+}
+
+/// Runs all three lock-graph rules.
+pub fn check_lock_graph(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    let held = collect_held(files);
+
+    // Transitive acquire sets: every lock a node may take, directly or via
+    // any callee (monotone fixpoint; recursion terminates).
+    let mut trans: BTreeMap<NodeId, BTreeSet<String>> = BTreeMap::new();
+    for (n, hs) in &held {
+        trans.insert(*n, hs.iter().map(|h| h.qual.clone()).collect());
+    }
+    loop {
+        let mut changed = false;
+        for (fi, pf) in files.iter().enumerate() {
+            for gi in 0..pf.fns.len() {
+                let n = (fi, gi);
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for e in graph.out(n) {
+                    if let Some(t) = trans.get(&e.to) {
+                        add.extend(t.iter().cloned());
+                    }
+                }
+                let cur = trans.entry(n).or_default();
+                let before = cur.len();
+                cur.extend(add);
+                changed |= cur.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    check_cycles(files, graph, &held, &trans, out);
+    check_hotpath(files, graph, &held, out);
+    check_steal(files, graph, &held, &trans, out);
+}
+
+/// Collects the per-function held-lock ranges (token acquisitions plus
+/// directive acquire effects); test fns are exempt.
+fn collect_held(files: &[ParsedFile]) -> BTreeMap<NodeId, Vec<Held>> {
+    let mut held: BTreeMap<NodeId, Vec<Held>> = BTreeMap::new();
+    for (fi, pf) in files.iter().enumerate() {
+        let kr = crate_of(&pf.src.rel_path);
+        for (gi, f) in pf.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let mut hs: Vec<Held> = Vec::new();
+            for name in &f.locks {
+                hs.push(Held {
+                    qual: format!("{kr}::{name}"),
+                    label: name.clone(),
+                    line: f.line,
+                    start: f.body_start,
+                    end: f.body_end,
+                });
+            }
+            for a in find_acquisitions(&pf.src, f.body_start, f.body_end) {
+                if f.nested.iter().any(|&(s, e)| a.idx >= s && a.idx < e) {
+                    continue; // belongs to a nested fn item
+                }
+                if a.bare && (a.name == "self" || f.params.iter().any(|p| *p == a.name)) {
+                    continue; // aliases a lock the caller names
+                }
+                hs.push(Held {
+                    qual: format!("{kr}::{}", a.name),
+                    label: a.name.clone(),
+                    line: a.line,
+                    start: a.idx,
+                    end: live_end(&pf.src.tokens, &a, f.body_end),
+                });
+            }
+            if !hs.is_empty() {
+                held.insert((fi, gi), hs);
+            }
+        }
+    }
+    held
+}
+
+/// Token index one past an acquisition's live range.
+///
+/// A `let`-bound guard lives until its enclosing block closes or an
+/// explicit `drop(var)`. A transient guard lives to the end of its
+/// statement: through `{..}` blocks the statement continues into (an
+/// `if let` / `match` on the guarded value — Rust 2021 extends the
+/// temporary through the body), ending at a top-level `;` or when such a
+/// block closes with no `else` continuation.
+fn live_end(toks: &[Token], a: &Acquisition, fn_end: usize) -> usize {
+    let limit = fn_end.min(toks.len());
+    let mut depth = 0i32;
+    let mut i = a.idx;
+    if let Some(var) = &a.guard_var {
+        while i < limit {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Open if t.text == "{" => depth += 1,
+                TokKind::Close if t.text == "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return i;
+                    }
+                }
+                TokKind::Ident
+                    if t.text == "drop"
+                        && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                        && toks.get(i + 2).is_some_and(|t| t.is_ident(var))
+                        && toks.get(i + 3).map(|t| t.text.as_str()) == Some(")") =>
+                {
+                    return i;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    } else {
+        while i < limit {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Op if t.text == ";" && depth == 0 => return i,
+                TokKind::Open if t.text == "{" => depth += 1,
+                TokKind::Close if t.text == "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return i;
+                    }
+                    if depth == 0 && !toks.get(i + 1).is_some_and(|t| t.is_ident("else")) {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    limit
+}
+
+/// True when call-site token index `idx` falls inside the hold `a`.
+fn in_range(a: &Held, idx: usize) -> bool {
+    a.start < idx && idx < a.end
+}
+
+/// Builds the acquisition-order edge set and reports directed cycles.
+fn check_cycles(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    held: &BTreeMap<NodeId, Vec<Held>>,
+    trans: &BTreeMap<NodeId, BTreeSet<String>>,
+    out: &mut Vec<Finding>,
+) {
+    // (from, to) -> first site observed. Files are walked in index order,
+    // so the representative site is deterministic.
+    let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+    for (fi, pf) in files.iter().enumerate() {
+        for (gi, f) in pf.fns.iter().enumerate() {
+            let n = (fi, gi);
+            let Some(hs) = held.get(&n) else { continue };
+            // Intra-fn: `b` acquired while `a` is held.
+            for a in hs {
+                for b in hs {
+                    if b.start > a.start && in_range(a, b.start) && b.qual != a.qual {
+                        edges
+                            .entry((a.qual.clone(), b.qual.clone()))
+                            .or_insert_with(|| Site {
+                                file: pf.src.rel_path.clone(),
+                                line: b.line,
+                                detail: format!(
+                                    "`{}` acquired while `{}` held in `{}`",
+                                    b.label, a.label, f.name
+                                ),
+                                declared: false,
+                            });
+                    }
+                }
+            }
+            // Directive acquire effects hold for the whole body in listed
+            // order: `lock(a, b)` means a is taken before b.
+            for (i, la) in f.locks.iter().enumerate() {
+                for lb in f.locks.iter().skip(i + 1) {
+                    if la != lb {
+                        let kr = crate_of(&pf.src.rel_path);
+                        edges
+                            .entry((format!("{kr}::{la}"), format!("{kr}::{lb}")))
+                            .or_insert_with(|| Site {
+                                file: pf.src.rel_path.clone(),
+                                line: f.line,
+                                detail: format!(
+                                    "`{lb}` listed after `{la}` in the lock(..) effect of `{}`",
+                                    f.name
+                                ),
+                                declared: false,
+                            });
+                    }
+                }
+            }
+            // Inter-fn: a call made while `a` is held acquires everything
+            // in the callee's transitive acquire set.
+            for e in graph.out(n) {
+                let cs = &f.calls[e.call];
+                let Some(callee_locks) = trans.get(&e.to) else {
+                    continue;
+                };
+                for a in hs {
+                    if !in_range(a, cs.name_idx) {
+                        continue;
+                    }
+                    for x in callee_locks {
+                        if *x == a.qual {
+                            continue;
+                        }
+                        edges
+                            .entry((a.qual.clone(), x.clone()))
+                            .or_insert_with(|| Site {
+                                file: pf.src.rel_path.clone(),
+                                line: cs.line,
+                                detail: format!(
+                                    "`{}` held in `{}` across call to `{}`, which acquires `{x}`",
+                                    a.label, f.name, cs.callee
+                                ),
+                                declared: false,
+                            });
+                    }
+                }
+            }
+        }
+    }
+    // Declared lock-order chains contribute (declared) edges: a declared
+    // `a < b` plus an observed `b`-held-acquiring-`a` is a 2-cycle.
+    for pf in files {
+        let kr = crate_of(&pf.src.rel_path);
+        for lo in &pf.src.lock_orders {
+            for i in 0..lo.chain.len() {
+                for j in i + 1..lo.chain.len() {
+                    let (a, b) = (&lo.chain[i], &lo.chain[j]);
+                    edges
+                        .entry((format!("{kr}::{a}"), format!("{kr}::{b}")))
+                        .or_insert_with(|| Site {
+                            file: pf.src.rel_path.clone(),
+                            line: lo.line,
+                            detail: format!("declared lock-order `{a} < {b}`"),
+                            declared: true,
+                        });
+                }
+            }
+        }
+    }
+
+    let by_path: BTreeMap<&str, &ParsedFile> = files
+        .iter()
+        .map(|pf| (pf.src.rel_path.as_str(), pf))
+        .collect();
+    for cycle in enumerate_cycles(&edges) {
+        // Walk the cycle's edges; report at the first *observed* site (a
+        // purely declared cycle is a documentation bug, still reported).
+        let edge_keys: Vec<(String, String)> = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
+        let site_key = edge_keys
+            .iter()
+            .find(|k| edges.get(*k).is_some_and(|s| !s.declared))
+            .unwrap_or(&edge_keys[0]);
+        let Some(site) = edges.get(site_key) else {
+            continue;
+        };
+        if by_path
+            .get(site.file.as_str())
+            .is_some_and(|pf| pf.src.is_allowed("lock-cycle", site.line))
+        {
+            continue;
+        }
+        let chain: Vec<String> = edge_keys
+            .iter()
+            .filter_map(|k| {
+                let s = edges.get(k)?;
+                Some(format!(
+                    "{} -> {} ({}:{}, {})",
+                    k.0, k.1, s.file, s.line, s.detail
+                ))
+            })
+            .collect();
+        let mut ring = cycle.clone();
+        ring.push(cycle[0].clone());
+        out.push(Finding::with_chain(
+            "lock-cycle",
+            &site.file,
+            site.line,
+            format!(
+                "potential deadlock: lock acquisition cycle {}",
+                ring.join(" -> ")
+            ),
+            chain,
+        ));
+    }
+}
+
+/// Enumerates simple directed cycles over the edge set, each rotated so
+/// its lexicographically smallest lock comes first; sorted output.
+fn enumerate_cycles(edges: &BTreeMap<(String, String), Site>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let mut budget = 100_000usize; // backstop; real graphs are tiny
+    let nodes: Vec<&String> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&String> = vec![start];
+        dfs(start, start, &adj, &mut path, &mut out, &mut budget);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// DFS over simple paths restricted to nodes `>= start`, so each cycle is
+/// found exactly once, anchored at its smallest lock.
+fn dfs<'a>(
+    start: &'a String,
+    at: &'a String,
+    adj: &BTreeMap<&'a String, Vec<&'a String>>,
+    path: &mut Vec<&'a String>,
+    out: &mut Vec<Vec<String>>,
+    budget: &mut usize,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    let Some(next) = adj.get(at) else { return };
+    for &b in next {
+        if b == start && path.len() >= 2 {
+            out.push(path.iter().map(|s| s.to_string()).collect());
+        } else if b > start && !path.contains(&b) {
+            path.push(b);
+            dfs(start, b, adj, path, out, budget);
+            path.pop();
+        }
+    }
+}
+
+/// Hot-path predicate on a function name. Estimate and counter functions
+/// share kernel-name prefixes but only do arithmetic on counts, so the
+/// `_estimate` / `_mac_count` / `_ops` suffixes are excluded.
+fn is_hot_name(name: &str) -> bool {
+    if name.ends_with("_estimate") || name.ends_with("_mac_count") || name.ends_with("_ops") {
+        return false;
+    }
+    name == "mont_mul"
+        || name == "mont_sqr"
+        || name.starts_with("mont_mul_")
+        || name.starts_with("mont_sqr_")
+        || name.starts_with("mod_pow")
+        || name.starts_with("encrypt")
+}
+
+/// Flags guards held across call chains that reach a hot-path kernel.
+fn check_hotpath(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    held: &BTreeMap<NodeId, Vec<Held>>,
+    out: &mut Vec<Finding>,
+) {
+    let mut seed: BTreeSet<NodeId> = BTreeSet::new();
+    for (fi, pf) in files.iter().enumerate() {
+        for (gi, f) in pf.fns.iter().enumerate() {
+            if is_hot_name(&f.name) && !f.in_test {
+                seed.insert((fi, gi));
+            }
+        }
+    }
+    let hot = backward_reach(files, graph, seed);
+    for (fi, pf) in files.iter().enumerate() {
+        for (gi, f) in pf.fns.iter().enumerate() {
+            let n = (fi, gi);
+            let Some(hs) = held.get(&n) else { continue };
+            let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+            for e in graph.out(n) {
+                if e.to == n || !hot.contains(&e.to) {
+                    continue;
+                }
+                let cs = &f.calls[e.call];
+                for a in hs {
+                    if !in_range(a, cs.name_idx)
+                        || !seen.insert((cs.line, a.qual.clone()))
+                        || pf.src.is_allowed("lock-across-hotpath", cs.line)
+                    {
+                        continue;
+                    }
+                    let Some(path) =
+                        path_to(graph, e.to, |m| is_hot_name(&files[m.0].fns[m.1].name))
+                    else {
+                        continue;
+                    };
+                    let kernel = &files[path[path.len() - 1].0].fns[path[path.len() - 1].1];
+                    let mut chain = vec![hop(files, n)];
+                    chain.extend(path.iter().map(|&m| hop(files, m)));
+                    out.push(Finding::with_chain(
+                        "lock-across-hotpath",
+                        &pf.src.rel_path,
+                        cs.line,
+                        format!(
+                            "guard on `{}` held in `{}` across call to `{}`, whose chain \
+                             reaches hot-path kernel `{}`",
+                            a.qual, f.name, cs.callee, kernel.name
+                        ),
+                        chain,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Flags rayon-shim workers holding a deque guard across park/steal.
+fn check_steal(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    held: &BTreeMap<NodeId, Vec<Held>>,
+    trans: &BTreeMap<NodeId, BTreeSet<String>>,
+    out: &mut Vec<Finding>,
+) {
+    // Nodes whose bodies make a blocking call (by name, resolution not
+    // required), closed backwards over the graph.
+    let mut seed: BTreeSet<NodeId> = BTreeSet::new();
+    for (fi, pf) in files.iter().enumerate() {
+        for (gi, f) in pf.fns.iter().enumerate() {
+            if !f.in_test
+                && f.calls
+                    .iter()
+                    .any(|c| BLOCKING_CALLS.contains(&c.callee.as_str()))
+            {
+                seed.insert((fi, gi));
+            }
+        }
+    }
+    let blocking = backward_reach(files, graph, seed);
+
+    for (fi, pf) in files.iter().enumerate() {
+        if !pf.src.rel_path.contains("shims/rayon") {
+            continue;
+        }
+        for (gi, f) in pf.fns.iter().enumerate() {
+            let n = (fi, gi);
+            let Some(hs) = held.get(&n) else { continue };
+            let mut seen: BTreeSet<u32> = BTreeSet::new();
+            for a in hs.iter().filter(|a| a.label == "deques") {
+                // A second deque acquisition while one is held: stealing
+                // from a victim without releasing the worker's own deque.
+                for b in hs.iter().filter(|b| b.label == "deques") {
+                    if b.start > a.start
+                        && in_range(a, b.start)
+                        && seen.insert(b.line)
+                        && !pf.src.is_allowed("guard-across-steal", b.line)
+                    {
+                        out.push(Finding::with_chain(
+                            "guard-across-steal",
+                            &pf.src.rel_path,
+                            b.line,
+                            format!(
+                                "worker in `{}` steals from a deque while still holding \
+                                 its own deque guard: release before stealing",
+                                f.name
+                            ),
+                            vec![hop(files, n)],
+                        ));
+                    }
+                }
+                // A blocking call (or a call whose chain blocks / re-locks
+                // the deques) while the deque guard is held.
+                for cs in &f.calls {
+                    if !in_range(a, cs.name_idx) {
+                        continue;
+                    }
+                    let direct = BLOCKING_CALLS.contains(&cs.callee.as_str());
+                    let via_chain = graph.out(n).iter().any(|e| {
+                        f.calls[e.call].name_idx == cs.name_idx
+                            && (blocking.contains(&e.to)
+                                || trans.get(&e.to).is_some_and(|t| t.contains(&a.qual)))
+                    });
+                    if (direct || via_chain)
+                        && seen.insert(cs.line)
+                        && !pf.src.is_allowed("guard-across-steal", cs.line)
+                    {
+                        out.push(Finding::with_chain(
+                            "guard-across-steal",
+                            &pf.src.rel_path,
+                            cs.line,
+                            format!(
+                                "deque guard `{}` held in `{}` across blocking `{}`: \
+                                 park/steal must run with the deque released",
+                                a.label, f.name, cs.callee
+                            ),
+                            vec![
+                                hop(files, n),
+                                format!("{} ({}:{})", cs.callee, pf.src.rel_path, cs.line),
+                            ],
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
+        let graph = CallGraph::build(&parsed);
+        let mut out = Vec::new();
+        check_lock_graph(&parsed, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn crate_qualification() {
+        assert_eq!(crate_of("crates/gpu-sim/src/device.rs"), "gpu-sim");
+        assert_eq!(crate_of("crates/shims/rayon/src/pool.rs"), "rayon");
+        assert_eq!(crate_of("src/bin/flcheck.rs"), "workspace");
+        assert_eq!(crate_of("tests/x.rs"), "workspace");
+    }
+
+    #[test]
+    fn two_fn_inversion_is_a_cycle() {
+        let src = "\
+impl C {
+    fn ab(&self) -> u64 {
+        let t = self.table.lock();
+        let s = self.stats.lock();
+        *t + *s
+    }
+    fn ba(&self) -> u64 {
+        let s = self.stats.lock();
+        let t = self.table.lock();
+        *t + *s
+    }
+}
+";
+        let got = run(&[("crates/core/src/c.rs", src)]);
+        let cycles: Vec<&Finding> = got.iter().filter(|f| f.rule == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{got:?}");
+        // Canonical rotation: smallest lock (core::stats) first, so the
+        // reported site is the stats->table edge in `ba`.
+        assert_eq!(cycles[0].line, 9);
+        assert!(cycles[0]
+            .message
+            .contains("core::stats -> core::table -> core::stats"));
+    }
+
+    #[test]
+    fn declared_order_plus_inversion_is_a_cycle() {
+        let src = "\
+// flcheck: lock-order(table < counters)
+impl C {
+    fn backwards(&self) {
+        let c = self.counters.lock();
+        let t = self.table.lock();
+        c.bump(*t);
+    }
+}
+";
+        let got = run(&[("crates/core/src/c.rs", src)]);
+        let cycles: Vec<&Finding> = got.iter().filter(|f| f.rule == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{got:?}");
+        // Reported at the observed (non-declared) edge: counters -> table.
+        assert_eq!(cycles[0].line, 5);
+    }
+
+    #[test]
+    fn cross_file_cycle_through_call_edges() {
+        let c = "\
+pub fn one(x: u64) {
+    let g = LEFT.lock();
+    two(*g + x);
+}
+";
+        let d = "\
+pub fn two(x: u64) {
+    let g = RIGHT.lock();
+    one_again(*g + x);
+}
+pub fn one_again(x: u64) {
+    let g = LEFT.lock();
+    consume(*g + x);
+}
+";
+        // one: LEFT held across the call into d.rs, whose transitive
+        // acquire set is {RIGHT, LEFT} -> edge LEFT->RIGHT (the LEFT
+        // self-edge is skipped). two: RIGHT held across one_again, which
+        // acquires LEFT -> edge RIGHT->LEFT. A cross-file 2-cycle.
+        let got = run(&[("crates/core/src/c.rs", c), ("crates/core/src/d.rs", d)]);
+        let cycles: Vec<&Finding> = got.iter().filter(|f| f.rule == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{got:?}");
+        assert!(cycles[0]
+            .message
+            .contains("core::LEFT -> core::RIGHT -> core::LEFT"));
+    }
+
+    #[test]
+    fn guard_dropped_before_second_lock_is_no_cycle() {
+        let src = "\
+impl C {
+    fn ab(&self) {
+        let t = self.table.lock();
+        drop(t);
+        let s = self.stats.lock();
+        s.bump();
+    }
+    fn ba(&self) {
+        let s = self.stats.lock();
+        drop(s);
+        let t = self.table.lock();
+        t.bump();
+    }
+}
+";
+        let got = run(&[("crates/core/src/c.rs", src)]);
+        assert!(got.iter().all(|f| f.rule != "lock-cycle"), "{got:?}");
+    }
+
+    #[test]
+    fn transient_guards_in_separate_statements_do_not_overlap() {
+        let src = "\
+impl C {
+    fn a(&self) -> u64 { self.table.lock().len() + self.stats.lock().len() }
+    fn b(&self) {
+        self.stats.lock().bump();
+        self.table.lock().bump();
+    }
+}
+";
+        // fn a: one statement, table still live when stats is taken ->
+        // edge table->stats. fn b: two statements, no overlap -> no
+        // stats->table edge, so no cycle.
+        let got = run(&[("crates/core/src/c.rs", src)]);
+        assert!(got.iter().all(|f| f.rule != "lock-cycle"), "{got:?}");
+    }
+
+    #[test]
+    fn bare_param_receiver_is_skipped() {
+        let src = "\
+fn lock<T>(m: &Mutex<T>) -> Guard<'_, T> {
+    m.lock()
+}
+impl C {
+    fn a(&self) {
+        let g = lock(&self.table);
+        let h = lock(&self.stats);
+        use_both(g, h);
+    }
+    fn b(&self) {
+        let h = lock(&self.stats);
+        let g = lock(&self.table);
+        use_both(g, h);
+    }
+}
+";
+        let got = run(&[("crates/he/src/c.rs", src)]);
+        // The helper's `m.lock()` is a bare param receiver — without the
+        // skip it would add he::m edges; the real cycle is table/stats.
+        let cycles: Vec<&Finding> = got.iter().filter(|f| f.rule == "lock-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{got:?}");
+        assert!(cycles[0]
+            .message
+            .contains("he::stats -> he::table -> he::stats"));
+    }
+
+    #[test]
+    fn hotpath_guard_is_flagged_with_chain() {
+        let src = "\
+impl C {
+    fn launch(&self) {
+        let g = self.stats.lock();
+        run_kernel(*g);
+    }
+}
+fn run_kernel(x: u64) -> u64 {
+    mont_mul(x, x)
+}
+fn mont_mul(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+";
+        let got = run(&[("crates/gpu-sim/src/c.rs", src)]);
+        let hits: Vec<&Finding> = got
+            .iter()
+            .filter(|f| f.rule == "lock-across-hotpath")
+            .collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert_eq!(hits[0].line, 4);
+        assert_eq!(
+            hits[0].chain,
+            vec![
+                "launch (crates/gpu-sim/src/c.rs:2)",
+                "run_kernel (crates/gpu-sim/src/c.rs:7)",
+                "mont_mul (crates/gpu-sim/src/c.rs:10)",
+            ]
+        );
+    }
+
+    #[test]
+    fn estimate_suffix_is_not_hot() {
+        let src = "\
+impl C {
+    fn plan(&self) {
+        let g = self.stats.lock();
+        g.add(encrypt_op_estimate());
+    }
+}
+fn encrypt_op_estimate() -> u64 { 17 }
+";
+        let got = run(&[("crates/gpu-sim/src/c.rs", src)]);
+        assert!(
+            got.iter().all(|f| f.rule != "lock-across-hotpath"),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn steal_rules_fire_only_in_the_rayon_shim() {
+        let src = "\
+impl Pool {
+    fn bad_park(&self, me: usize) {
+        let mine = self.deques[me].lock();
+        std::thread::park();
+        mine.pop_front();
+    }
+    fn bad_double(&self, me: usize) {
+        let mine = self.deques[me].lock();
+        let other = self.deques[me + 1].lock();
+        other.pop_back();
+        mine.pop_front();
+    }
+}
+";
+        let got = run(&[("crates/shims/rayon/src/p.rs", src)]);
+        let steals: Vec<(u32, &str)> = got
+            .iter()
+            .filter(|f| f.rule == "guard-across-steal")
+            .map(|f| (f.line, f.message.as_str()))
+            .collect();
+        assert_eq!(steals.len(), 2, "{got:?}");
+        assert_eq!(steals[0].0, 4);
+        assert_eq!(steals[1].0, 9);
+        // The same code outside the shim is not in scope for this rule.
+        let outside = run(&[("crates/core/src/p.rs", src)]);
+        assert!(outside.iter().all(|f| f.rule != "guard-across-steal"));
+    }
+
+    #[test]
+    fn directive_lock_effect_propagates_to_callers() {
+        let src = "\
+// flcheck: lock(registry)
+fn with_registry() {
+    opaque();
+}
+impl C {
+    fn outer(&self) {
+        let g = self.stats.lock();
+        with_registry();
+    }
+    fn inverse(&self) {
+        // flcheck: allow(lock-cycle)
+        grab_stats_internal();
+    }
+}
+// flcheck: lock(registry, stats)
+fn grab_stats_internal() {
+    opaque();
+}
+";
+        let got = run(&[("crates/fl/src/c.rs", src)]);
+        // outer: stats held across with_registry -> edge stats->registry.
+        // grab_stats_internal's directive lists registry before stats ->
+        // edge registry->stats. Cycle exists but the observed site chosen
+        // is the first non-declared edge; the allow on `inverse` does not
+        // cover it, so the cycle is reported at the outer call site or the
+        // directive line — assert it is reported at all.
+        assert!(
+            got.iter().any(|f| f.rule == "lock-cycle"
+                && f.message
+                    .contains("fl::registry -> fl::stats -> fl::registry")),
+            "{got:?}"
+        );
+    }
+}

@@ -64,6 +64,14 @@ pub struct FnItem {
     pub params: Vec<String>,
     /// Names marked secret by `// flcheck: secret(..)`.
     pub secrets: Vec<String>,
+    /// Locks this fn acquires for its whole body (`// flcheck: lock(..)`).
+    pub locks: Vec<String>,
+    /// Marked `// flcheck: mac-prim` (performs Montgomery MACs).
+    pub is_mac_prim: bool,
+    /// Marked `// flcheck: charge-sink` (records simulated-time cost).
+    pub is_charge_sink: bool,
+    /// `// flcheck: estimates(kernel, arity)` pairings.
+    pub estimates: Vec<(String, usize)>,
     /// Token index range `[body_start, body_end)` of the body (inside the
     /// braces).
     pub body_start: usize,
@@ -111,6 +119,10 @@ impl ParsedFile {
                 in_test: src.in_test_region(span.body_start),
                 params,
                 secrets: span.secrets.clone(),
+                locks: span.locks.clone(),
+                is_mac_prim: span.is_mac_prim,
+                is_charge_sink: span.is_charge_sink,
+                estimates: span.estimates.clone(),
                 body_start: span.body_start,
                 body_end: span.body_end,
                 nested,

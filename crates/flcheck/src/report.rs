@@ -1,17 +1,42 @@
 //! Findings and report serialization (human text + hand-rolled JSON —
 //! the crate carries no serde).
 //!
-//! The JSON report is **schema 2**: every finding carries a `chain`
-//! array (empty for intraprocedural rules, the full call chain for
-//! `pf-reach` / interprocedural `ct-taint`), and findings are sorted by
-//! (file, line, rule, message) so output is byte-identical regardless of
-//! scan order or thread count.
+//! The JSON report is **schema 3**: every finding carries a `chain`
+//! array (empty for intraprocedural rules, the full call/lock chain for
+//! the interprocedural rules), findings are sorted by (file, line, rule,
+//! message) so output is byte-identical regardless of scan order or
+//! thread count, and the summary enumerates **every** known rule with an
+//! explicit count (zero included) — so a gate greping for one rule's
+//! count cannot silently miss a rule the analyzer stopped running.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// JSON report schema version emitted by [`Report::render_json`].
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Every rule id the analyzer can emit, sorted. The schema-3 summary
+/// lists each with an explicit (possibly zero) count; keep in sync with
+/// the rule table in the crate docs.
+pub const ALL_RULES: &[&str] = &[
+    "ct-branch",
+    "ct-compare",
+    "ct-return",
+    "ct-shortcircuit",
+    "ct-taint",
+    "guard-across-steal",
+    "ld-wait",
+    "lock-across-hotpath",
+    "lock-cycle",
+    "pf-assert",
+    "pf-expect",
+    "pf-index",
+    "pf-panic",
+    "pf-reach",
+    "pf-unwrap",
+    "stale-estimate",
+    "uncharged-work",
+];
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,7 +169,11 @@ impl Report {
         }
         out.push_str("],\n  \"summary\": {");
         let _ = write!(out, "\"total\": {}", self.findings.len());
+        let mut counts: BTreeMap<&str, usize> = ALL_RULES.iter().map(|r| (*r, 0)).collect();
         for (rule, count) in self.by_rule() {
+            counts.insert(rule, count);
+        }
+        for (rule, count) in counts {
             let _ = write!(out, ", {}: {}", json_str(rule), count);
         }
         out.push_str("}\n}\n");
@@ -185,13 +214,31 @@ mod tests {
         };
         r.sort();
         let j = r.render_json();
-        assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"schema\": 3"));
         assert!(j.contains("\"rule\": \"pf-unwrap\""));
         assert!(j.contains("a \\\"b\\\".rs"));
         assert!(j.contains("line1\\nline2"));
         assert!(j.contains("\"chain\": []"));
         assert!(j.contains("\"total\": 1"));
         assert!(j.contains("\"pf-unwrap\": 1"));
+    }
+
+    #[test]
+    fn summary_enumerates_every_rule_with_zero_counts() {
+        let r = Report {
+            findings: vec![Finding::new("lock-cycle", "a.rs", 1, "cycle")],
+            files_scanned: 1,
+        };
+        let j = r.render_json();
+        for rule in ALL_RULES {
+            assert!(
+                j.contains(&format!("\"{rule}\": ")),
+                "summary missing {rule}: {j}"
+            );
+        }
+        assert!(j.contains("\"lock-cycle\": 1"));
+        assert!(j.contains("\"uncharged-work\": 0"));
+        assert!(j.contains("\"ld-wait\": 0"));
     }
 
     #[test]

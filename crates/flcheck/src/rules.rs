@@ -13,17 +13,16 @@
 //!   `pf-index`): forbids panicking constructs in non-test code of the
 //!   library crates. `debug_assert*!` is exempt for the same reason as
 //!   above; `vec![..]` and attributes are not indexing.
-//! - **lock-discipline** (`ld-order`, `ld-wait`): per module, lock
-//!   acquisitions must respect a `// flcheck: lock-order(a < b)`
-//!   declaration and must not contradict each other across functions; a
-//!   `let`-bound guard must not stay live across a blocking `.recv()` /
-//!   `.join()`. Lock identity is the receiver field name, scoped to the
-//!   file (cross-module deadlock analysis is out of static scope).
+//! - **lock-discipline** (`ld-wait`): a `let`-bound guard must not stay
+//!   live across a blocking `.recv()` / `.join()`. Lock identity is the
+//!   receiver field name (`stats` in `self.stats.lock()`) or the last
+//!   field of a `lock(&self.field)` helper call. Ordering violations are
+//!   no longer a per-file rule: the whole-workspace cycle analysis in
+//!   [`crate::lockgraph`] (`lock-cycle`) subsumes the old `ld-order`.
 
 use crate::lexer::{TokKind, Token};
 use crate::report::Finding;
 use crate::source::{match_brace, SourceFile};
-use std::collections::BTreeMap;
 
 /// Runs the ct-discipline family over every `ct-fn` in the file.
 pub fn check_ct(file: &SourceFile, out: &mut Vec<Finding>) {
@@ -171,61 +170,26 @@ pub fn check_panics(file: &SourceFile, out: &mut Vec<Finding>) {
 
 /// One lock acquisition site inside a function.
 #[derive(Debug)]
-struct Acquisition {
-    /// Receiver field name (`stats` in `self.stats.lock()`).
-    name: String,
-    line: u32,
-    /// Token index of the method identifier.
-    idx: usize,
+pub(crate) struct Acquisition {
+    /// Lock name: the receiver field (`stats` in `self.stats.lock()`) or
+    /// the last field of the argument for `lock(&self.stats)`.
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    /// Token index of the `lock`/`read`/`write` identifier.
+    pub(crate) idx: usize,
     /// Variable the guard is bound to, when `let`-bound.
-    guard_var: Option<String>,
+    pub(crate) guard_var: Option<String>,
+    /// The naming identifier is *not* a field access (`m.lock()` on a
+    /// local/parameter rather than `self.stats.lock()`). The lock graph
+    /// skips bare acquisitions that name a parameter of the enclosing fn:
+    /// they alias a lock the caller already names.
+    pub(crate) bare: bool,
 }
 
-/// Runs the lock-discipline family over a file.
+/// Runs the lock-discipline family (`ld-wait`) over a file.
 pub fn check_locks(file: &SourceFile, out: &mut Vec<Finding>) {
-    // Declared partial order: (earlier, later) pairs from lock-order chains.
-    let mut declared: Vec<(String, String)> = Vec::new();
-    for chain in &file.lock_orders {
-        for i in 0..chain.len() {
-            for j in i + 1..chain.len() {
-                declared.push((chain[i].clone(), chain[j].clone()));
-            }
-        }
-    }
-    // Observed edges across the whole file: (a, b) -> first site, meaning
-    // some function acquired `a` then `b`.
-    let mut observed: BTreeMap<(String, String), (u32, String)> = BTreeMap::new();
-
     for f in &file.fns {
-        let acqs = find_acquisitions(file, f.body_start, f.body_end);
-        // Order checks: every earlier-vs-later pair of distinct locks.
-        for i in 0..acqs.len() {
-            for j in i + 1..acqs.len() {
-                let (a, b) = (&acqs[i], &acqs[j]);
-                if a.name == b.name {
-                    continue;
-                }
-                if declared.iter().any(|(x, y)| *x == b.name && *y == a.name)
-                    && !file.is_allowed("ld-order", b.line)
-                {
-                    out.push(Finding::new(
-                        "ld-order",
-                        &file.rel_path,
-                        b.line,
-                        format!(
-                            "lock `{}` acquired after `{}` in `{}`, but the declared \
-                             order is `{} < {}`",
-                            b.name, a.name, f.name, b.name, a.name
-                        ),
-                    ));
-                }
-                observed
-                    .entry((a.name.clone(), b.name.clone()))
-                    .or_insert((a.line, f.name.clone()));
-            }
-        }
-        // Guard-across-wait checks.
-        for a in &acqs {
+        for a in &find_acquisitions(file, f.body_start, f.body_end) {
             let Some(var) = &a.guard_var else { continue };
             if let Some((line, what)) = wait_while_guard_live(file, a, f.body_end) {
                 if !file.is_allowed("ld-wait", line) {
@@ -243,70 +207,68 @@ pub fn check_locks(file: &SourceFile, out: &mut Vec<Finding>) {
             }
         }
     }
-
-    // Cross-function inconsistency: both a->b and b->a observed, neither
-    // direction declared (declared conflicts were already reported above).
-    for ((a, b), (line, func)) in &observed {
-        if a < b {
-            continue; // report each unordered pair once, at the b->a site
-        }
-        if let Some((line2, func2)) = observed.get(&(b.clone(), a.clone())) {
-            let declared_any = declared
-                .iter()
-                .any(|(x, y)| (x == a && y == b) || (x == b && y == a));
-            if !declared_any && !file.is_allowed("ld-order", *line) {
-                out.push(Finding::new(
-                    "ld-order",
-                    &file.rel_path,
-                    *line,
-                    format!(
-                        "inconsistent lock order: `{func}` acquires `{a}` then `{b}` \
-                         (line {line}), but `{func2}` acquires `{b}` then `{a}` \
-                         (line {line2}); declare a lock-order and normalize"
-                    ),
-                ));
-            }
-        }
-    }
 }
 
-/// Collects lock acquisitions (`.lock()` / `.read()` / `.write()` with no
-/// arguments) in a token range.
-fn find_acquisitions(file: &SourceFile, start: usize, end: usize) -> Vec<Acquisition> {
+/// Collects lock acquisitions in a token range: method-style `.lock()` /
+/// `.read()` / `.write()` with no arguments, and helper-style `lock(&expr)`
+/// free calls (the Paillier pool's poison-stripping wrapper).
+pub(crate) fn find_acquisitions(file: &SourceFile, start: usize, end: usize) -> Vec<Acquisition> {
     let toks = &file.tokens;
     let mut acqs = Vec::new();
     for i in start..end.min(toks.len()) {
         let t = &toks[i];
-        if t.kind != TokKind::Ident
-            || !matches!(t.text.as_str(), "lock" | "read" | "write")
-            || !is_method_call(toks, i)
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "lock" | "read" | "write") && is_method_call(toks, i) {
+            // Zero-argument call only: `lock()`, not `read(buf)`.
+            if toks.get(i + 2).map(|t| t.text.as_str()) != Some(")") {
+                continue;
+            }
+            let Some((name, bare)) = receiver_name(toks, i) else {
+                continue;
+            };
+            acqs.push(Acquisition {
+                name,
+                line: t.line,
+                idx: i,
+                guard_var: guard_binding(toks, i, match_brace(toks, i + 1)),
+                bare,
+            });
+        } else if t.text == "lock"
+            && !(i > 0 && (toks[i - 1].is_op(".") || toks[i - 1].is_ident("fn")))
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
         {
-            continue;
+            // `lock(&self.stats)`: name the lock by the last identifier of
+            // the argument expression.
+            let close = match_brace(toks, i + 1); // one past `)`
+            let arg = &toks[i + 2..close.saturating_sub(1).max(i + 2)];
+            let Some(pos) = arg.iter().rposition(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let name_idx = i + 2 + pos;
+            let bare = !(name_idx > 0 && toks[name_idx - 1].is_op("."));
+            acqs.push(Acquisition {
+                name: toks[name_idx].text.clone(),
+                line: t.line,
+                idx: i,
+                guard_var: guard_binding(toks, i, close),
+                bare,
+            });
         }
-        // Zero-argument call only: `lock()`, not `read(buf)`.
-        if toks.get(i + 2).map(|t| t.text.as_str()) != Some(")") {
-            continue;
-        }
-        let Some(name) = receiver_name(toks, i) else {
-            continue;
-        };
-        acqs.push(Acquisition {
-            name,
-            line: t.line,
-            idx: i,
-            guard_var: guard_binding(toks, i),
-        });
     }
     acqs
 }
 
 /// Walks back over `recv . field . method` chains to name the lock: the
-/// identifier immediately left of the final `.`.
-fn receiver_name(toks: &[Token], method_idx: usize) -> Option<String> {
+/// identifier immediately left of the final `.`, plus whether that
+/// identifier is bare (not itself a field access).
+fn receiver_name(toks: &[Token], method_idx: usize) -> Option<(String, bool)> {
     // toks[method_idx - 1] is the `.`; the receiver ends at method_idx - 2.
     let mut k = method_idx.checked_sub(2)?;
     if toks[k].kind == TokKind::Close {
-        // `foo(..).lock()` — name by the call's function identifier.
+        // `foo(..).lock()` / `deques[i].lock()` — name by the identifier
+        // before the balanced group.
         let close = &toks[k].text;
         let open = match close.as_str() {
             ")" => "(",
@@ -329,12 +291,23 @@ fn receiver_name(toks: &[Token], method_idx: usize) -> Option<String> {
         }
         k = k.checked_sub(1)?;
     }
-    (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone())
+    if toks[k].kind != TokKind::Ident {
+        return None;
+    }
+    let bare = !(k > 0 && toks[k - 1].is_op("."));
+    Some((toks[k].text.clone(), bare))
 }
 
-/// When the statement containing token `i` is `let [mut] NAME = ...`,
-/// returns NAME — i.e. the guard outlives the statement.
-fn guard_binding(toks: &[Token], i: usize) -> Option<String> {
+/// When the statement containing token `i` is `let [mut] NAME = ...` and
+/// the lock call (whose argument list ends just before `after`) is the
+/// *end* of the expression chain, returns NAME — i.e. the guard itself is
+/// bound and outlives the statement. A continued chain
+/// (`let n = m.lock().len();`) binds the chain's result instead; the guard
+/// is a temporary that dies at the end of the statement.
+fn guard_binding(toks: &[Token], i: usize, after: usize) -> Option<String> {
+    if toks.get(after).is_some_and(|t| t.is_op(".")) {
+        return None;
+    }
     // Scan back to the start of the statement.
     let mut k = i;
     while k > 0 {
@@ -544,35 +517,54 @@ fn f(v: &[u8]) -> u8 {
     }
 
     #[test]
-    fn ld_order_against_declaration() {
+    fn ld_wait_fires_on_helper_style_lock_call() {
         let src = "\
-// flcheck: lock-order(memory < stats)
-fn good(&self) {
-    let m = self.memory.lock();
-    let s = self.stats.lock();
-}
-fn bad(&self) {
-    let s = self.stats.lock();
-    let m = self.memory.lock();
+fn f(&self) {
+    let g = lock(&self.state);
+    let msg = self.rx.recv();
 }
 ";
         let got = findings(src);
+        assert!(got.contains(&("ld-wait".into(), 3)), "{got:?}");
+    }
+
+    #[test]
+    fn chained_let_binds_the_result_not_the_guard() {
+        // `let n = ...lock().len();` binds the length; the guard is a
+        // temporary dead at the `;`, so the recv is fine.
+        let src = "fn f(&self) { let n = self.state.lock().len(); self.rx.recv(); }";
+        assert!(findings(src).iter().all(|(r, _)| r != "ld-wait"));
+    }
+
+    #[test]
+    fn acquisition_shapes_and_bareness() {
+        let file = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "fn f(&self, m: &M) {\n    let a = self.stats.lock();\n    let b = lock(&self.table);\n    let c = m.lock();\n    let d = self.deques[0].lock();\n}\n",
+        );
+        let acqs = find_acquisitions(&file, file.fns[0].body_start, file.fns[0].body_end);
+        let got: Vec<(&str, bool)> = acqs.iter().map(|a| (a.name.as_str(), a.bare)).collect();
         assert_eq!(
-            got.iter()
-                .filter(|(r, _)| r == "ld-order")
-                .collect::<Vec<_>>(),
-            vec![&("ld-order".to_string(), 8)]
+            got,
+            vec![
+                ("stats", false),
+                ("table", false),
+                ("m", true),
+                ("deques", false),
+            ]
         );
     }
 
     #[test]
-    fn ld_order_cross_function_inconsistency() {
-        let src = "\
-fn a(&self) { self.x.lock().touch(); self.y.lock().touch(); }
-fn b(&self) { self.y.lock().touch(); self.x.lock().touch(); }
-";
-        let got = findings(src);
-        assert_eq!(got.iter().filter(|(r, _)| r == "ld-order").count(), 1);
+    fn lock_fn_definition_is_not_an_acquisition() {
+        let file = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "fn lock<T>(m: &Mutex<T>) -> Guard<'_, T> { m.lock() }\n",
+        );
+        let acqs = find_acquisitions(&file, 0, file.tokens.len());
+        // Only the body's `m.lock()` — the `fn lock` item itself is not one.
+        assert_eq!(acqs.len(), 1);
+        assert!(acqs[0].bare);
     }
 
     #[test]

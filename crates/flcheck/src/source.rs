@@ -9,6 +9,16 @@
 //! flcheck: allow(rule-a, rule-b)      suppress rules on this line and the next
 //! flcheck: allow-file(rule-a)         suppress a rule for the whole file
 //! flcheck: lock-order(a < b < c)      declare a canonical lock acquisition order
+//! flcheck: lock(a, b)                 the next `fn` acquires and holds these locks
+//!                                     for its whole body (an acquire effect the
+//!                                     token scan cannot see, e.g. behind FFI)
+//! flcheck: mac-prim                   the next `fn` performs Montgomery MACs
+//!                                     (a cost-model work source)
+//! flcheck: charge-sink                the next `fn` records simulated-time cost
+//!                                     (a cost-model charge sink)
+//! flcheck: estimates(kernel, arity)   the next `fn` is the op-count estimate
+//!                                     paired with `kernel` (which must exist
+//!                                     with that many parameters); repeatable
 //! ```
 
 use crate::lexer::{lex, Comment, TokKind, Token};
@@ -30,6 +40,25 @@ pub struct FnSpan {
     /// Identifiers named by a `// flcheck: secret(..)` marker on this fn:
     /// parameters or locals whose values are secret (taint sources).
     pub secrets: Vec<String>,
+    /// Locks named by a `// flcheck: lock(..)` marker: the fn acquires and
+    /// holds each of them for its whole body (an acquire effect).
+    pub locks: Vec<String>,
+    /// Marked with `// flcheck: mac-prim` (performs Montgomery MACs).
+    pub is_mac_prim: bool,
+    /// Marked with `// flcheck: charge-sink` (records simulated-time cost).
+    pub is_charge_sink: bool,
+    /// `// flcheck: estimates(kernel, arity)` pairings: this fn estimates the
+    /// op count of `kernel`, which must exist with `arity` parameters.
+    pub estimates: Vec<(String, usize)>,
+}
+
+/// A declared lock-order chain with the line it was declared on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrder {
+    /// 1-based line of the `lock-order(..)` directive.
+    pub line: u32,
+    /// The chain, outermost first, e.g. `["memory", "stats"]`.
+    pub chain: Vec<String>,
 }
 
 /// A fully analyzed source file, ready for the rule passes.
@@ -43,8 +72,8 @@ pub struct SourceFile {
     pub allow_lines: BTreeMap<u32, BTreeSet<String>>,
     /// File-wide rule suppressions.
     pub allow_file: BTreeSet<String>,
-    /// Declared lock-order chains, e.g. `["memory", "stats"]`.
-    pub lock_orders: Vec<Vec<String>>,
+    /// Declared lock-order chains, e.g. `memory < stats`.
+    pub lock_orders: Vec<LockOrder>,
     /// Extracted function spans (including `is_ct` marking).
     pub fns: Vec<FnSpan>,
     /// Token-index ranges `[start, end)` that belong to test code.
@@ -103,19 +132,37 @@ impl SourceFile {
             if body.starts_with("ct-fn") {
                 markers.push(FnMarker {
                     line: c.line,
-                    secrets: Vec::new(),
+                    kind: MarkerKind::Ct,
+                });
+            } else if body.starts_with("mac-prim") {
+                markers.push(FnMarker {
+                    line: c.line,
+                    kind: MarkerKind::MacPrim,
+                });
+            } else if body.starts_with("charge-sink") {
+                markers.push(FnMarker {
+                    line: c.line,
+                    kind: MarkerKind::ChargeSink,
                 });
             } else if let Some(args) = strip_call(body, "secret") {
-                let names: Vec<String> = args
-                    .split(',')
-                    .map(|s| s.trim().to_string())
-                    .filter(|s| !s.is_empty())
-                    .collect();
+                let names = split_names(args);
                 if !names.is_empty() {
                     markers.push(FnMarker {
                         line: c.line,
-                        secrets: names,
+                        kind: MarkerKind::Secrets(names),
                     });
+                }
+            } else if let Some(args) = strip_call(body, "estimates") {
+                let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+                if let [kernel, arity] = parts[..] {
+                    if let Ok(arity) = arity.parse::<usize>() {
+                        if !kernel.is_empty() {
+                            markers.push(FnMarker {
+                                line: c.line,
+                                kind: MarkerKind::Estimates(kernel.to_string(), arity),
+                            });
+                        }
+                    }
                 }
             } else if let Some(args) = strip_call(body, "allow-file") {
                 for rule in args.split(',') {
@@ -136,7 +183,18 @@ impl SourceFile {
             } else if let Some(args) = strip_call(body, "lock-order") {
                 let chain: Vec<String> = args.split('<').map(|s| s.trim().to_string()).collect();
                 if chain.len() >= 2 && chain.iter().all(|s| !s.is_empty()) {
-                    self.lock_orders.push(chain);
+                    self.lock_orders.push(LockOrder {
+                        line: c.line,
+                        chain,
+                    });
+                }
+            } else if let Some(args) = strip_call(body, "lock") {
+                let names = split_names(args);
+                if !names.is_empty() {
+                    markers.push(FnMarker {
+                        line: c.line,
+                        kind: MarkerKind::Locks(names),
+                    });
                 }
             }
         }
@@ -194,11 +252,14 @@ impl SourceFile {
                 body_end,
                 is_ct: false,
                 secrets: Vec::new(),
+                locks: Vec::new(),
+                is_mac_prim: false,
+                is_charge_sink: false,
+                estimates: Vec::new(),
             });
             i = body_start + 1; // nested fns get their own entries
         }
-        // A fn marker (`ct-fn`, `secret(..)`) applies to the first fn that
-        // starts after it.
+        // A fn marker applies to the first fn that starts after it.
         for marker in markers {
             if let Some(f) = self
                 .fns
@@ -206,10 +267,15 @@ impl SourceFile {
                 .filter(|f| f.line > marker.line)
                 .min_by_key(|f| f.line)
             {
-                if marker.secrets.is_empty() {
-                    f.is_ct = true;
-                } else {
-                    f.secrets.extend(marker.secrets.iter().cloned());
+                match &marker.kind {
+                    MarkerKind::Ct => f.is_ct = true,
+                    MarkerKind::Secrets(names) => f.secrets.extend(names.iter().cloned()),
+                    MarkerKind::Locks(names) => f.locks.extend(names.iter().cloned()),
+                    MarkerKind::MacPrim => f.is_mac_prim = true,
+                    MarkerKind::ChargeSink => f.is_charge_sink = true,
+                    MarkerKind::Estimates(kernel, arity) => {
+                        f.estimates.push((kernel.clone(), *arity));
+                    }
                 }
             }
         }
@@ -273,11 +339,27 @@ impl SourceFile {
     }
 }
 
-/// A directive that attaches to the next `fn` item: `ct-fn` (empty
-/// `secrets`) or `secret(a, b)`.
+/// A directive that attaches to the next `fn` item.
 struct FnMarker {
     line: u32,
-    secrets: Vec<String>,
+    kind: MarkerKind,
+}
+
+enum MarkerKind {
+    Ct,
+    Secrets(Vec<String>),
+    Locks(Vec<String>),
+    MacPrim,
+    ChargeSink,
+    Estimates(String, usize),
+}
+
+/// Splits a comma-separated directive argument list into non-empty names.
+fn split_names(args: &str) -> Vec<String> {
+    args.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// `strip_call("allow(a, b) trailing", "allow")` -> `Some("a, b")`.
@@ -326,7 +408,10 @@ fn b() {}
         assert!(f.allow_file.contains("pf-index"));
         assert_eq!(
             f.lock_orders,
-            vec![vec!["memory".to_string(), "stats".to_string()]]
+            vec![LockOrder {
+                line: 2,
+                chain: vec!["memory".to_string(), "stats".to_string()],
+            }]
         );
         assert!(f.is_allowed("pf-unwrap", 4));
         assert!(!f.is_allowed("pf-unwrap", 3));
@@ -358,6 +443,74 @@ fn plain(x: u64) {}
         assert!(!ladder.is_ct, "secret() does not imply ct-fn");
         let plain = f.fns.iter().find(|f| f.name == "plain").expect("plain");
         assert!(plain.secrets.is_empty());
+    }
+
+    #[test]
+    fn cost_and_lock_markers_attach_to_the_next_fn() {
+        let src = "\
+// flcheck: mac-prim
+pub fn mont_mul() {}
+// flcheck: charge-sink
+fn charge() {}
+// flcheck: estimates(encrypt, 3)
+// flcheck: estimates(decrypt, 2)
+pub fn encrypt_op_estimate() -> u64 { 0 }
+// flcheck: lock(deques, panic)
+fn drain_all() {}
+fn unmarked() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).expect(n);
+        assert!(by_name("mont_mul").is_mac_prim);
+        assert!(!by_name("mont_mul").is_charge_sink);
+        assert!(by_name("charge").is_charge_sink);
+        assert_eq!(
+            by_name("encrypt_op_estimate").estimates,
+            vec![("encrypt".to_string(), 3), ("decrypt".to_string(), 2)]
+        );
+        assert_eq!(by_name("drain_all").locks, vec!["deques", "panic"]);
+        let u = by_name("unmarked");
+        assert!(
+            !u.is_mac_prim && !u.is_charge_sink && u.estimates.is_empty() && u.locks.is_empty()
+        );
+    }
+
+    #[test]
+    fn lock_directive_does_not_shadow_lock_order() {
+        // `lock-order(..)` must still parse as an order declaration, not as
+        // a malformed `lock(..)` acquire-effect marker.
+        let src = "// flcheck: lock-order(a < b)\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.lock_orders.len(), 1);
+        assert!(f.fns[0].locks.is_empty());
+    }
+
+    #[test]
+    fn malformed_estimates_directives_are_ignored() {
+        let src = "\
+// flcheck: estimates(encrypt)
+// flcheck: estimates(, 3)
+// flcheck: estimates(encrypt, many)
+fn est() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].estimates.is_empty());
+    }
+
+    #[test]
+    fn directives_inside_block_comments_do_not_register() {
+        // A lock(..) directive quoted inside a (nested) block comment is
+        // prose, not a marker: it must not attach an acquire effect to
+        // the next fn.
+        let src = "\
+/* discussion: /* flcheck: lock(table) */ see the directive grammar */
+fn f() {}
+// flcheck: lock(stats)
+fn g() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].locks.is_empty(), "{:?}", f.fns[0].locks);
+        assert_eq!(f.fns[1].locks, vec!["stats".to_string()]);
     }
 
     #[test]

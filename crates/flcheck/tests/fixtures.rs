@@ -69,17 +69,47 @@ fn pf_rules_do_not_apply_outside_library_crates() {
 }
 
 #[test]
-fn ld_fixture_fires_order_and_wait_rules() {
+fn ld_fixture_fires_wait_per_file_and_cycle_via_the_workspace() {
     let src = include_str!("fixtures/ld_violations.rs");
+    // Per-file analysis: only ld-wait remains (the old ld-order rule is
+    // subsumed by the whole-workspace lock-cycle pass).
     let got = rules_and_lines("src/ld_fixture.rs", src);
-    let want: Vec<(String, u32)> = [
-        ("ld-order", 13), // `table` taken after `counters` against the order
-        ("ld-wait", 19),  // guard live across `.recv()`
-    ]
-    .into_iter()
-    .map(|(r, l)| (r.to_string(), l))
-    .collect();
-    assert_eq!(got, want);
+    assert_eq!(got, vec![("ld-wait".to_string(), 19)]);
+
+    // Workspace analysis: the declared `table < counters` order plus the
+    // observed inversion in `backwards` is a 2-cycle.
+    let path = "src/ld_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("lock-cycle".to_string(), 13), ("ld-wait".to_string(), 19),]
+    );
+    let cycle = &report.findings[0];
+    assert!(
+        cycle.message.contains(
+            "lock acquisition cycle workspace::counters -> workspace::table -> workspace::counters"
+        ),
+        "unexpected message: {}",
+        cycle.message
+    );
+    assert_eq!(
+        cycle.chain,
+        vec![
+            format!(
+                "workspace::counters -> workspace::table \
+                 ({path}:13, `table` acquired while `counters` held in `backwards`)"
+            ),
+            format!(
+                "workspace::table -> workspace::counters \
+                 ({path}:3, declared lock-order `table < counters`)"
+            ),
+        ]
+    );
 }
 
 #[test]
@@ -189,6 +219,168 @@ fn reach_fixture_reports_transitive_panic_with_chain() {
 }
 
 #[test]
+fn lock_cycle_fixture_reports_cycle_and_hotpath_with_chains() {
+    let src = include_str!("fixtures/lock_cycle.rs");
+    let path = "crates/gpu-sim/src/lockgraph_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("lock-cycle".to_string(), 16),
+            ("lock-across-hotpath".to_string(), 21),
+        ]
+    );
+
+    let cycle = &report.findings[0];
+    assert!(
+        cycle
+            .message
+            .contains("lock acquisition cycle gpu-sim::stats -> gpu-sim::table -> gpu-sim::stats"),
+        "unexpected message: {}",
+        cycle.message
+    );
+    assert_eq!(
+        cycle.chain,
+        vec![
+            format!(
+                "gpu-sim::stats -> gpu-sim::table \
+                 ({path}:16, `table` acquired while `stats` held in `ba`)"
+            ),
+            format!(
+                "gpu-sim::table -> gpu-sim::stats \
+                 ({path}:11, `stats` acquired while `table` held in `ab`)"
+            ),
+        ]
+    );
+
+    let hot = &report.findings[1];
+    assert!(
+        hot.message.contains("`gpu-sim::stats` held in `hot`")
+            && hot.message.contains("reaches hot-path kernel `mont_mul`"),
+        "unexpected message: {}",
+        hot.message
+    );
+    assert_eq!(
+        hot.chain,
+        vec![
+            format!("hot ({path}:19)"),
+            format!("helper ({path}:25)"),
+            format!("mont_mul ({path}:29)"),
+        ]
+    );
+}
+
+#[test]
+fn uncharged_work_fixture_reports_cost_rules_with_chains() {
+    let src = include_str!("fixtures/uncharged_work.rs");
+    let path = "crates/he/src/cost_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("uncharged-work".to_string(), 21),
+            ("stale-estimate".to_string(), 28),
+            ("stale-estimate".to_string(), 28),
+        ]
+    );
+
+    let uncharged = &report.findings[0];
+    assert!(
+        uncharged.message.contains("`uncharged_entry`")
+            && uncharged.message.contains("never flows into a charge sink"),
+        "unexpected message: {}",
+        uncharged.message
+    );
+    assert_eq!(
+        uncharged.chain,
+        vec![
+            format!("uncharged_entry ({path}:21)"),
+            format!("kernel ({path}:13)"),
+            format!("mont_mul ({path}:4)"),
+        ]
+    );
+
+    // Findings sort by message at equal (file, line, rule): the arity
+    // drift (`kernel`) precedes the vanished pairing (`vanished_kernel`).
+    let drift = &report.findings[1];
+    assert!(
+        drift
+            .message
+            .contains("pairs kernel `kernel` with 5 parameter(s), but `kernel` now takes 2"),
+        "unexpected message: {}",
+        drift.message
+    );
+    assert_eq!(
+        drift.chain,
+        vec![
+            format!("kernel_op_estimate ({path}:28)"),
+            format!("kernel ({path}:13)"),
+        ]
+    );
+    let vanished = &report.findings[2];
+    assert!(
+        vanished
+            .message
+            .contains("pairs kernel `vanished_kernel`, which no longer exists"),
+        "unexpected message: {}",
+        vanished.message
+    );
+    assert_eq!(
+        vanished.chain,
+        vec![format!("kernel_op_estimate ({path}:28)")]
+    );
+}
+
+#[test]
+fn steal_fixture_reports_park_and_double_acquire() {
+    let src = include_str!("fixtures/steal_violations.rs");
+    let path = "crates/shims/rayon/src/steal_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("guard-across-steal".to_string(), 6),
+            ("guard-across-steal".to_string(), 11),
+        ]
+    );
+    let park = &report.findings[0];
+    assert!(
+        park.message
+            .contains("deque guard `deques` held in `bad_park` across blocking `park`"),
+        "unexpected message: {}",
+        park.message
+    );
+    assert_eq!(
+        park.chain,
+        vec![format!("bad_park ({path}:4)"), format!("park ({path}:6)"),]
+    );
+    let steal = &report.findings[1];
+    assert!(
+        steal
+            .message
+            .contains("worker in `bad_steal` steals from a deque"),
+        "unexpected message: {}",
+        steal.message
+    );
+    assert_eq!(steal.chain, vec![format!("bad_steal ({path}:9)")]);
+}
+
+#[test]
 fn workspace_report_is_deterministic_across_input_order() {
     let taint = include_str!("fixtures/taint_leak.rs");
     let reach = include_str!("fixtures/reach_violations.rs");
@@ -201,5 +393,5 @@ fn workspace_report_is_deterministic_across_input_order() {
         ("crates/mpint/src/taint_fixture.rs", taint),
     ]);
     assert_eq!(fwd.render_json(), rev.render_json());
-    assert!(fwd.render_json().contains("\"schema\": 2"));
+    assert!(fwd.render_json().contains("\"schema\": 3"));
 }

@@ -1,0 +1,31 @@
+//! Fixture: whole-workspace lock-graph violations (cycle + hot-path).
+
+struct Core {
+    table: Mutex<u64>,
+    stats: Mutex<u64>,
+}
+
+impl Core {
+    fn ab(&self) -> u64 {
+        let t = self.table.lock();
+        let s = self.stats.lock();
+        *t + *s
+    }
+    fn ba(&self) -> u64 {
+        let s = self.stats.lock();
+        let t = self.table.lock();
+        *t + *s
+    }
+    fn hot(&self) -> u64 {
+        let g = self.stats.lock();
+        helper(*g)
+    }
+}
+
+fn helper(x: u64) -> u64 {
+    mont_mul(x, x)
+}
+
+fn mont_mul(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}

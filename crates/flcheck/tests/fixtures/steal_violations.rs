@@ -1,0 +1,15 @@
+//! Fixture: pool worker holding a deque guard across park/steal.
+
+impl Pool {
+    fn bad_park(&self, me: usize) {
+        let mine = self.deques[me].lock();
+        std::thread::park();
+        mine.pop_front();
+    }
+    fn bad_steal(&self, me: usize) {
+        let mine = self.deques[me].lock();
+        let other = self.deques[me + 1].lock();
+        other.pop_back();
+        mine.pop_front();
+    }
+}

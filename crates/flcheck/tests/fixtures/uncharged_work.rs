@@ -1,0 +1,30 @@
+//! Fixture: cost-model conformance violations.
+
+// flcheck: mac-prim
+fn mont_mul(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+// flcheck: charge-sink
+fn charge(ops: u64) -> u64 {
+    ops
+}
+
+fn kernel(a: u64, b: u64) -> u64 {
+    mont_mul(a, b)
+}
+
+pub fn charged_entry(a: u64, b: u64) -> u64 {
+    charge(kernel(a, b))
+}
+
+pub fn uncharged_entry(a: u64, b: u64) -> u64 {
+    kernel(a, b)
+}
+
+// flcheck: estimates(kernel, 2)
+// flcheck: estimates(vanished_kernel, 2)
+// flcheck: estimates(kernel, 5)
+pub fn kernel_op_estimate() -> u64 {
+    3
+}

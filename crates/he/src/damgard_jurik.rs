@@ -15,6 +15,12 @@
 //! Decryption uses the recursive Damgård–Jurik algorithm to extract `m`
 //! from `c^λ mod n^{s+1}` digit by digit in base `n`.
 
+// flcheck: allow-file(uncharged-work) — ablation-only extension: the FL
+// backends and the simulator default to plain Paillier and nothing
+// dispatches Damgård–Jurik on a charged path, so this module sits outside
+// the cost-model perimeter by design (no launch accounting, no op
+// estimates to pair with). Revisit if a backend ever routes through it.
+
 use mpint::modpow::mod_pow_ctx;
 use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
 use mpint::random::random_coprime;

@@ -8,6 +8,7 @@
 //! padding — which is exactly what the homomorphic use case requires (and
 //! why it must never be used for general-purpose encryption).
 
+use mpint::cios::{mont_mul_mac_count, mont_sqr_mac_count};
 use mpint::modpow::{mod_pow_ct, mod_pow_ctx};
 use mpint::prime::{generate_prime_pair, DEFAULT_MR_ROUNDS};
 use mpint::{mod_inv, MontgomeryCtx, Natural};
@@ -60,6 +61,9 @@ pub struct RsaKeyPair {
 
 impl RsaKeyPair {
     /// Generates an RSA key pair with a `bits`-bit modulus.
+    // The cost model charges steady-state encrypt/mul/decrypt traffic,
+    // not the one-time keygen that precedes training.
+    // flcheck: allow(uncharged-work) — one-time key setup
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Result<Self> {
         if bits < MIN_KEY_BITS {
             return Err(Error::KeySizeTooSmall {
@@ -136,6 +140,7 @@ impl RsaPublicKey {
 
     /// Estimated limb-level op count of one encryption (65537 = 2^16+1:
     /// 17 Montgomery multiplications of `s²` cost each).
+    // flcheck: estimates(encrypt, 2)
     pub fn encrypt_op_estimate(&self) -> u64 {
         let s = self.ctx_n.width() as u64;
         17 * s * s
@@ -184,6 +189,21 @@ impl RsaPrivateKey {
             &self.d,
             self.public.n.bit_len(),
         ))
+    }
+
+    /// Estimated limb-level op count of one CRT decryption: two
+    /// half-width square-and-multiply-always ladders (the CRT exponent
+    /// shares are private-key material, so decryption pays the
+    /// constant-time schedule) plus the Garner recombination arithmetic.
+    /// Same unit as the Paillier estimates — MAC counts halved, squarings
+    /// at the dedicated `mont_sqr` rate.
+    // flcheck: estimates(decrypt, 2)
+    // flcheck: estimates(decrypt_direct, 2)
+    pub fn decrypt_op_estimate(&self) -> u64 {
+        let s = self.ctx_p.width();
+        let e_bits = self.p.bit_len() as u64;
+        let ladder = e_bits * (mont_sqr_mac_count(s) + mont_mul_mac_count(s)) / 2;
+        2 * (ladder + 2 * mont_mul_mac_count(s))
     }
 }
 

@@ -68,6 +68,7 @@ impl LaneStats {
 /// `n0_inv = -n[0]^{-1} mod 2^64` ([`crate::limb::mont_neg_inv`]).
 // flcheck: ct-fn
 // flcheck: secret(a, b)
+// flcheck: mac-prim
 pub fn mont_mul(a: &[Limb], b: &[Limb], n: &[Limb], n0_inv: Limb) -> Vec<Limb> {
     let s = n.len();
     assert_eq!(a.len(), s, "operand a must be padded to the modulus width");
@@ -146,6 +147,7 @@ pub const fn mont_sqr_mac_count(s: usize) -> u64 {
 /// n0_inv)` (property-tested across limb widths).
 // flcheck: ct-fn
 // flcheck: secret(a)
+// flcheck: mac-prim
 pub fn mont_sqr(a: &[Limb], n: &[Limb], n0_inv: Limb) -> Vec<Limb> {
     let s = n.len();
     assert_eq!(a.len(), s, "operand a must be padded to the modulus width");
@@ -234,6 +236,7 @@ pub fn mont_sqr_natural(ctx: &crate::MontgomeryCtx, a: &Natural) -> Natural {
 /// The lane structure is *semantic* (it drives the simulator's accounting);
 /// execution here is sequential, because the real parallel scheduling is
 /// the GPU simulator's job.
+// flcheck: mac-prim
 pub fn mont_mul_partitioned(
     a: &[Limb],
     b: &[Limb],

@@ -63,24 +63,46 @@ if ! cargo test -q --release 2>&1 | tail -40; then
 fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
-# The gate reads the finding total out of the JSON report rather than
-# trusting the exit status alone, so a crash, an unwritable report, and a
-# non-empty finding list all fail.
+# Single source of truth: the schema-3 JSON summary enumerates every rule
+# with an explicit count, so the gate loops over total plus each rule id
+# and fails if any count is missing (schema drift / crash / unwritable
+# report) or non-zero. Rule ids come from the binary itself (--help lists
+# them via report::ALL_RULES) and are mirrored here.
 echo "=== flcheck: static analysis ==="
 ./target/release/flcheck --root . --json $R/flcheck_report.json | tee $R/flcheck.txt
 fl_status=${PIPESTATUS[0]}
-fl_total=$(grep -o '"total": *[0-9]*' $R/flcheck_report.json 2>/dev/null | grep -o '[0-9]*$')
-echo "--- flcheck findings by rule (total: ${fl_total:-unreadable}) ---"
-if [ -n "$fl_total" ] && [ "$fl_total" -gt 0 ]; then
-  grep -o '"rule": *"[^"]*"' $R/flcheck_report.json \
-    | sed 's/.*"rule": *"\(.*\)"/\1/' | sort | uniq -c
-else
-  echo "  (none)"
-fi
-if [ "$fl_status" -ne 0 ] || [ -z "$fl_total" ] || [ "$fl_total" -gt 0 ]; then
-  echo "HARNESS_FAILED: flcheck gate (exit $fl_status, findings ${fl_total:-unreadable})"
+fl_rules="total ct-branch ct-compare ct-return ct-shortcircuit ct-taint \
+  guard-across-steal ld-wait lock-across-hotpath lock-cycle \
+  pf-assert pf-expect pf-index pf-panic pf-reach pf-unwrap \
+  stale-estimate uncharged-work"
+fl_bad=0
+echo "--- flcheck summary by rule ---"
+for rule in $fl_rules; do
+  count=$(grep -o "\"$rule\": *[0-9]*" $R/flcheck_report.json 2>/dev/null \
+    | head -1 | grep -o '[0-9]*$')
+  if [ -z "$count" ]; then
+    echo "  $rule: MISSING from summary"
+    fl_bad=1
+  elif [ "$count" -gt 0 ]; then
+    echo "  $rule: $count"
+    fl_bad=1
+  fi
+done
+[ "$fl_bad" -eq 0 ] && echo "  (all rules at zero)"
+if [ "$fl_status" -ne 0 ] || [ "$fl_bad" -ne 0 ]; then
+  echo "HARNESS_FAILED: flcheck gate (exit $fl_status)"
   exit 1
 fi
+
+# Analyzer self-benchmark: files/sec and per-pass wall-clock
+# (results/BENCH_flcheck.json). Reporting-only — no floor, the numbers
+# feed the README table.
+echo "=== bench_flcheck: analyzer self-benchmark ==="
+if ! ./target/release/bench_flcheck --iters 3 2>&1 | tee $R/bench_flcheck.txt; then
+  echo "HARNESS_FAILED: bench_flcheck"
+  exit 1
+fi
+echo
 echo "=== cargo fmt --check ==="
 if ! cargo fmt --check; then
   echo "HARNESS_FAILED: cargo fmt --check"

@@ -1,0 +1,106 @@
+//! Self-benchmark for the flcheck static analyzer.
+//!
+//! Runs the full workspace scan a few times, keeps the best run, and
+//! writes `results/BENCH_flcheck.json` with files/sec plus per-pass
+//! wall-clock (the `ScanStats` breakdown: per-file, call graph, taint,
+//! panic reachability, lock graph, cost model). The timings are
+//! reporting-only — they never feed back into the analysis, so the
+//! report stays byte-identical across runs and thread counts.
+//!
+//! ```text
+//! cargo run --release --bin bench_flcheck -- [--root DIR] [--out FILE] [--iters N]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out = PathBuf::from("results/BENCH_flcheck.json");
+    let mut iters = 3usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a directory"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage("--out requires a file path"),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => iters = v,
+                _ => return usage("--iters requires a positive integer"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_flcheck [--root DIR] [--out FILE] [--iters N]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Best-of-N: the scan is pure, so the fastest run is the least
+    // noise-contaminated estimate of the analyzer's cost.
+    let mut best: Option<(flcheck::report::Report, flcheck::ScanStats)> = None;
+    for _ in 0..iters {
+        let (report, stats) = match flcheck::run_with_stats(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_flcheck: error scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        match &best {
+            Some((_, b)) if b.total <= stats.total => {}
+            _ => best = Some((report, stats)),
+        }
+    }
+    let (report, stats) = best.expect("iters >= 1");
+
+    let files = report.files_scanned;
+    let secs = stats.total.as_secs_f64();
+    let files_per_sec = if secs > 0.0 { files as f64 / secs } else { 0.0 };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"flcheck\",");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"files_scanned\": {files},");
+    let _ = writeln!(json, "  \"findings\": {},", report.findings.len());
+    let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1},");
+    let _ = writeln!(json, "  \"wall_clock_seconds\": {{");
+    let passes: [(&str, Duration); 7] = [
+        ("per_file", stats.per_file),
+        ("callgraph", stats.callgraph),
+        ("taint", stats.taint),
+        ("reach", stats.reach),
+        ("lockgraph", stats.lockgraph),
+        ("costmodel", stats.costmodel),
+        ("total", stats.total),
+    ];
+    for (i, (name, d)) in passes.iter().enumerate() {
+        let comma = if i + 1 == passes.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {:.6}{comma}", d.as_secs_f64());
+    }
+    json.push_str("  }\n}\n");
+
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_flcheck: error writing {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    print!("{json}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_flcheck: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,12 +1,14 @@
 //! CLI for the workspace static analyzer.
 //!
 //! ```text
-//! cargo run --release --bin flcheck -- [--root DIR] [--json FILE] [--quiet]
+//! cargo run --release --bin flcheck -- [--root DIR] [--json FILE] [--rule NAME] [--quiet]
 //! ```
 //!
 //! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
 //! I/O errors. `--json` additionally writes the machine-readable report
-//! (the harness points it at `results/flcheck_report.json`).
+//! (the harness points it at `results/flcheck_report.json`). `--rule`
+//! restricts the report — findings, summary, and exit code — to one rule
+//! id (repeatable), handy when iterating on a single discipline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +17,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json_path: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut rules: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,12 +30,23 @@ fn main() -> ExitCode {
                 Some(v) => json_path = Some(PathBuf::from(v)),
                 None => return usage("--json requires a file path"),
             },
+            "--rule" => match args.next() {
+                Some(v) if flcheck::report::ALL_RULES.contains(&v.as_str()) => rules.push(v),
+                Some(v) => {
+                    return usage(&format!(
+                        "unknown rule `{v}` (known: {})",
+                        flcheck::report::ALL_RULES.join(", ")
+                    ))
+                }
+                None => return usage("--rule requires a rule id"),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: flcheck [--root DIR] [--json FILE] [--quiet]\n\
+                    "usage: flcheck [--root DIR] [--json FILE] [--rule NAME] [--quiet]\n\
                      Static analysis: constant-time discipline, panic freedom, \
-                     lock discipline."
+                     lock discipline, cost-model conformance.\n\
+                     --rule NAME   keep only findings for this rule id (repeatable)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -40,13 +54,18 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match flcheck::run(&root) {
+    let mut report = match flcheck::run(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("flcheck: error scanning {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if !rules.is_empty() {
+        report
+            .findings
+            .retain(|f| rules.iter().any(|r| *r == f.rule));
+    }
 
     if let Some(path) = json_path {
         if let Some(parent) = path.parent() {

@@ -1,6 +1,7 @@
 //! Consistency between the paper's closed-form analysis (Sec. V-B), the
 //! codec implementation, the GPU execution model, and the measured
-//! behaviour of the backends.
+//! behaviour of the backends — plus the committed flcheck report, which
+//! must match what a fresh scan of this tree produces.
 
 use fl::{Accelerator, BackendKind};
 use flbooster_core::analysis;
@@ -172,4 +173,25 @@ fn total_acceleration_is_product_of_modules() {
     let ac_total = fate / flb;
     assert!((ac_total - ac_ghe * ac_bc).abs() / ac_total < 1e-9);
     assert!(ac_ghe > 1.0 && ac_bc > 1.0);
+}
+
+#[test]
+fn committed_flcheck_report_matches_a_fresh_scan() {
+    // `results/flcheck_report.json` is committed so reviewers can read
+    // the analyzer's verdict without building; it must never drift from
+    // what the tree actually produces. A fresh scan at schema 3 has to
+    // reproduce the committed bytes exactly — zero findings included.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(root.join("results/flcheck_report.json"))
+        .expect("results/flcheck_report.json is committed");
+    assert!(
+        committed.contains("\"schema\": 3"),
+        "committed report is not at schema 3"
+    );
+    let fresh = flcheck::run(root).expect("workspace scan").render_json();
+    assert_eq!(
+        fresh, committed,
+        "committed flcheck report drifted from a fresh scan: \
+         regenerate with `cargo run --release --bin flcheck -- --json results/flcheck_report.json`"
+    );
 }
