@@ -50,6 +50,8 @@ struct OpResult {
 
 /// Times `body` inside a pool of `threads` workers, returning the result,
 /// the wall-clock, and the pool width the shim actually reported.
+// flcheck: det-absorb — pure stopwatch/pool-width wrapper: the closure's
+// result passes through untouched; wall-clock and width feed Run metadata only
 fn timed_in_pool<T>(threads: usize, body: impl FnOnce() -> T + Send) -> (T, f64, usize)
 where
     T: Send,
@@ -77,6 +79,9 @@ fn main() {
         .get("out")
         .unwrap_or("results/bench_summary.json")
         .to_string();
+    // Host width is environment metadata in the summary JSON; digests
+    // never read it.
+    // flcheck: allow(nondet-in-result)
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -212,6 +217,7 @@ fn main() {
     }
 }
 
+// flcheck: det-sink — digest bytes gate cross-thread-count determinism
 fn digest_cts(cts: &[he::paillier::Ciphertext]) -> Vec<u8> {
     // Concatenated limb bytes are a faithful identity for the bitwise
     // comparison; ordering is part of the contract.
@@ -225,6 +231,7 @@ fn digest_cts(cts: &[he::paillier::Ciphertext]) -> Vec<u8> {
     out
 }
 
+// flcheck: det-sink — digest bytes gate cross-thread-count determinism
 fn digest_nats(ns: &[Natural]) -> Vec<u8> {
     let mut out = Vec::new();
     for n in ns {

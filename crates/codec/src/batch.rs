@@ -86,6 +86,7 @@ impl BatchCodec {
     /// (Eq. 9 layout: slot `i` of a word occupies bits
     /// `[i·(r+b), (i+1)·(r+b))`).
     // flcheck: secret(values)
+    // flcheck: det-sink — packed plaintext words become ciphertext bytes
     pub fn pack(&self, values: &[f64]) -> Result<Vec<Natural>> {
         let slot_bits = self.quantizer.config().slot_bits();
         let mut words = Vec::with_capacity(self.words_for(values.len()));
@@ -119,6 +120,7 @@ impl BatchCodec {
     /// Unpacks `count` slots, each holding the sum of `terms` quantized
     /// values (the post-aggregation decode path). Fails if `terms` exceeds
     /// the guard-bit capacity.
+    // flcheck: det-sink — decoded aggregate values are result content
     pub fn unpack_sums(&self, words: &[Natural], count: usize, terms: u32) -> Result<Vec<f64>> {
         self.quantizer.check_terms(terms)?;
         let available = words.len() * self.slots_per_word;

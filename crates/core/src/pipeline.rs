@@ -178,6 +178,9 @@ impl FlBooster {
         gradients: &[f64],
         seed: u64,
     ) -> Result<(Vec<Ciphertext>, PipelineReport)> {
+        // Stopwatch feeds PipelineReport.codec_seconds (timing metadata);
+        // ciphertext bytes derive only from gradients and the seed.
+        // flcheck: allow(nondet-in-result)
         let t0 = Instant::now();
         let plaintexts: Vec<Natural> = if self.batch_compression {
             self.codec.pack(gradients)?
@@ -280,6 +283,9 @@ impl FlBooster {
             plaintexts.append(&mut ms);
         }
 
+        // Stopwatch feeds PipelineReport.codec_seconds (timing metadata);
+        // decoded values derive only from the plaintexts.
+        // flcheck: allow(nondet-in-result)
         let t0 = Instant::now();
         let values: Vec<f64> = if self.batch_compression {
             self.codec.unpack_sums(&plaintexts, count, terms)?

@@ -265,6 +265,7 @@ impl Accelerator {
 
     /// Quantizes, packs (if enabled), and encrypts a gradient vector.
     // flcheck: secret(values)
+    // flcheck: det-sink — EncryptedVector construction
     pub fn encrypt(&self, values: &[f64], seed: u64) -> Result<EncryptedVector> {
         let plaintexts: Vec<Natural> = if self.batch_compression {
             // Quantize-and-pack runs on the data owner's host before
@@ -310,6 +311,7 @@ impl Accelerator {
     }
 
     /// Homomorphically folds several participants' vectors into one.
+    // flcheck: det-sink — aggregate EncryptedVector construction
     pub fn aggregate(&self, vectors: &[EncryptedVector]) -> Result<EncryptedVector> {
         let mut iter = vectors.iter();
         let first = match iter.next() {
@@ -341,6 +343,7 @@ impl Accelerator {
     /// [`he::paillier::PaillierPublicKey::weighted_sum`]). Key identity
     /// is checked per ciphertext, so cross-key mixes fail loudly in
     /// release builds too.
+    // flcheck: det-sink — weighted aggregate construction
     pub fn aggregate_weighted(
         &self,
         vectors: &[EncryptedVector],

@@ -94,7 +94,9 @@ impl DatasetSpec {
                 (idx, rng.gen_range(-2.0..2.0))
             })
             .collect();
-        let concept_dense: std::collections::HashMap<u32, f64> = concept.into_iter().collect();
+        // Ordered map: the planted concept feeds labels (result content),
+        // so lookups — and any future iteration — must be hash-order-free.
+        let concept_dense: std::collections::BTreeMap<u32, f64> = concept.into_iter().collect();
 
         let dense = self.nnz_per_row >= self.features;
         let mut rows = Vec::with_capacity(n);

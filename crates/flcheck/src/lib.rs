@@ -13,16 +13,18 @@
 //! |-----------------|----------------------------------------------------------|
 //! | ct-discipline   | `ct-branch`, `ct-return`, `ct-compare`, `ct-shortcircuit`|
 //! | panic-freedom   | `pf-unwrap`, `pf-expect`, `pf-panic`, `pf-assert`, `pf-index` |
-//! | lock-discipline | `ld-wait` (per-file), `lock-cycle`, `lock-across-hotpath`, `guard-across-steal` |
+//! | lock-discipline | `ld-wait` (per-file), `lock-cycle`, `lock-across-hotpath`, `guard-across-steal`, `guard-escape` |
 //! | cost-model      | `uncharged-work`, `stale-estimate`                       |
+//! | determinism     | `nondet-in-result` (source-to-result-sink flow)          |
 //! | interprocedural | `ct-taint` (secret propagation), `pf-reach` (transitive panics) |
 //!
 //! The ct- and pf- families plus `ld-wait` are per-file lexer passes; the
 //! rest run on a workspace call graph built by the item-level parser
-//! ([`parse`], [`callgraph`], [`taint`], [`lockgraph`], [`costmodel`]) and
-//! report full call/lock chains. See [`rules`] for rule semantics and
-//! [`source`] for the directive grammar (`ct-fn`, `secret(..)`,
-//! `lock(..)`, `mac-prim`, `charge-sink`, and `estimates(..)` markers,
+//! ([`parse`], [`callgraph`], [`taint`], [`detflow`], [`escape`],
+//! [`lockgraph`], [`costmodel`]) and report full call/lock chains. See
+//! [`rules`] for rule semantics and [`source`] for the directive grammar
+//! (`ct-fn`, `secret(..)`, `lock(..)`, `mac-prim`, `charge-sink`,
+//! `estimates(..)`, `det-sink`, `det-absorb`, and `nondet(..)` markers,
 //! `allow` / `allow-file` suppressions, `lock-order` declarations).
 //!
 //! The analyzer's own sources are excluded from the default walk: they
@@ -38,6 +40,8 @@
 
 pub mod callgraph;
 pub mod costmodel;
+pub mod detflow;
+pub mod escape;
 pub mod lexer;
 pub mod lockgraph;
 pub mod parse;
@@ -103,6 +107,11 @@ pub struct ScanStats {
     pub taint: Duration,
     /// `pf-reach` panic-propagation pass.
     pub reach: Duration,
+    /// `nondet-in-result` determinism-flow pass.
+    pub detflow: Duration,
+    /// `guard-escape` pass (escape findings + the returned-guard map the
+    /// lock graph consumes).
+    pub escape: Duration,
     /// Lock-graph pass (`lock-cycle`, `lock-across-hotpath`,
     /// `guard-across-steal`).
     pub lockgraph: Duration,
@@ -114,9 +123,9 @@ pub struct ScanStats {
 
 /// Analyzes a whole workspace given as (workspace-relative path, source)
 /// pairs: the per-file rule families (fanned out over the rayon
-/// work-stealing pool), then the call graph and the four interprocedural
-/// passes (`ct-taint`, `pf-reach`, the lock-graph rules, and the
-/// cost-model rules) on top.
+/// work-stealing pool), then the call graph and the interprocedural
+/// passes (`ct-taint`, `pf-reach`, `nondet-in-result`, `guard-escape`,
+/// the lock-graph rules, and the cost-model rules) on top.
 pub fn check_workspace(inputs: &[(String, String)]) -> Report {
     check_workspace_with_stats(inputs).0
 }
@@ -157,7 +166,15 @@ pub fn check_workspace_with_stats(inputs: &[(String, String)]) -> (Report, ScanS
     stats.reach = t.elapsed();
 
     let t = Instant::now();
-    lockgraph::check_lock_graph(&parsed, &graph, &mut report.findings);
+    detflow::check_detflow(&parsed, &graph, &mut report.findings);
+    stats.detflow = t.elapsed();
+
+    let t = Instant::now();
+    let escape_info = escape::analyze(&parsed, &graph, &mut report.findings);
+    stats.escape = t.elapsed();
+
+    let t = Instant::now();
+    lockgraph::check_lock_graph(&parsed, &graph, &escape_info, &mut report.findings);
     stats.lockgraph = t.elapsed();
 
     let t = Instant::now();

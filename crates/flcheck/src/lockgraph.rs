@@ -15,6 +15,10 @@
 //! body it scrutinizes, matching Rust 2021 temporary extension). Held sets
 //! then propagate through the workspace call graph via the transitive
 //! acquire sets of every callee (a cycle-safe fixpoint, like `pf-reach`).
+//! Guards that *escape* their acquiring fn by being returned are followed
+//! via [`crate::escape`]'s returned-guard map: each call site of a
+//! guard-returning fn synthesizes an acquisition with caller-side
+//! liveness, closing DESIGN §14's false-negative window.
 //!
 //! Three rules over that graph:
 //!
@@ -32,10 +36,12 @@
 //!   every thief contending for that deque.
 
 use crate::callgraph::{backward_reach, hop, path_to, CallGraph, NodeId};
+use crate::escape::EscapeInfo;
 use crate::lexer::{TokKind, Token};
 use crate::parse::ParsedFile;
 use crate::report::Finding;
-use crate::rules::{find_acquisitions, Acquisition};
+use crate::rules::{find_acquisitions, guard_binding, Acquisition};
+use crate::source::match_brace;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Calls that block the current thread (matched by name even when the
@@ -88,9 +94,17 @@ struct Site {
     declared: bool,
 }
 
-/// Runs all three lock-graph rules.
-pub fn check_lock_graph(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<Finding>) {
-    let held = collect_held(files);
+/// Runs all three lock-graph rules. `escape` is the returned-guard map
+/// from [`crate::escape::analyze`]: a call to a guard-returning fn is a
+/// live acquisition at the *call site*, so held sets survive the escape
+/// edge DESIGN §14 used to lose.
+pub fn check_lock_graph(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    escape: &EscapeInfo,
+    out: &mut Vec<Finding>,
+) {
+    let held = collect_held(files, graph, escape);
 
     // Transitive acquire sets: every lock a node may take, directly or via
     // any callee (monotone fixpoint; recursion terminates).
@@ -126,8 +140,16 @@ pub fn check_lock_graph(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<F
 }
 
 /// Collects the per-function held-lock ranges (token acquisitions plus
-/// directive acquire effects); test fns are exempt.
-fn collect_held(files: &[ParsedFile]) -> BTreeMap<NodeId, Vec<Held>> {
+/// directive acquire effects); test fns are exempt. Calls resolving to a
+/// guard-returning fn (per the escape pass) synthesize an acquisition at
+/// the call site: the callee's guard lives on in the caller, with the
+/// caller's own `let`-binding / transient liveness applied to the call
+/// expression.
+fn collect_held(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    escape: &EscapeInfo,
+) -> BTreeMap<NodeId, Vec<Held>> {
     let mut held: BTreeMap<NodeId, Vec<Held>> = BTreeMap::new();
     for (fi, pf) in files.iter().enumerate() {
         let kr = crate_of(&pf.src.rel_path);
@@ -159,6 +181,40 @@ fn collect_held(files: &[ParsedFile]) -> BTreeMap<NodeId, Vec<Held>> {
                     start: a.idx,
                     end: live_end(&pf.src.tokens, &a, f.body_end),
                 });
+            }
+            let toks = &pf.src.tokens;
+            let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+            for e in graph.out((fi, gi)) {
+                let Some(rets) = escape.returned.get(&e.to) else {
+                    continue;
+                };
+                let cs = &f.calls[e.call];
+                if cs.callee == "lock" && !cs.is_method {
+                    continue; // helper-style call, already an acquisition
+                }
+                let close = match_brace(toks, cs.name_idx + 1);
+                // Liveness of the returned guard in *this* fn: bound if
+                // the call is the chain end of a `let`, else transient.
+                let synth = Acquisition {
+                    name: String::new(),
+                    line: cs.line,
+                    idx: cs.name_idx,
+                    guard_var: guard_binding(toks, cs.name_idx, close),
+                    bare: false,
+                };
+                let end = live_end(toks, &synth, f.body_end);
+                for (qual, label) in rets {
+                    if !seen.insert((cs.name_idx, qual.clone())) {
+                        continue; // ambiguous resolution: one hold per site
+                    }
+                    hs.push(Held {
+                        qual: qual.clone(),
+                        label: label.clone(),
+                        line: cs.line,
+                        start: cs.name_idx,
+                        end,
+                    });
+                }
             }
             if !hs.is_empty() {
                 held.insert((fi, gi), hs);
@@ -603,7 +659,10 @@ mod tests {
         let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
         let graph = CallGraph::build(&parsed);
         let mut out = Vec::new();
-        check_lock_graph(&parsed, &graph, &mut out);
+        // Escape findings are the escape pass's own tests' concern; only
+        // the returned-guard map feeds the lock graph here.
+        let escape = crate::escape::analyze(&parsed, &graph, &mut Vec::new());
+        check_lock_graph(&parsed, &graph, &escape, &mut out);
         out
     }
 

@@ -72,6 +72,15 @@ pub struct FnItem {
     pub is_charge_sink: bool,
     /// `// flcheck: estimates(kernel, arity)` pairings.
     pub estimates: Vec<(String, usize)>,
+    /// Marked `// flcheck: det-sink` (produces result bytes that must be
+    /// deterministic at any thread count).
+    pub is_det_sink: bool,
+    /// Marked `// flcheck: det-absorb` (measures nondeterminism without
+    /// letting it reach result bytes).
+    pub is_det_absorb: bool,
+    /// `// flcheck: nondet(..)` descriptions: opaque nondeterminism
+    /// sources the token scan cannot see.
+    pub nondets: Vec<String>,
     /// Token index range `[body_start, body_end)` of the body (inside the
     /// braces).
     pub body_start: usize,
@@ -123,6 +132,9 @@ impl ParsedFile {
                 is_mac_prim: span.is_mac_prim,
                 is_charge_sink: span.is_charge_sink,
                 estimates: span.estimates.clone(),
+                is_det_sink: span.is_det_sink,
+                is_det_absorb: span.is_det_absorb,
+                nondets: span.nondets.clone(),
                 body_start: span.body_start,
                 body_end: span.body_end,
                 nested,

@@ -1,21 +1,23 @@
 //! Findings and report serialization (human text + hand-rolled JSON —
 //! the crate carries no serde).
 //!
-//! The JSON report is **schema 3**: every finding carries a `chain`
+//! The JSON report is **schema 4**: every finding carries a `chain`
 //! array (empty for intraprocedural rules, the full call/lock chain for
 //! the interprocedural rules), findings are sorted by (file, line, rule,
 //! message) so output is byte-identical regardless of scan order or
 //! thread count, and the summary enumerates **every** known rule with an
 //! explicit count (zero included) — so a gate greping for one rule's
 //! count cannot silently miss a rule the analyzer stopped running.
+//! Schema 4 added the determinism-flow rule `nondet-in-result` and the
+//! guard-escape rule `guard-escape` to the enumeration.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// JSON report schema version emitted by [`Report::render_json`].
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
-/// Every rule id the analyzer can emit, sorted. The schema-3 summary
+/// Every rule id the analyzer can emit, sorted. The schema-4 summary
 /// lists each with an explicit (possibly zero) count; keep in sync with
 /// the rule table in the crate docs.
 pub const ALL_RULES: &[&str] = &[
@@ -25,9 +27,11 @@ pub const ALL_RULES: &[&str] = &[
     "ct-shortcircuit",
     "ct-taint",
     "guard-across-steal",
+    "guard-escape",
     "ld-wait",
     "lock-across-hotpath",
     "lock-cycle",
+    "nondet-in-result",
     "pf-assert",
     "pf-expect",
     "pf-index",
@@ -214,7 +218,7 @@ mod tests {
         };
         r.sort();
         let j = r.render_json();
-        assert!(j.contains("\"schema\": 3"));
+        assert!(j.contains("\"schema\": 4"));
         assert!(j.contains("\"rule\": \"pf-unwrap\""));
         assert!(j.contains("a \\\"b\\\".rs"));
         assert!(j.contains("line1\\nline2"));
@@ -239,6 +243,8 @@ mod tests {
         assert!(j.contains("\"lock-cycle\": 1"));
         assert!(j.contains("\"uncharged-work\": 0"));
         assert!(j.contains("\"ld-wait\": 0"));
+        assert!(j.contains("\"nondet-in-result\": 0"));
+        assert!(j.contains("\"guard-escape\": 0"));
     }
 
     #[test]

@@ -304,7 +304,7 @@ fn receiver_name(toks: &[Token], method_idx: usize) -> Option<(String, bool)> {
 /// bound and outlives the statement. A continued chain
 /// (`let n = m.lock().len();`) binds the chain's result instead; the guard
 /// is a temporary that dies at the end of the statement.
-fn guard_binding(toks: &[Token], i: usize, after: usize) -> Option<String> {
+pub(crate) fn guard_binding(toks: &[Token], i: usize, after: usize) -> Option<String> {
     if toks.get(after).is_some_and(|t| t.is_op(".")) {
         return None;
     }

@@ -19,6 +19,15 @@
 //! flcheck: estimates(kernel, arity)   the next `fn` is the op-count estimate
 //!                                     paired with `kernel` (which must exist
 //!                                     with that many parameters); repeatable
+//! flcheck: det-sink                   the next `fn` produces result bytes
+//!                                     (report/ciphertext/bench content) that
+//!                                     must be deterministic at any thread count
+//! flcheck: det-absorb                 the next `fn` only *measures*
+//!                                     nondeterminism (timings, pool width);
+//!                                     its sources never reach result bytes
+//! flcheck: nondet(description)        the next `fn` contains a nondeterminism
+//!                                     source the token scan cannot see
+//!                                     (e.g. behind FFI); repeatable
 //! ```
 
 use crate::lexer::{lex, Comment, TokKind, Token};
@@ -50,6 +59,15 @@ pub struct FnSpan {
     /// `// flcheck: estimates(kernel, arity)` pairings: this fn estimates the
     /// op count of `kernel`, which must exist with `arity` parameters.
     pub estimates: Vec<(String, usize)>,
+    /// Marked with `// flcheck: det-sink` (produces result bytes that must
+    /// be deterministic at any thread count).
+    pub is_det_sink: bool,
+    /// Marked with `// flcheck: det-absorb` (measures nondeterminism
+    /// without letting it reach result bytes).
+    pub is_det_absorb: bool,
+    /// Descriptions from `// flcheck: nondet(..)` markers: opaque
+    /// nondeterminism sources the token scan cannot see.
+    pub nondets: Vec<String>,
 }
 
 /// A declared lock-order chain with the line it was declared on.
@@ -144,6 +162,24 @@ impl SourceFile {
                     line: c.line,
                     kind: MarkerKind::ChargeSink,
                 });
+            } else if body.starts_with("det-sink") {
+                markers.push(FnMarker {
+                    line: c.line,
+                    kind: MarkerKind::DetSink,
+                });
+            } else if body.starts_with("det-absorb") {
+                markers.push(FnMarker {
+                    line: c.line,
+                    kind: MarkerKind::DetAbsorb,
+                });
+            } else if let Some(args) = strip_call(body, "nondet") {
+                let desc = args.trim();
+                if !desc.is_empty() {
+                    markers.push(FnMarker {
+                        line: c.line,
+                        kind: MarkerKind::Nondet(desc.to_string()),
+                    });
+                }
             } else if let Some(args) = strip_call(body, "secret") {
                 let names = split_names(args);
                 if !names.is_empty() {
@@ -256,6 +292,9 @@ impl SourceFile {
                 is_mac_prim: false,
                 is_charge_sink: false,
                 estimates: Vec::new(),
+                is_det_sink: false,
+                is_det_absorb: false,
+                nondets: Vec::new(),
             });
             i = body_start + 1; // nested fns get their own entries
         }
@@ -276,6 +315,9 @@ impl SourceFile {
                     MarkerKind::Estimates(kernel, arity) => {
                         f.estimates.push((kernel.clone(), *arity));
                     }
+                    MarkerKind::DetSink => f.is_det_sink = true,
+                    MarkerKind::DetAbsorb => f.is_det_absorb = true,
+                    MarkerKind::Nondet(desc) => f.nondets.push(desc.clone()),
                 }
             }
         }
@@ -352,6 +394,9 @@ enum MarkerKind {
     MacPrim,
     ChargeSink,
     Estimates(String, usize),
+    DetSink,
+    DetAbsorb,
+    Nondet(String),
 }
 
 /// Splits a comma-separated directive argument list into non-empty names.
@@ -473,6 +518,38 @@ fn unmarked() {}
         assert!(
             !u.is_mac_prim && !u.is_charge_sink && u.estimates.is_empty() && u.locks.is_empty()
         );
+    }
+
+    #[test]
+    fn determinism_markers_attach_to_the_next_fn() {
+        let src = "\
+// flcheck: det-sink
+pub fn render_json() -> String { String::new() }
+// flcheck: det-absorb
+fn record_timing() {}
+// flcheck: nondet(os entropy via getrandom)
+// flcheck: nondet(cpu frequency scaling)
+fn opaque_source() {}
+fn unmarked() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).expect(n);
+        assert!(by_name("render_json").is_det_sink);
+        assert!(!by_name("render_json").is_det_absorb);
+        assert!(by_name("record_timing").is_det_absorb);
+        assert_eq!(
+            by_name("opaque_source").nondets,
+            vec!["os entropy via getrandom", "cpu frequency scaling"]
+        );
+        let u = by_name("unmarked");
+        assert!(!u.is_det_sink && !u.is_det_absorb && u.nondets.is_empty());
+    }
+
+    #[test]
+    fn empty_nondet_directive_is_ignored() {
+        let src = "// flcheck: nondet( )\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].nondets.is_empty());
     }
 
     #[test]

@@ -381,6 +381,143 @@ fn steal_fixture_reports_park_and_double_acquire() {
 }
 
 #[test]
+fn nondet_result_fixture_reports_flows_with_chains() {
+    let src = include_str!("fixtures/nondet_result.rs");
+    let path = "crates/core/src/nondet_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    // The raw string, the nested block comment, and the deterministic
+    // probes (`contains_key`, `len`) in `inert` must all stay silent; the
+    // `det-absorb` stopwatch's own `Instant::now` is absorbed.
+    assert_eq!(
+        got,
+        vec![
+            ("nondet-in-result".to_string(), 4),
+            ("nondet-in-result".to_string(), 13),
+            ("nondet-in-result".to_string(), 25),
+        ]
+    );
+
+    // A pure callee's chain walks its nearest sink-feeding caller down to
+    // the source fn, then ends at that caller's sink.
+    let hash = &report.findings[0];
+    assert!(
+        hash.message
+            .contains("hash-order iteration `.values()` on `m` in `summarize`")
+            && hash.message.contains("det-sink `render`"),
+        "unexpected message: {}",
+        hash.message
+    );
+    assert_eq!(
+        hash.chain,
+        vec![
+            format!("report ({path}:12)"),
+            format!("summarize ({path}:3)"),
+            format!("render ({path}:8)"),
+        ]
+    );
+
+    // An ancestor's chain walks straight down to the sink.
+    let clock = &report.findings[1];
+    assert!(
+        clock
+            .message
+            .contains("wall-clock read `Instant::now()` in `report`"),
+        "unexpected message: {}",
+        clock.message
+    );
+    assert_eq!(
+        clock.chain,
+        vec![format!("report ({path}:12)"), format!("render ({path}:8)")]
+    );
+
+    // `nondet(..)` markers anchor at the fn declaration line.
+    let declared = &report.findings[2];
+    assert!(
+        declared
+            .message
+            .contains("declared nondet source (reads the interconnect topology) in `topology`"),
+        "unexpected message: {}",
+        declared.message
+    );
+    assert_eq!(
+        declared.chain,
+        vec![
+            format!("inert ({path}:29)"),
+            format!("topology ({path}:25)"),
+            format!("render ({path}:8)"),
+        ]
+    );
+}
+
+#[test]
+fn guard_escape_fixture_reports_unfollowable_escapes_only() {
+    let src = include_str!("fixtures/guard_escape.rs");
+    let path = "crates/core/src/escape_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    // `acquire` returns its guard and is *followed*, not flagged — only
+    // the four unfollowable escapes fire.
+    assert_eq!(
+        got,
+        vec![
+            ("guard-escape".to_string(), 12),
+            ("guard-escape".to_string(), 16),
+            ("guard-escape".to_string(), 19),
+            ("guard-escape".to_string(), 26),
+        ]
+    );
+
+    let stored = &report.findings[0];
+    assert!(
+        stored
+            .message
+            .contains("guard `g` (lock `inner`) stored in struct field `guard` in `stash`"),
+        "unexpected message: {}",
+        stored.message
+    );
+    assert_eq!(stored.chain, vec![format!("stash ({path}:10)")]);
+
+    let passed = &report.findings[1];
+    assert!(
+        passed
+            .message
+            .contains("guard `g` (lock `inner`) passed by value to `consume` in `hand_off`"),
+        "unexpected message: {}",
+        passed.message
+    );
+    assert_eq!(passed.chain, vec![format!("hand_off ({path}:14)")]);
+
+    let temp = &report.findings[2];
+    assert!(
+        temp.message
+            .contains("temporary guard of lock `inner` passed by value to `watch` in `leak_temp`"),
+        "unexpected message: {}",
+        temp.message
+    );
+    assert_eq!(temp.chain, vec![format!("leak_temp ({path}:18)")]);
+
+    let short = &report.findings[3];
+    assert!(
+        short.message.contains(
+            "guard `guard` (lock `inner`) stored in struct field `guard` \
+             (init shorthand) in `stash_short`"
+        ),
+        "unexpected message: {}",
+        short.message
+    );
+    assert_eq!(short.chain, vec![format!("stash_short ({path}:24)")]);
+}
+
+#[test]
 fn workspace_report_is_deterministic_across_input_order() {
     let taint = include_str!("fixtures/taint_leak.rs");
     let reach = include_str!("fixtures/reach_violations.rs");
@@ -393,5 +530,5 @@ fn workspace_report_is_deterministic_across_input_order() {
         ("crates/mpint/src/taint_fixture.rs", taint),
     ]);
     assert_eq!(fwd.render_json(), rev.render_json());
-    assert!(fwd.render_json().contains("\"schema\": 3"));
+    assert!(fwd.render_json().contains("\"schema\": 4"));
 }

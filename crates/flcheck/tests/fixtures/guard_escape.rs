@@ -1,0 +1,31 @@
+struct Pool {
+    inner: Mutex<Vec<u32>>,
+}
+
+struct Watcher<'a> {
+    guard: MutexGuard<'a, Vec<u32>>,
+}
+
+impl Pool {
+    fn stash(&self) -> Watcher<'_> {
+        let g = self.inner.lock();
+        Watcher { guard: g }
+    }
+    fn hand_off(&self) {
+        let g = self.inner.lock();
+        consume(g);
+    }
+    fn leak_temp(&self) {
+        watch(self.inner.lock());
+    }
+    fn acquire(&self) -> MutexGuard<'_, Vec<u32>> {
+        self.inner.lock()
+    }
+    fn stash_short(&self) -> Watcher<'_> {
+        let guard = self.inner.lock();
+        Watcher { guard }
+    }
+}
+
+fn consume(_g: MutexGuard<'_, Vec<u32>>) {}
+fn watch(_g: MutexGuard<'_, Vec<u32>>) {}

@@ -1,0 +1,37 @@
+use std::collections::HashMap;
+
+fn summarize(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+// flcheck: det-sink
+fn render(total: u64) -> String {
+    format!("{total}")
+}
+
+pub fn report(m: &HashMap<u32, u64>) -> String {
+    let t0 = Instant::now();
+    let skew = t0.elapsed().as_nanos() as u64;
+    render(summarize(m) + skew)
+}
+
+// flcheck: det-absorb
+fn stopwatch() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// flcheck: nondet(reads the interconnect topology)
+fn topology() -> u64 {
+    0
+}
+
+pub fn inert(m: &HashMap<u32, u64>) -> String {
+    let doc = r#"for (k, v) in m { m.values() } let t = Instant::now();"#;
+    /* prose: /* m.keys(); current_num_threads() */ still prose */
+    stopwatch();
+    if m.contains_key(&7) {
+        render(m.len() as u64 + topology());
+    }
+    doc.to_string()
+}

@@ -93,6 +93,8 @@ impl Device {
     /// `body` must not panic across items it wants kept: a panic in any
     /// item cancels the launch and propagates to the caller (the device
     /// and its pool stay usable).
+    // flcheck: det-sink — launch outputs are result content (the report's
+    // wall-clock/pool-width fields are declared metadata; see the allows below)
     pub fn launch<I, O, F>(
         &self,
         spec: &KernelSpec,
@@ -107,8 +109,15 @@ impl Device {
         F: Fn(usize, &I) -> ItemOutcome<O> + Sync,
     {
         let plan = self.manager.plan(&self.config, spec, items.len());
+        // LaunchReport.pool_threads is thread-dependent *by design* (the
+        // determinism test asserts it equals the pool width); item outputs
+        // below are index-ordered and never read it.
+        // flcheck: allow(nondet-in-result)
         let pool_threads = rayon::current_num_threads();
 
+        // Wall-clock feeds only LaunchReport.wall_seconds (timing metadata),
+        // never the outputs.
+        // flcheck: allow(nondet-in-result)
         let started = Instant::now();
         let outcomes: Vec<ItemOutcome<O>> = items
             .par_iter()

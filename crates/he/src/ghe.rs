@@ -212,6 +212,7 @@ impl HeBackend for CpuHe {
         "cpu"
     }
 
+    // flcheck: det-sink — ciphertext bytes are result content
     fn encrypt_batch(
         &self,
         pk: &PaillierPublicKey,
@@ -232,6 +233,7 @@ impl HeBackend for CpuHe {
         Ok((out, self.timing(ops, plaintexts.len())))
     }
 
+    // flcheck: det-sink — decrypted plaintexts are result content
     fn decrypt_batch(
         &self,
         sk: &PaillierPrivateKey,
@@ -247,6 +249,7 @@ impl HeBackend for CpuHe {
         Ok((out, self.timing(ops, ciphertexts.len())))
     }
 
+    // flcheck: det-sink — aggregate ciphertexts are result content
     fn add_batch(
         &self,
         pk: &PaillierPublicKey,
@@ -373,6 +376,7 @@ impl HeBackend for GpuHe {
         "gpu"
     }
 
+    // flcheck: det-sink — ciphertext bytes are result content
     fn encrypt_batch(
         &self,
         pk: &PaillierPublicKey,
@@ -401,6 +405,7 @@ impl HeBackend for GpuHe {
         Ok((out?, timing_from(&report, self.device.config())))
     }
 
+    // flcheck: det-sink — decrypted plaintexts are result content
     fn decrypt_batch(
         &self,
         sk: &PaillierPrivateKey,
@@ -426,6 +431,7 @@ impl HeBackend for GpuHe {
         Ok((out?, timing_from(&report, self.device.config())))
     }
 
+    // flcheck: det-sink — aggregate ciphertexts are result content
     fn add_batch(
         &self,
         pk: &PaillierPublicKey,

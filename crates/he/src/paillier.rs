@@ -20,7 +20,7 @@
 //!   plus plaintext-scalar multiplication `E(m)^k = E(k·m)` used for
 //!   weighted gradient aggregation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -342,7 +342,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// deposit finished values.
 pub struct ObfuscatorPool {
     key_id: u64,
-    indexed: Mutex<HashMap<(u64, u64), Obfuscator>>,
+    // BTreeMap, not HashMap: the pool sits on the ciphertext result path,
+    // so any future iteration (eviction, draining, debug dumps) must come
+    // out in key order rather than hash order.
+    indexed: Mutex<BTreeMap<(u64, u64), Obfuscator>>,
     anon: Mutex<VecDeque<Obfuscator>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -364,7 +367,7 @@ impl ObfuscatorPool {
     pub fn new(pk: &PaillierPublicKey) -> Self {
         ObfuscatorPool {
             key_id: pk.key_id,
-            indexed: Mutex::new(HashMap::new()),
+            indexed: Mutex::new(BTreeMap::new()),
             anon: Mutex::new(VecDeque::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -466,6 +469,7 @@ impl PaillierPublicKey {
 
     /// Encrypts with an explicit blinding factor (deterministic tests).
     // flcheck: secret(m)
+    // flcheck: det-sink — ciphertext construction
     pub fn encrypt_with_r(&self, m: &Natural, r: &Natural) -> Result<Ciphertext> {
         // Delegation boundary: the callee carries its own secret(m) seed
         // and allows, so taint re-enters analysis there.
@@ -505,6 +509,7 @@ impl PaillierPublicKey {
     /// Encrypts using a precomputed blinding pair, consuming it: only
     /// `g^m` and one blinding multiplication remain on the hot path.
     // flcheck: secret(m)
+    // flcheck: det-sink — ciphertext construction
     pub fn encrypt_with_obfuscator(&self, m: &Natural, obf: Obfuscator) -> Result<Ciphertext> {
         if obf.key_id != self.key_id {
             return Err(Error::KeyMismatch);

@@ -1,14 +1,28 @@
 #!/bin/bash
 # Final harness sequence: every table and figure, laptop-scaled.
+#
+# `./run_harness.sh --quick` keeps every gate (build, each experiment
+# binary, both bench gates, both tier-1 test runs, flcheck, fmt) but
+# trims sweep cardinality — fewer key sizes, datasets, models, epochs,
+# and bench iterations — for a fast full-pipeline smoke run.
 set -o pipefail
 cd /root/repo
 R=results
 mkdir -p $R
 
+QUICK=0
+if [ "$1" = "--quick" ]; then
+  QUICK=1
+  echo "=== quick tier: every gate, trimmed sweeps ==="
+fi
+
 # Build gate: the whole workspace must compile with warnings as errors
-# before any benchmark binary runs.
+# before any benchmark binary runs. `--workspace` matters: the root
+# manifest is a package too, so a bare `cargo build` would compile only
+# it and leave the experiment binaries stale (or absent on a clean
+# checkout).
 echo "=== build: RUSTFLAGS=-D warnings ==="
-if ! RUSTFLAGS="-D warnings" cargo build --release 2>&1 | tail -20; then
+if ! RUSTFLAGS="-D warnings" cargo build --workspace --release 2>&1 | tail -20; then
   echo "HARNESS_FAILED: release build with -D warnings"
   exit 1
 fi
@@ -19,21 +33,36 @@ run() {
   ( ./target/release/$name "$@" 2>&1 ) | tee $R/$name.txt
   echo
 }
-run fig1_fate_breakdown --quick                                          
-run table6_components --quick                                            
-run fig6_sm_utilization                                                   
-run fig7_compression --quick                                              
-run table4_throughput --quick --keys 1024                                 
-run table3_epoch_time --quick --keys 1024                                 
-run table3_epoch_time --quick --keys 2048 --models homo-lr --datasets rcv1
-run table5_ablation --quick --keys 1024 --datasets rcv1,synthetic         
-run table7_bias --quick --epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic
-run fig8_convergence --quick --epochs 3 --models homo-lr,hetero-nn
+if [ "$QUICK" -eq 1 ]; then
+  T5_DATASETS=rcv1
+  T7_ARGS="--epochs 1 --models homo-lr --datasets rcv1"
+  F8_ARGS="--epochs 2 --models homo-lr"
+  BP_ITEMS=128
+else
+  T5_DATASETS=rcv1,synthetic
+  T7_ARGS="--epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic"
+  F8_ARGS="--epochs 3 --models homo-lr,hetero-nn"
+  BP_ITEMS=256
+fi
+
+run fig1_fate_breakdown --quick
+run table6_components --quick
+run fig6_sm_utilization
+run fig7_compression --quick
+run table4_throughput --quick --keys 1024
+run table3_epoch_time --quick --keys 1024
+if [ "$QUICK" -eq 0 ]; then
+  # Second sweep point (2048-bit keys) — cardinality, not a distinct gate.
+  run table3_epoch_time --quick --keys 2048 --models homo-lr --datasets rcv1
+fi
+run table5_ablation --quick --keys 1024 --datasets $T5_DATASETS
+run table7_bias --quick $T7_ARGS
+run fig8_convergence --quick $F8_ARGS
 run ablation_quantization --quick
 
 # Parallel-efficiency gate: wall-clock per thread count plus the
 # bit-identical-output check, recorded in results/bench_summary.json.
-run bench_parallel --items 256 --keys 1024
+run bench_parallel --items $BP_ITEMS --keys 1024
 
 # Hot-path kernel gate: before→after ops/sec and limb-mult counts for
 # the squaring kernel, the blinding pool, and Straus aggregation
@@ -63,7 +92,7 @@ if ! cargo test -q --release 2>&1 | tail -40; then
 fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
-# Single source of truth: the schema-3 JSON summary enumerates every rule
+# Single source of truth: the schema-4 JSON summary enumerates every rule
 # with an explicit count, so the gate loops over total plus each rule id
 # and fails if any count is missing (schema drift / crash / unwritable
 # report) or non-zero. Rule ids come from the binary itself (--help lists
@@ -72,8 +101,8 @@ echo "=== flcheck: static analysis ==="
 ./target/release/flcheck --root . --json $R/flcheck_report.json | tee $R/flcheck.txt
 fl_status=${PIPESTATUS[0]}
 fl_rules="total ct-branch ct-compare ct-return ct-shortcircuit ct-taint \
-  guard-across-steal ld-wait lock-across-hotpath lock-cycle \
-  pf-assert pf-expect pf-index pf-panic pf-reach pf-unwrap \
+  guard-across-steal guard-escape ld-wait lock-across-hotpath lock-cycle \
+  nondet-in-result pf-assert pf-expect pf-index pf-panic pf-reach pf-unwrap \
   stale-estimate uncharged-work"
 fl_bad=0
 echo "--- flcheck summary by rule ---"

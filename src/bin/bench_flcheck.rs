@@ -3,7 +3,8 @@
 //! Runs the full workspace scan a few times, keeps the best run, and
 //! writes `results/BENCH_flcheck.json` with files/sec plus per-pass
 //! wall-clock (the `ScanStats` breakdown: per-file, call graph, taint,
-//! panic reachability, lock graph, cost model). The timings are
+//! panic reachability, determinism flow, guard escape, lock graph, cost
+//! model). The timings are
 //! reporting-only — they never feed back into the analysis, so the
 //! report stays byte-identical across runs and thread counts.
 //!
@@ -74,11 +75,13 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"findings\": {},", report.findings.len());
     let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1},");
     let _ = writeln!(json, "  \"wall_clock_seconds\": {{");
-    let passes: [(&str, Duration); 7] = [
+    let passes: [(&str, Duration); 9] = [
         ("per_file", stats.per_file),
         ("callgraph", stats.callgraph),
         ("taint", stats.taint),
         ("reach", stats.reach),
+        ("detflow", stats.detflow),
+        ("escape", stats.escape),
         ("lockgraph", stats.lockgraph),
         ("costmodel", stats.costmodel),
         ("total", stats.total),

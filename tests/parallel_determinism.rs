@@ -283,3 +283,66 @@ fn panic_in_one_item_surfaces_and_pool_stays_usable() {
     let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
     assert_eq!(doubled, (0..256u32).map(|x| x * 2).collect::<Vec<_>>());
 }
+
+#[test]
+fn dataset_generation_and_pooled_blinding_are_hash_order_free() {
+    // Regression for the two result-path maps that used to be HashMaps:
+    // the planted-concept table in dataset generation (feeds labels) and
+    // the obfuscator pool's indexed store (feeds ciphertext blinding).
+    // Both are ordered maps now, so generation and pooled encryption must
+    // be bit-identical across pool widths and across map instances (a
+    // HashMap would at least *permit* hash-order leaks; BTreeMap cannot).
+    let spec = fl::data::generators::DatasetSpec::rcv1();
+    let reference = spec.generate(0.00002);
+    for threads in THREAD_COUNTS {
+        let spec = fl::data::generators::DatasetSpec::rcv1();
+        let got = in_pool(threads, move || spec.generate(0.00002));
+        assert_eq!(got.rows, reference.rows, "rows differ at threads={threads}");
+        assert_eq!(
+            got.labels, reference.labels,
+            "labels differ at threads={threads}"
+        );
+    }
+
+    // Pool drained in reverse index order: with the ordered store the
+    // handed-out pairs depend only on (seed, index), never on insertion
+    // or hash order.
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0DD);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let seed = 0x5EED;
+    let ms: Vec<Natural> = (0..16u64).map(|i| Natural::from(i * 131 + 7)).collect();
+    let forward: Vec<Natural> = {
+        let pool = ObfuscatorPool::new(&keys.public);
+        pool.prefill_batch(&keys.public, seed, 16).expect("prefill");
+        (0..16)
+            .map(|i| {
+                let obf = pool.take(seed, i).expect("pair");
+                keys.public
+                    .encrypt_with_obfuscator(&ms[i], obf)
+                    .expect("encrypt")
+                    .value
+            })
+            .collect()
+    };
+    let backward: Vec<Natural> = {
+        let pool = ObfuscatorPool::new(&keys.public);
+        pool.prefill_batch(&keys.public, seed, 16).expect("prefill");
+        let mut cts: Vec<(usize, Natural)> = (0..16)
+            .rev()
+            .map(|i| {
+                let obf = pool.take(seed, i).expect("pair");
+                let ct = keys
+                    .public
+                    .encrypt_with_obfuscator(&ms[i], obf)
+                    .expect("encrypt")
+                    .value;
+                (i, ct)
+            })
+            .collect();
+        cts.sort_by_key(|(i, _)| *i);
+        cts.into_iter().map(|(_, ct)| ct).collect()
+    };
+    assert_eq!(forward, backward, "take order must not affect ciphertexts");
+}
