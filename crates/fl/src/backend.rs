@@ -28,6 +28,7 @@ use mpint::Natural;
 use parking_lot::Mutex;
 
 use crate::net::NetworkConfig;
+use crate::topology::AggregationTopology;
 use crate::Result;
 
 /// Which acceleration system a backend instance embodies.
@@ -78,7 +79,7 @@ impl BackendKind {
 }
 
 /// An encrypted gradient vector in flight.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncryptedVector {
     /// Ciphertexts (packed words or one per value).
     pub cts: Vec<Ciphertext>,
@@ -129,6 +130,9 @@ pub struct Accelerator {
     device: Option<Arc<Device>>,
     net_profile: NetworkConfig,
     participants: u32,
+    topology: AggregationTopology,
+    /// Shards per server/edge Straus pass (1 = the flat single chain).
+    agg_shards: usize,
     timing: Mutex<AccelTiming>,
     /// Blinding-factor pool for the FLBooster-family backends; the FATE
     /// and HAFLO baselines encrypt without pre-generation, as the
@@ -217,9 +221,39 @@ impl Accelerator {
             device,
             net_profile,
             participants,
+            topology: AggregationTopology::Flat,
+            agg_shards: 1,
             timing: Mutex::new(AccelTiming::default()),
             pool,
         })
+    }
+
+    /// Routes aggregation through `topology` (default flat). Tree
+    /// topologies fold party vectors at edge aggregators before the
+    /// server; results stay bit-identical to the flat fold, only the
+    /// charging (per-node device time, per-hop wire traffic) moves.
+    pub fn with_topology(mut self, topology: AggregationTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Splits every weighted Straus fold into `shards` parallel chains
+    /// merged by streaming homomorphic addition (default 1, the flat
+    /// chain). Zero is treated as 1. Results are bit-identical at any
+    /// shard count.
+    pub fn with_aggregation_shards(mut self, shards: usize) -> Self {
+        self.agg_shards = shards.max(1);
+        self
+    }
+
+    /// The aggregation topology in effect.
+    pub fn topology(&self) -> AggregationTopology {
+        self.topology
+    }
+
+    /// Shards per weighted Straus fold.
+    pub fn aggregation_shards(&self) -> usize {
+        self.agg_shards
     }
 
     /// The backend's kind.
@@ -310,9 +344,49 @@ impl Accelerator {
         })
     }
 
-    /// Homomorphically folds several participants' vectors into one.
+    /// Homomorphically folds several participants' vectors into one,
+    /// routed through [`topology`](Self::topology): flat is one serial
+    /// fold at the server; a tree folds each edge aggregator's fan-in
+    /// first, then the partial aggregates level by level. Homomorphic
+    /// addition is a product of canonical residues mod `n²` —
+    /// associative — so the tree result is bit-identical to the flat
+    /// fold, and both charge the same `parties − 1` additions.
     // flcheck: det-sink — aggregate EncryptedVector construction
     pub fn aggregate(&self, vectors: &[EncryptedVector]) -> Result<EncryptedVector> {
+        match self.topology {
+            AggregationTopology::Flat => self.fold_chain(vectors),
+            AggregationTopology::Tree { .. } => {
+                let mut level = self
+                    .topology
+                    .leaf_groups(vectors.len())
+                    .into_iter()
+                    // `leaf_groups` tiles `0..vectors.len()` exactly.
+                    // flcheck: allow(pf-index)
+                    .map(|g| self.fold_chain(&vectors[g]))
+                    .collect::<Result<Vec<_>>>()?;
+                while level.len() > 1 {
+                    level = self
+                        .topology
+                        .leaf_groups(level.len())
+                        .into_iter()
+                        // flcheck: allow(pf-index)
+                        .map(|g| self.fold_chain(&level[g]))
+                        .collect::<Result<Vec<_>>>()?;
+                }
+                match level.into_iter().next() {
+                    Some(v) => Ok(v),
+                    None => Ok(EncryptedVector {
+                        cts: Vec::new(),
+                        count: 0,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// One aggregator node's serial fold over its fan-in.
+    // flcheck: det-sink — aggregate EncryptedVector construction
+    fn fold_chain(&self, vectors: &[EncryptedVector]) -> Result<EncryptedVector> {
         let mut iter = vectors.iter();
         let first = match iter.next() {
             Some(v) => v,
@@ -364,11 +438,68 @@ impl Accelerator {
             assert_eq!(v.count, count, "aggregating vectors of different sizes");
         }
         let batches: Vec<Vec<Ciphertext>> = vectors.iter().map(|v| v.cts.clone()).collect();
-        let (cts, t) = self
-            .he
-            .weighted_aggregate(&self.keys.public, &batches, weights)?;
-        self.charge(&t, 0);
-        Ok(EncryptedVector { cts, count })
+        match self.topology {
+            AggregationTopology::Flat => {
+                let (cts, t) = if self.agg_shards > 1 {
+                    self.he.weighted_aggregate_sharded(
+                        &self.keys.public,
+                        &batches,
+                        weights,
+                        self.agg_shards,
+                    )?
+                } else {
+                    self.he
+                        .weighted_aggregate(&self.keys.public, &batches, weights)?
+                };
+                self.charge(&t, 0);
+                Ok(EncryptedVector { cts, count })
+            }
+            AggregationTopology::Tree { .. } => {
+                // Mirror the HE layer's shape contract before slicing.
+                // flcheck: allow(pf-assert)
+                assert_eq!(
+                    batches.len(),
+                    weights.len(),
+                    "weighted_aggregate requires one weight per batch"
+                );
+                // Edge aggregators: each folds its fan-in with a sharded
+                // Straus pass (the weighted stage happens exactly once,
+                // at the leaves — upper levels only add partials).
+                let mut level = Vec::new();
+                for g in self.topology.leaf_groups(batches.len()) {
+                    // `leaf_groups` tiles `0..batches.len()`, which the
+                    // assert above pins to `weights.len()`.
+                    // flcheck: allow(pf-index)
+                    let group = &batches[g.clone()];
+                    // flcheck: allow(pf-index)
+                    let group_weights = &weights[g];
+                    let (cts, t) = self.he.weighted_aggregate_sharded(
+                        &self.keys.public,
+                        group,
+                        group_weights,
+                        self.agg_shards,
+                    )?;
+                    self.charge(&t, 0);
+                    level.push(EncryptedVector { cts, count });
+                }
+                while level.len() > 1 {
+                    level = self
+                        .topology
+                        .leaf_groups(level.len())
+                        .into_iter()
+                        // flcheck: allow(pf-index)
+                        .map(|g| self.fold_chain(&level[g]))
+                        .collect::<Result<Vec<_>>>()?;
+                }
+                match level.into_iter().next() {
+                    Some(v) => Ok(v),
+                    None => Ok(EncryptedVector {
+                        cts: Vec::new(),
+                        count: 0,
+                    }),
+                }
+            }
+        }
     }
 
     /// Decrypts an aggregated vector whose slots hold sums of `terms`
@@ -572,5 +703,48 @@ mod tests {
         let acc = Accelerator::new(BackendKind::Fate, keys(), 4).unwrap();
         let agg = acc.aggregate(&[]).unwrap();
         assert_eq!(agg.count, 0);
+        let tree = Accelerator::new(BackendKind::Fate, keys(), 4)
+            .unwrap()
+            .with_topology(AggregationTopology::tree(4));
+        assert_eq!(tree.aggregate(&[]).unwrap().count, 0);
+        assert_eq!(tree.aggregate_weighted(&[], &[]).unwrap().count, 0);
+    }
+
+    #[test]
+    fn tree_and_sharded_aggregation_match_flat_bit_identically() {
+        let keys = keys();
+        let g = grads(10);
+        let flat = Accelerator::new(BackendKind::Fate, keys.clone(), 4).unwrap();
+        let vectors: Vec<EncryptedVector> = (0..11u64)
+            .map(|k| flat.encrypt(&g, 100 + k).unwrap())
+            .collect();
+        let weights: Vec<u64> = (0..11u64).map(|k| k * 31 + 1).collect();
+        let plain = flat.aggregate(&vectors).unwrap();
+        let weighted = flat.aggregate_weighted(&vectors, &weights).unwrap();
+        for arity in [2usize, 4, 16] {
+            for shards in [1usize, 3] {
+                let acc = Accelerator::new(BackendKind::Fate, keys.clone(), 4)
+                    .unwrap()
+                    .with_topology(AggregationTopology::tree(arity))
+                    .with_aggregation_shards(shards);
+                assert_eq!(acc.topology(), AggregationTopology::tree(arity));
+                assert_eq!(acc.aggregation_shards(), shards);
+                // Ciphertext-level equality: canonical residues mod n².
+                assert_eq!(acc.aggregate(&vectors).unwrap(), plain, "arity {arity}");
+                assert_eq!(
+                    acc.aggregate_weighted(&vectors, &weights).unwrap(),
+                    weighted,
+                    "arity {arity} shards {shards}"
+                );
+            }
+        }
+        // Flat sharded server (no tree) also matches.
+        let sharded = Accelerator::new(BackendKind::Fate, keys, 4)
+            .unwrap()
+            .with_aggregation_shards(4);
+        assert_eq!(
+            sharded.aggregate_weighted(&vectors, &weights).unwrap(),
+            weighted
+        );
     }
 }

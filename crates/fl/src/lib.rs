@@ -34,9 +34,11 @@ pub mod metrics;
 pub mod models;
 pub mod net;
 pub mod optim;
+pub mod topology;
 pub mod train;
 
 pub use backend::{Accelerator, BackendKind};
 pub use error::{Error, Result};
 pub use metrics::{EpochBreakdown, TrainReport};
 pub use net::{Network, NetworkConfig};
+pub use topology::AggregationTopology;

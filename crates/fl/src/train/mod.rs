@@ -108,10 +108,22 @@ impl FlEnv {
             breakdown.ciphertexts += ev.ciphertext_count();
         }
 
-        // Server-side homomorphic fold (serial).
+        // Server-side homomorphic fold (serial), routed through the
+        // backend's aggregation topology.
         let agg = self.accel.aggregate(&encrypted)?;
         let agg_t = self.accel.take_timing();
         breakdown.he_seconds += agg_t.he_seconds;
+
+        // Tree topologies push each edge aggregator's partial one hop up
+        // the tree; every hop carries an aggregate-shaped message and is
+        // charged to communication like any other wire traffic. Flat
+        // topologies contribute zero hops here.
+        for _ in 0..self.accel.topology().uplink_messages(p) {
+            let t = self.network.send(agg.ciphertext_count(), agg.bytes())?;
+            breakdown.comm_seconds += t;
+            breakdown.comm_bytes += agg.bytes();
+            breakdown.ciphertexts += agg.ciphertext_count();
+        }
 
         // Broadcast the aggregate back to every party.
         let t = self

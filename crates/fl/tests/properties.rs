@@ -116,3 +116,92 @@ proptest! {
         prop_assert!(more_bytes > base);
     }
 }
+
+proptest! {
+    // HE-heavy cases: fewer iterations, each covering a random cell of
+    // the shards × arity matrix.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded and tree aggregation must decrypt to exactly what the
+    /// naive per-party scalar-mul + add loop decrypts to, for every
+    /// shard count, tree arity, and both decryption paths.
+    #[test]
+    fn sharded_and_tree_aggregation_decrypt_like_the_naive_loop(
+        parties in 2usize..10,
+        slots in 1usize..4,
+        shard_sel in 0usize..4,
+        arity_sel in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        const SHARDS: [usize; 4] = [1, 2, 3, 7];
+        const ARITIES: [usize; 3] = [2, 4, 16];
+        let k = keys();
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Party batches of raw HE ciphertexts with deterministic
+        // blinding, plus small weights so the plaintext sum is checkable
+        // in u64 arithmetic.
+        let plain: Vec<Vec<u64>> = (0..parties)
+            .map(|_| (0..slots).map(|_| next() % (1 << 16)).collect())
+            .collect();
+        let weights: Vec<u64> = (0..parties).map(|_| next() % (1 << 10) + 1).collect();
+        let batches: Vec<Vec<he::paillier::Ciphertext>> = plain
+            .iter()
+            .enumerate()
+            .map(|(p, ms)| {
+                ms.iter()
+                    .enumerate()
+                    .map(|(j, &m)| {
+                        let r = k.public.batch_blinding(seed ^ p as u64, j);
+                        k.public.encrypt_with_r(&mpint::Natural::from(m), &r).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        let wnat: Vec<mpint::Natural> =
+            weights.iter().map(|&w| mpint::Natural::from(w)).collect();
+
+        for j in 0..slots {
+            // Naive reference: per-party scalar_mul then a serial add.
+            let mut naive = k.public.zero_ciphertext();
+            for p in 0..parties {
+                let scaled = k.public.checked_scalar_mul(&batches[p][j], &wnat[p]).unwrap();
+                naive = k.public.checked_add(&naive, &scaled).unwrap();
+            }
+            let expected: u64 = (0..parties).map(|p| weights[p] * plain[p][j]).sum();
+            prop_assert_eq!(k.private.decrypt(&naive).unwrap(), mpint::Natural::from(expected));
+
+            // Sharded server fold: same ciphertext, hence same plaintext
+            // under both decryption paths.
+            let column: Vec<he::paillier::Ciphertext> =
+                (0..parties).map(|p| batches[p][j].clone()).collect();
+            let sharded = k.public
+                .weighted_sum_sharded(&column, &wnat, SHARDS[shard_sel])
+                .unwrap();
+            prop_assert_eq!(&sharded, &naive);
+            prop_assert_eq!(k.private.decrypt(&sharded).unwrap(), mpint::Natural::from(expected));
+            prop_assert_eq!(k.private.decrypt_crt(&sharded).unwrap(), mpint::Natural::from(expected));
+        }
+
+        // Tree-of-edge-aggregators route at the Accelerator layer.
+        let vectors: Vec<fl::backend::EncryptedVector> = batches
+            .iter()
+            .map(|cts| fl::backend::EncryptedVector { cts: cts.clone(), count: slots })
+            .collect();
+        let tree = Accelerator::new(BackendKind::Fate, k.clone(), 4)
+            .unwrap()
+            .with_topology(fl::AggregationTopology::tree(ARITIES[arity_sel]))
+            .with_aggregation_shards(SHARDS[shard_sel]);
+        let agg = tree.aggregate_weighted(&vectors, &weights).unwrap();
+        for (j, ct) in agg.cts.iter().enumerate() {
+            let expected: u64 = (0..parties).map(|p| weights[p] * plain[p][j]).sum();
+            prop_assert_eq!(k.private.decrypt(ct).unwrap(), mpint::Natural::from(expected));
+            prop_assert_eq!(k.private.decrypt_crt(ct).unwrap(), mpint::Natural::from(expected));
+        }
+    }
+}

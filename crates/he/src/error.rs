@@ -26,6 +26,14 @@ pub enum Error {
     CiphertextOutOfRange,
     /// Two ciphertexts from different keys were combined.
     KeyMismatch,
+    /// An aggregation input failed the key-fingerprint check: the
+    /// ciphertext at `index` belongs to a different key than the one
+    /// performing the fold. Unlike [`Error::KeyMismatch`], this keeps the
+    /// position, so a 100k-party round can name the offending upload.
+    AggregandKeyMismatch {
+        /// Zero-based position of the offending ciphertext in the batch.
+        index: usize,
+    },
     /// A scheme parameter was outside its supported range.
     InvalidParameter(&'static str),
     /// An arithmetic-layer failure (prime generation, inverse, ...).
@@ -47,6 +55,12 @@ impl fmt::Display for Error {
             ),
             Error::CiphertextOutOfRange => write!(f, "ciphertext outside the ciphertext space"),
             Error::KeyMismatch => write!(f, "ciphertexts were produced under different keys"),
+            Error::AggregandKeyMismatch { index } => {
+                write!(
+                    f,
+                    "ciphertext at index {index} was produced under a different key"
+                )
+            }
             Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             Error::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
         }
@@ -84,6 +98,10 @@ mod tests {
         .to_string()
         .contains("70"));
         assert!(Error::KeyMismatch.to_string().contains("different keys"));
+        assert_eq!(
+            Error::AggregandKeyMismatch { index: 41 }.to_string(),
+            "ciphertext at index 41 was produced under a different key"
+        );
         assert!(Error::InvalidParameter("s out of range")
             .to_string()
             .contains("s out of range"));

@@ -96,6 +96,21 @@ pub trait HeBackend: Send + Sync {
         batches: &[Vec<Ciphertext>],
         weights: &[u64],
     ) -> Result<(Vec<Ciphertext>, HeTiming)>;
+
+    /// Sharded form of
+    /// [`weighted_aggregate`](Self::weighted_aggregate): each slot's
+    /// Straus fold is split into `shards` independent chains merged by a
+    /// streaming homomorphic addition
+    /// ([`PaillierPublicKey::weighted_sum_sharded`]). Bit-identical to
+    /// the flat fold at any shard or thread count; timing is charged from
+    /// the MAC-derived sharded estimate instead of the flat one.
+    fn weighted_aggregate_sharded(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+        shards: usize,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)>;
 }
 
 /// Chunk-granularity cap for HE batch loops: schedule every item as its
@@ -303,6 +318,26 @@ impl HeBackend for CpuHe {
             .map(|j| pk.weighted_sum(&slot_column(batches, j), &wnat))
             .collect();
         let per_slot = pk.weighted_sum_op_estimate(batches.len(), max_weight_bits(weights));
+        Ok((out?, self.timing(per_slot * slots as u64, slots)))
+    }
+
+    fn weighted_aggregate_sharded(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+        shards: usize,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let (slots, wnat) = weighted_shape(batches, weights);
+        let out: crate::Result<Vec<Ciphertext>> = (0..slots)
+            .into_par_iter()
+            .with_max_len(HE_MAX_CHUNK)
+            .map(|j| pk.weighted_sum_sharded(&slot_column(batches, j), &wnat, shards))
+            .collect();
+        // The serial CPU baseline pays every shard's chain plus the
+        // merges — the *total* estimate, not the critical path.
+        let per_slot =
+            pk.weighted_sum_sharded_op_estimate(batches.len(), max_weight_bits(weights), shards);
         Ok((out?, self.timing(per_slot * slots as u64, slots)))
     }
 }
@@ -529,6 +564,38 @@ impl HeBackend for GpuHe {
         let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
         Ok((out?, timing_from(&report, self.device.config())))
     }
+
+    fn weighted_aggregate_sharded(
+        &self,
+        pk: &PaillierPublicKey,
+        batches: &[Vec<Ciphertext>],
+        weights: &[u64],
+        shards: usize,
+    ) -> Result<(Vec<Ciphertext>, HeTiming)> {
+        let (slots, wnat) = weighted_shape(batches, weights);
+        let spec = Self::kernel_spec("paillier_weighted_sum_sharded", pk.key_bits, true);
+        // Edge devices are charged the MAC-derived *sharded* estimate:
+        // every chain plus the merge multiplies, per slot.
+        let per_item_ops = pk
+            .weighted_sum_sharded_op_estimate(batches.len(), max_weight_bits(weights), shards)
+            .max(1);
+        let ct_bytes = (pk.n_squared.bit_len() as u64).div_ceil(8);
+        let bytes_in = 8 * weights.len() as u64;
+        let bytes_out = ct_bytes * slots as u64;
+
+        let items: Vec<usize> = (0..slots).collect();
+        let (results, report) = self
+            .device
+            .launch(&spec, &items, bytes_in, bytes_out, |i, &j| {
+                gpu_sim::kernel::outcome_from_result(
+                    pk.weighted_sum_sharded(&slot_column(batches, j), &wnat, shards),
+                    per_item_ops,
+                    i % 2 == 0,
+                )
+            });
+        let out: Result<Vec<Ciphertext>> = results.into_iter().collect();
+        Ok((out?, timing_from(&report, self.device.config())))
+    }
 }
 
 /// Converts a launch report into HE timing under *epoch-amortized*
@@ -688,6 +755,41 @@ mod tests {
                 items: 3
             }
         );
+    }
+
+    #[test]
+    fn sharded_aggregate_matches_flat_on_both_backends() {
+        let k = keys();
+        let cpu = CpuHe::default();
+        let g = gpu();
+        let batches: Vec<Vec<Ciphertext>> = (0..9u64)
+            .map(|p| {
+                cpu.encrypt_batch(&k.public, &nats(&[p + 1, 10 * p + 3, p * p]), p)
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        let weights: Vec<u64> = (0..9u64).map(|p| p * 977 + 1).collect();
+        let (flat, flat_t) = cpu
+            .weighted_aggregate(&k.public, &batches, &weights)
+            .unwrap();
+        for shards in [1usize, 2, 4, 9] {
+            let (c, t) = cpu
+                .weighted_aggregate_sharded(&k.public, &batches, &weights, shards)
+                .unwrap();
+            assert_eq!(c, flat, "cpu shards {shards}");
+            let (gc, _) = g
+                .weighted_aggregate_sharded(&k.public, &batches, &weights, shards)
+                .unwrap();
+            assert_eq!(gc, flat, "gpu shards {shards}");
+            if shards == 1 {
+                // Single shard is the flat pass: charged identically too.
+                assert_eq!(t, flat_t);
+            } else {
+                // Extra shards cost merge multiplies on a serial device.
+                assert!(t.ops >= flat_t.ops, "shards {shards}");
+            }
+        }
     }
 
     #[test]

@@ -592,24 +592,81 @@ impl PaillierPublicKey {
     /// schedule is not a leak. An empty batch yields the encryption of
     /// zero.
     pub fn weighted_sum(&self, cts: &[Ciphertext], weights: &[Natural]) -> Result<Ciphertext> {
+        self.weighted_sum_sharded(cts, weights, 1)
+    }
+
+    /// Validates a batch of aggregation inputs: every ciphertext must
+    /// carry this key's fingerprint ([`Error::AggregandKeyMismatch`]
+    /// names the offending index) and lie inside the ciphertext space.
+    fn check_aggregands(&self, cts: &[Ciphertext]) -> Result<()> {
+        for (index, c) in cts.iter().enumerate() {
+            if c.key_id != self.key_id {
+                return Err(Error::AggregandKeyMismatch { index });
+            }
+            if c.value >= self.n_squared {
+                return Err(Error::CiphertextOutOfRange);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharded [`weighted_sum`](Self::weighted_sum): slices the
+    /// (ciphertext, weight) stream into `shards` contiguous spans, runs
+    /// an independent Straus chain per span on the work-stealing pool
+    /// (window tuned to the span's arity via
+    /// [`straus::straus_window_for_arity`]), and merges the partial
+    /// products with a streaming homomorphic-addition reduction — each
+    /// merge is the `ct_add` multiply `E(a)·E(b) mod n²`, carried out in
+    /// the Montgomery domain so the batch pays a single final REDC.
+    ///
+    /// Bit-identical to the flat fold for every `shards` value and
+    /// thread count: every chain returns the *canonical* residue of its
+    /// partial product (`mont_mul` fully reduces), the merge is a product
+    /// of canonical residues in a fixed span order, and window width
+    /// never changes a chain's value. `shards ≤ 1` (or a batch too small
+    /// to split) takes the flat single-chain path outright.
+    // flcheck: det-sink — sharded aggregate ciphertext construction
+    pub fn weighted_sum_sharded(
+        &self,
+        cts: &[Ciphertext],
+        weights: &[Natural],
+        shards: usize,
+    ) -> Result<Ciphertext> {
         if cts.len() != weights.len() {
             return Err(Error::InvalidParameter(
                 "each ciphertext needs exactly one weight",
             ));
         }
-        let mut bases_m = Vec::with_capacity(cts.len());
-        for c in cts {
-            if c.key_id != self.key_id {
-                return Err(Error::KeyMismatch);
-            }
-            if c.value >= self.n_squared {
-                return Err(Error::CiphertextOutOfRange);
-            }
-            bases_m.push(self.ctx_n2.to_mont(&c.value));
-        }
+        self.check_aggregands(cts)?;
         let max_bits = weights.iter().map(Natural::bit_len).max().unwrap_or(0);
-        let window = straus::straus_window_for(max_bits);
-        let product = straus::multi_exp_mont(&self.ctx_n2, &bases_m, weights, window);
+        let spans = straus::shard_spans(cts.len(), shards);
+        let product = if spans.len() <= 1 {
+            let bases_m: Vec<Natural> = cts.iter().map(|c| self.ctx_n2.to_mont(&c.value)).collect();
+            let window = straus::straus_window_for(max_bits);
+            straus::multi_exp_mont(&self.ctx_n2, &bases_m, weights, window)
+        } else {
+            spans
+                .par_iter()
+                .with_max_len(1)
+                .map(|span| {
+                    // `shard_spans` tiles `0..cts.len()`, and the shape
+                    // check above pins `weights.len()` to it.
+                    // flcheck: allow(pf-index)
+                    let span_cts = &cts[span.clone()];
+                    // flcheck: allow(pf-index)
+                    let span_weights = &weights[span.clone()];
+                    let bases_m: Vec<Natural> = span_cts
+                        .iter()
+                        .map(|c| self.ctx_n2.to_mont(&c.value))
+                        .collect();
+                    let window = straus::straus_window_for_arity(max_bits, span.len());
+                    straus::multi_exp_mont(&self.ctx_n2, &bases_m, span_weights, window)
+                })
+                .collect::<Vec<Natural>>()
+                .into_iter()
+                .reduce(|a, b| self.ctx_n2.mont_mul(&a, &b))
+                .unwrap_or_else(|| self.ctx_n2.one_mont())
+        };
         Ok(Ciphertext {
             value: self.ctx_n2.from_mont(&product),
             key_id: self.key_id,
@@ -690,6 +747,75 @@ impl PaillierPublicKey {
         // build, and the to-Montgomery conversion; plus the final REDC.
         let muls = count as u64 * (columns + (1 << w) - 2 + 1) + 1;
         (sqr_macs + muls * mont_mul_mac_count(s)) / 2
+    }
+
+    /// Estimated *total* limb-level operation count of one `count`-way
+    /// [`weighted_sum_sharded`](Self::weighted_sum_sharded) across all
+    /// shards: per span, the arity-tuned squaring chain, column and
+    /// table-build multiplies, and domain conversions; plus one merge
+    /// multiply per extra span and the final REDC. Degenerates *exactly*
+    /// to [`weighted_sum_op_estimate`](Self::weighted_sum_op_estimate)
+    /// whenever the batch runs as a single chain (`shards ≤ 1` or too few
+    /// items to split) — the flat-path no-regression gate in
+    /// `bench_aggregate` pins that equality.
+    // flcheck: estimates(weighted_sum_sharded, 4)
+    pub fn weighted_sum_sharded_op_estimate(
+        &self,
+        count: usize,
+        max_weight_bits: u32,
+        shards: usize,
+    ) -> u64 {
+        let spans = straus::shard_spans(count, shards);
+        if spans.len() <= 1 || max_weight_bits == 0 {
+            return self.weighted_sum_op_estimate(count, max_weight_bits);
+        }
+        let s = self.ctx_n2.width();
+        let mul = mont_mul_mac_count(s);
+        let sqr = mont_sqr_mac_count(s);
+        let mut macs = 0u64;
+        for span in &spans {
+            macs += Self::shard_chain_macs(span.len(), max_weight_bits, mul, sqr);
+        }
+        // spans−1 Montgomery-domain merge multiplies plus the final REDC.
+        macs += spans.len() as u64 * mul;
+        macs / 2
+    }
+
+    /// Estimated *critical-path* limb-level operation count of the same
+    /// sharded pass: the widest span's chain (all spans run concurrently
+    /// on the pool) plus the serial merge reduction and final REDC. The
+    /// modeled-scaling gate in `bench_aggregate` divides the flat
+    /// estimate by this — it is what wall-clock tracks at `shards`
+    /// workers, independent of the host's actual core count.
+    // flcheck: estimates(weighted_sum_sharded, 4)
+    pub fn weighted_sum_critical_path_estimate(
+        &self,
+        count: usize,
+        max_weight_bits: u32,
+        shards: usize,
+    ) -> u64 {
+        let spans = straus::shard_spans(count, shards);
+        if spans.len() <= 1 || max_weight_bits == 0 {
+            return self.weighted_sum_op_estimate(count, max_weight_bits);
+        }
+        let s = self.ctx_n2.width();
+        let mul = mont_mul_mac_count(s);
+        let sqr = mont_sqr_mac_count(s);
+        // Ceiling split: the first span is always the widest.
+        let widest = spans.iter().map(|sp| sp.len()).max().unwrap_or(0);
+        let macs =
+            Self::shard_chain_macs(widest, max_weight_bits, mul, sqr) + spans.len() as u64 * mul;
+        macs / 2
+    }
+
+    /// MACs of one span's independent Straus chain: squaring chain at the
+    /// arity-tuned window, per-base column/table/to-Montgomery multiplies.
+    fn shard_chain_macs(arity: usize, max_weight_bits: u32, mul: u64, sqr: u64) -> u64 {
+        let w = straus::straus_window_for_arity(max_weight_bits, arity);
+        let columns = max_weight_bits.div_ceil(w) as u64;
+        let sqr_macs = columns.saturating_sub(1) * w as u64 * sqr;
+        let muls = arity as u64 * (columns + (1 << w) - 2 + 1);
+        sqr_macs + muls * mul
     }
 }
 
@@ -1148,9 +1274,16 @@ mod tests {
             k1.public.weighted_sum(&[c1.clone()], &[]),
             Err(Error::InvalidParameter(_))
         ));
+        // The key-fingerprint failure names the offending position (and
+        // its Display pins the index so round logs can blame the upload).
+        let err = k1
+            .public
+            .weighted_sum(&[c1.clone(), c2], &[nat(1), nat(1)])
+            .unwrap_err();
+        assert_eq!(err, Error::AggregandKeyMismatch { index: 1 });
         assert_eq!(
-            k1.public.weighted_sum(&[c1.clone(), c2], &[nat(1), nat(1)]),
-            Err(Error::KeyMismatch)
+            err.to_string(),
+            "ciphertext at index 1 was produced under a different key"
         );
         let oversized = Ciphertext {
             value: k1.public.n_squared.clone(),
@@ -1172,5 +1305,74 @@ mod tests {
         assert!(k.public.encrypt_pooled_op_estimate() * 10 < k.public.encrypt_op_estimate());
         assert!(k.public.weighted_sum_op_estimate(64, 32) > 0);
         assert!(k.public.scalar_mul_op_estimate(32) < k.public.encrypt_op_estimate());
+    }
+
+    #[test]
+    fn sharded_weighted_sum_is_bit_identical_to_flat() {
+        let k = keys(128);
+        let mut r = rng();
+        let cts: Vec<Ciphertext> = (0u64..13)
+            .map(|m| k.public.encrypt(&nat(m * 31 + 2), &mut r).unwrap())
+            .collect();
+        let ws: Vec<Natural> = (0u64..13).map(|w| nat(w * 977 + 1)).collect();
+        let flat = k.public.weighted_sum(&cts, &ws).unwrap();
+        for shards in [0usize, 1, 2, 3, 7, 13, 64] {
+            let sharded = k.public.weighted_sum_sharded(&cts, &ws, shards).unwrap();
+            // Canonical residues: value equality, not just plaintext.
+            assert_eq!(sharded.value, flat.value, "shards {shards}");
+            assert_eq!(sharded.key_id, flat.key_id);
+        }
+        // Sharded error paths keep the flat semantics.
+        assert!(matches!(
+            k.public.weighted_sum_sharded(&cts, &ws[..3], 4),
+            Err(Error::InvalidParameter(_))
+        ));
+        let empty = k.public.weighted_sum_sharded(&[], &[], 8).unwrap();
+        assert_eq!(empty.value, k.public.zero_ciphertext().value);
+    }
+
+    #[test]
+    fn sharded_estimates_degenerate_and_scale() {
+        let k = keys(256);
+        let (count, bits) = (10_000usize, 32u32);
+        let flat = k.public.weighted_sum_op_estimate(count, bits);
+        // Flat no-regression: a single-shard pass is the flat pass,
+        // estimate included — exact equality, not a tolerance.
+        assert_eq!(
+            k.public.weighted_sum_sharded_op_estimate(count, bits, 1),
+            flat
+        );
+        assert_eq!(
+            k.public.weighted_sum_critical_path_estimate(count, bits, 1),
+            flat
+        );
+        // One item can never split, whatever the shard request.
+        assert_eq!(
+            k.public.weighted_sum_sharded_op_estimate(1, bits, 8),
+            k.public.weighted_sum_op_estimate(1, bits)
+        );
+        let mut prev_cp = flat;
+        for shards in [2usize, 4, 8, 16] {
+            let total = k
+                .public
+                .weighted_sum_sharded_op_estimate(count, bits, shards);
+            let cp = k
+                .public
+                .weighted_sum_critical_path_estimate(count, bits, shards);
+            // Splitting the squaring chain costs some total work but the
+            // per-worker critical path keeps shrinking.
+            assert!(cp <= prev_cp, "critical path grew at {shards} shards");
+            assert!(cp < total, "critical path not below total at {shards}");
+            // Arity-tuned windows keep the overhead modest: total work
+            // stays within 2x of flat even at 16 shards.
+            assert!(total < flat * 2, "total blew up at {shards} shards");
+            prev_cp = cp;
+        }
+        // The gate the bench enforces: ≥1.5x modeled speedup at 4 shards.
+        let cp4 = k.public.weighted_sum_critical_path_estimate(count, bits, 4);
+        assert!(
+            flat as f64 / cp4 as f64 >= 1.5,
+            "modeled scaling under 1.5x"
+        );
     }
 }

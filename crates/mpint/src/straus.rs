@@ -43,6 +43,61 @@ pub fn straus_window_for(max_bits: u32) -> u32 {
     }
 }
 
+/// Window width for one *shard* of a sharded Straus pass: `arity` bases
+/// sharing one squaring chain, exponents of at most `max_bits` bits.
+///
+/// [`straus_window_for`] is tuned for the paper's wide 64-way aggregates,
+/// where the shared squaring chain is fully amortized and only the
+/// per-base break-even matters. A shard amortizes its chain over just
+/// `arity` bases, so the squaring/table trade-off genuinely shifts with
+/// the shard size. This picks the `w ∈ [1, 8]` minimizing the modeled
+/// Montgomery-multiplication cost
+///
+/// ```text
+/// 3/4 · (⌈bits/w⌉ − 1) · w      (squarings, dedicated-kernel rate)
+///   + arity · (⌈bits/w⌉ + 2^w − 2)   (column + table-build multiplies)
+/// ```
+///
+/// with ties going to the narrower window. The choice affects cost only:
+/// [`multi_exp_mont`] returns the identical canonical product at any
+/// width.
+pub fn straus_window_for_arity(max_bits: u32, arity: usize) -> u32 {
+    if max_bits == 0 || arity == 0 {
+        return 1;
+    }
+    let mut best_w = 1u32;
+    let mut best_cost = u64::MAX;
+    for w in 1..=8u32 {
+        let columns = max_bits.div_ceil(w) as u64;
+        // Quarter-multiply units keep the 3/4 squaring weight integral.
+        let sqr = 3 * columns.saturating_sub(1) * w as u64;
+        let mul = 4 * arity as u64 * (columns + (1u64 << w) - 2);
+        let cost = sqr + mul;
+        if cost < best_cost {
+            best_cost = cost;
+            best_w = w;
+        }
+    }
+    best_w
+}
+
+/// Splits `len` items into at most `shards` contiguous near-equal spans
+/// (ceiling division: early spans carry the extra items). Deterministic
+/// in its arguments; never emits an empty span, so the result holds
+/// `min(shards.max(1), ⌈len/per⌉)` ranges — and none at all for
+/// `len = 0`.
+pub fn shard_spans(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let per = len.div_ceil(shards);
+    (0..shards)
+        .map(|i| i * per..((i + 1) * per).min(len))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 /// Interleaved multi-exponentiation over Montgomery-form bases: returns
 /// `∏ bases_m[i]^{exps[i]}` in Montgomery form. Empty input yields the
 /// Montgomery form of 1.
@@ -257,5 +312,97 @@ mod tests {
     fn mismatched_lengths_panic() {
         let ctx = MontgomeryCtx::new(&n(101)).unwrap();
         multi_exp_mont(&ctx, &[n(3)], &[], 4);
+    }
+
+    #[test]
+    fn shard_spans_tile_exactly() {
+        for len in 0..40usize {
+            for shards in 0..10usize {
+                let spans = shard_spans(len, shards);
+                // Contiguous, in order, non-empty, covering 0..len.
+                let mut next = 0usize;
+                for s in &spans {
+                    assert_eq!(s.start, next, "len {len} shards {shards}");
+                    assert!(s.end > s.start, "empty span at len {len} shards {shards}");
+                    next = s.end;
+                }
+                assert_eq!(next, len, "coverage at len {len} shards {shards}");
+                if len > 0 {
+                    assert!(spans.len() <= shards.max(1));
+                    // Ceiling split: every span but the tail is exactly
+                    // ⌈len/shards⌉ wide, and the tail never exceeds it.
+                    let per = len.div_ceil(shards.clamp(1, len));
+                    for s in &spans[..spans.len() - 1] {
+                        assert_eq!(s.len(), per, "len {len} shards {shards}");
+                    }
+                    assert!(spans.last().unwrap().len() <= per);
+                } else {
+                    assert!(spans.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arity_window_degenerates_and_widens() {
+        assert_eq!(straus_window_for_arity(0, 5), 1);
+        assert_eq!(straus_window_for_arity(32, 0), 1);
+        // A single base pays the whole squaring chain alone, so its best
+        // window is at least as wide as a large shard's.
+        for bits in [8u32, 32, 128, 1024, 2048] {
+            let solo = straus_window_for_arity(bits, 1);
+            let wide = straus_window_for_arity(bits, 4096);
+            assert!((1..=8).contains(&solo), "solo window {solo} at {bits} bits");
+            assert!((1..=8).contains(&wide), "wide window {wide} at {bits} bits");
+            assert!(solo >= wide, "bits {bits}: solo {solo} < wide {wide}");
+        }
+    }
+
+    #[test]
+    fn arity_window_minimizes_modeled_cost() {
+        // The returned window must beat (or tie, resolved to narrower)
+        // every other width under the documented quarter-multiply model.
+        let cost = |bits: u32, arity: u64, w: u32| {
+            let columns = bits.div_ceil(w) as u64;
+            3 * columns.saturating_sub(1) * w as u64 + 4 * arity * (columns + (1u64 << w) - 2)
+        };
+        for bits in [8u32, 32, 256, 1024] {
+            for arity in [1u64, 2, 16, 100, 2500] {
+                let best = straus_window_for_arity(bits, arity as usize);
+                for w in 1..=8u32 {
+                    let (cb, cw) = (cost(bits, arity, best), cost(bits, arity, w));
+                    assert!(
+                        cb < cw || (cb == cw && best <= w),
+                        "bits {bits} arity {arity}: window {best} loses to {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_chains_agree_with_flat_pass() {
+        // A sharded pass — independent chains per span with arity-tuned
+        // windows, partials merged by modular multiplication — equals the
+        // flat fold bit for bit: every chain returns the canonical
+        // residue of its partial product.
+        let p = (1u128 << 127) - 1;
+        let ctx = MontgomeryCtx::new(&n(p)).unwrap();
+        let bases: Vec<Natural> = (2..15u128).map(n).collect();
+        let exps: Vec<Natural> = (0..13u128).map(|i| n(i * 104_729 + 3)).collect();
+        let bases_m: Vec<Natural> = bases.iter().map(|b| ctx.to_mont(b)).collect();
+        let max_bits = exps.iter().map(Natural::bit_len).max().unwrap();
+        let flat = multi_exp_mont(&ctx, &bases_m, &exps, straus_window_for(max_bits));
+        for shards in [1usize, 2, 3, 7, 13, 40] {
+            let merged = shard_spans(bases.len(), shards)
+                .into_iter()
+                .map(|s| {
+                    let w = straus_window_for_arity(max_bits, s.len());
+                    multi_exp_mont(&ctx, &bases_m[s.clone()], &exps[s], w)
+                })
+                .reduce(|a, b| ctx.mont_mul(&a, &b))
+                .unwrap();
+            assert_eq!(merged, flat, "shards {shards}");
+        }
     }
 }

@@ -38,11 +38,13 @@ if [ "$QUICK" -eq 1 ]; then
   T7_ARGS="--epochs 1 --models homo-lr --datasets rcv1"
   F8_ARGS="--epochs 2 --models homo-lr"
   BP_ITEMS=128
+  BA_ARGS="--quick"
 else
   T5_DATASETS=rcv1,synthetic
   T7_ARGS="--epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic"
   F8_ARGS="--epochs 3 --models homo-lr,hetero-nn"
   BP_ITEMS=256
+  BA_ARGS=""
 fi
 
 run fig1_fate_breakdown --quick
@@ -73,6 +75,31 @@ run bench_parallel --items $BP_ITEMS --keys 1024
 echo "=== bench_hotpath: hot-path kernel gates ==="
 if ! ./target/release/bench_hotpath 2>&1 | tee $R/bench_hotpath.txt; then
   echo "HARNESS_FAILED: bench_hotpath regression gate"
+  exit 1
+fi
+echo
+
+# Cost-model calibration gate: recorded hot-path MAC counters must match
+# the live analytic estimators, and the DESIGN §8 constants (beta_cpu,
+# GPU sec_per_thread_op) must re-fit within 10% of the paper's Table-IV
+# anchors (results/CALIBRATE_cost.json). Runs after bench_hotpath so the
+# counters it validates are fresh.
+echo "=== calibrate_cost: cost-model drift gate ==="
+if ! ./target/release/calibrate_cost 2>&1 | tee $R/calibrate_cost.txt; then
+  echo "HARNESS_FAILED: calibrate_cost drift gate"
+  exit 1
+fi
+echo
+
+# Sharded-aggregation gate: throughput vs shard count at fixed memory and
+# flat-vs-tree topology comparison (results/BENCH_aggregate.json). The
+# binary exits non-zero unless sharded and tree results are bit-identical
+# to the flat fold, modeled scaling at 4 shards clears 1.5x, the 1-shard
+# estimate equals the flat estimate exactly, and 1-shard wall throughput
+# stays within the no-regression band of the flat kernel.
+echo "=== bench_aggregate: sharded aggregation gates ==="
+if ! ./target/release/bench_aggregate $BA_ARGS 2>&1 | tee $R/bench_aggregate.txt; then
+  echo "HARNESS_FAILED: bench_aggregate gate"
   exit 1
 fi
 echo

@@ -236,6 +236,90 @@ fn weighted_aggregate_matches_scalar_mul_add_loop_across_thread_counts() {
 }
 
 #[test]
+fn sharded_and_tree_aggregation_bit_identical_at_any_thread_count() {
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5AAD);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let parties = 13usize;
+    let slots = 6usize;
+    let weights: Vec<u64> = (0..parties as u64).map(|k| k * 977 + 1).collect();
+    let batches: Vec<Vec<_>> = (0..parties)
+        .map(|k| {
+            let ms: Vec<Natural> = (0..slots as u64)
+                .map(|j| Natural::from(j * 131 + k as u64 + 2))
+                .collect();
+            CpuHe::default()
+                .encrypt_batch(&keys.public, &ms, 0x900 + k as u64)
+                .expect("encrypt")
+                .0
+        })
+        .collect();
+
+    // Flat single-chain fold on one thread is the reference everything
+    // else must reproduce bit for bit.
+    let flat: Vec<Natural> = in_pool(1, || {
+        CpuHe::default()
+            .weighted_aggregate(&keys.public, &batches, &weights)
+            .expect("flat")
+            .0
+            .iter()
+            .map(|c| c.value.clone())
+            .collect()
+    });
+
+    // HE layer: every shard count at every thread count, CPU and GPU.
+    for threads in THREAD_COUNTS {
+        for shards in [1usize, 2, 3, 7, 13] {
+            let (cpu_vals, gpu_vals) = in_pool(threads, || {
+                let cpu = CpuHe::default();
+                let gpu = GpuHe::new(Arc::new(Device::new(DeviceConfig::rtx3090())));
+                let a = cpu
+                    .weighted_aggregate_sharded(&keys.public, &batches, &weights, shards)
+                    .expect("cpu sharded")
+                    .0;
+                let b = gpu
+                    .weighted_aggregate_sharded(&keys.public, &batches, &weights, shards)
+                    .expect("gpu sharded")
+                    .0;
+                (
+                    a.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+                    b.iter().map(|c| c.value.clone()).collect::<Vec<_>>(),
+                )
+            });
+            assert_eq!(cpu_vals, flat, "cpu threads={threads} shards={shards}");
+            assert_eq!(gpu_vals, flat, "gpu threads={threads} shards={shards}");
+        }
+    }
+
+    // FL layer: edge-aggregator trees over the same batches.
+    let vectors: Vec<fl::backend::EncryptedVector> = batches
+        .iter()
+        .map(|cts| fl::backend::EncryptedVector {
+            cts: cts.clone(),
+            count: slots,
+        })
+        .collect();
+    for threads in THREAD_COUNTS {
+        for arity in [2usize, 4, 16] {
+            let vals: Vec<Natural> = in_pool(threads, || {
+                let acc = fl::Accelerator::new(fl::BackendKind::Fate, keys.clone(), 4)
+                    .expect("accel")
+                    .with_topology(fl::AggregationTopology::tree(arity))
+                    .with_aggregation_shards(3);
+                acc.aggregate_weighted(&vectors, &weights)
+                    .expect("tree")
+                    .cts
+                    .iter()
+                    .map(|c| c.value.clone())
+                    .collect()
+            });
+            assert_eq!(vals, flat, "tree threads={threads} arity={arity}");
+        }
+    }
+}
+
+#[test]
 fn flcheck_report_is_byte_identical_across_thread_counts() {
     // The analyzer fans the per-file phase out over the shim pool; the
     // report it renders must not depend on worker count or scheduling.
