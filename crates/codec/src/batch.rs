@@ -87,6 +87,9 @@ impl BatchCodec {
     /// `[i·(r+b), (i+1)·(r+b))`).
     // flcheck: secret(values)
     // flcheck: det-sink — packed plaintext words become ciphertext bytes
+    // Slot indices are bounded by `slots_per_word`, itself bounded by the
+    // plaintext bit budget (≪ 2^32), so the index cast cannot truncate.
+    // flcheck: widen-ok(i)
     pub fn pack(&self, values: &[f64]) -> Result<Vec<Natural>> {
         let slot_bits = self.quantizer.config().slot_bits();
         let mut words = Vec::with_capacity(self.words_for(values.len()));
@@ -121,6 +124,8 @@ impl BatchCodec {
     /// values (the post-aggregation decode path). Fails if `terms` exceeds
     /// the guard-bit capacity.
     // flcheck: det-sink — decoded aggregate values are result content
+    // Slot indices are bounded by `slots_per_word` (≪ 2^32): no truncation.
+    // flcheck: widen-ok(slot)
     pub fn unpack_sums(&self, words: &[Natural], count: usize, terms: u32) -> Result<Vec<f64>> {
         self.quantizer.check_terms(terms)?;
         let available = words.len() * self.slots_per_word;
@@ -157,6 +162,8 @@ impl BatchCodec {
 
     /// Upper bound on the packed word value: must stay below `2^key_bits`
     /// so it is a valid Paillier plaintext.
+    // `slots_per_word` is derived from the key/slot bit budget (≪ 2^32).
+    // flcheck: widen-ok(slots_per_word)
     pub fn max_word_bits(&self) -> u32 {
         (self.slots_per_word as u32) * self.quantizer.config().slot_bits()
     }

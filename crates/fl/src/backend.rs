@@ -533,7 +533,7 @@ impl Accelerator {
             .map(|(k, v)| self.encrypt(v, seed.wrapping_add(k as u64)))
             .collect();
         let agg = self.aggregate(&encrypted?)?;
-        self.decrypt_sum(&agg, parties.len() as u32)
+        self.decrypt_sum(&agg, crate::count_u32(parties.len()))
     }
 
     /// Accumulated backend timing since the last [`Accelerator::take_timing`].

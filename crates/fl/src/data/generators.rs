@@ -104,7 +104,7 @@ impl DatasetSpec {
         for _ in 0..n {
             let row = if dense {
                 SparseRow::new(
-                    (0..self.features as u32).collect(),
+                    (0..crate::count_u32(self.features)).collect(),
                     (0..self.features)
                         .map(|_| rng.gen_range(-1.0..1.0))
                         .collect(),

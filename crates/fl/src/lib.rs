@@ -42,3 +42,29 @@ pub use error::{Error, Result};
 pub use metrics::{EpochBreakdown, TrainReport};
 pub use net::{Network, NetworkConfig};
 pub use topology::AggregationTopology;
+
+/// Saturating `usize -> u32` for participant/sample/feature counts on
+/// the codec and accounting paths. A plain `as u32` silently wraps past
+/// 2^32, which would undersize guard bits and mis-scale dequantized
+/// sums with no error; saturating instead makes the downstream capacity
+/// checks (`check_terms`, quantizer sizing) fail loudly.
+pub(crate) fn count_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod count_tests {
+    use super::count_u32;
+
+    #[test]
+    fn count_u32_is_exact_below_and_saturates_above() {
+        assert_eq!(count_u32(0), 0);
+        assert_eq!(count_u32(7), 7);
+        assert_eq!(count_u32(u32::MAX as usize), u32::MAX);
+        // Past 2^32 a wrapping cast would fold back to small values
+        // (e.g. 2^32 + 5 -> 5) and silently corrupt term counts;
+        // saturation pins them at the ceiling instead.
+        assert_eq!(count_u32(u32::MAX as usize + 1), u32::MAX);
+        assert_eq!(count_u32(usize::MAX), u32::MAX);
+    }
+}

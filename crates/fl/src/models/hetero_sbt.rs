@@ -136,7 +136,7 @@ impl HeteroSbt {
         let gh_cfg = QuantizerConfig {
             alpha: 1.0,
             r_bits: 16,
-            participants: (n as u32).max(2),
+            participants: crate::count_u32(n).max(2),
             clip: true,
         };
         let gh_quantizer = Quantizer::new(gh_cfg).map_err(flbooster_core::Error::from)?;
@@ -488,8 +488,9 @@ impl HeteroSbt {
                         } else {
                             &words[gi..gi + 2]
                         };
-                        let (gs, hs) = self.decode_gh_sum(words_gb, bucket.len() as u32, packed);
-                        sums[fi][b] = (gs, hs, bucket.len() as u32);
+                        let terms = crate::count_u32(bucket.len());
+                        let (gs, hs) = self.decode_gh_sum(words_gb, terms, packed);
+                        sums[fi][b] = (gs, hs, terms);
                     }
                 }
             }

@@ -128,13 +128,13 @@ impl FlEnv {
         // Broadcast the aggregate back to every party.
         let t = self
             .network
-            .broadcast(p as u32, agg.ciphertext_count(), agg.bytes())?;
+            .broadcast(crate::count_u32(p), agg.ciphertext_count(), agg.bytes())?;
         breakdown.comm_seconds += t;
         breakdown.comm_bytes += p as u64 * agg.bytes();
         breakdown.ciphertexts += p as u64 * agg.ciphertext_count();
 
         // Parallel client-side decryption: one client's cost.
-        let sums = self.accel.decrypt_sum(&agg, p as u32)?;
+        let sums = self.accel.decrypt_sum(&agg, crate::count_u32(p))?;
         let dec_t = self.accel.take_timing();
         breakdown.he_seconds += dec_t.he_seconds;
         breakdown.other_seconds += dec_t.codec_seconds;

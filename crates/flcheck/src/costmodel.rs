@@ -35,7 +35,7 @@ const COST_PERIMETER: &[&str] = &["he", "gpu-sim", "core"];
 
 /// Estimate/counter name suffixes: these fns *model* work (and are the
 /// pairing targets of charge sinks), they do not perform it.
-fn is_accounting_name(name: &str) -> bool {
+pub(crate) fn is_accounting_name(name: &str) -> bool {
     name.ends_with("_estimate") || name.ends_with("_mac_count") || name.ends_with("_ops")
 }
 

@@ -1,0 +1,350 @@
+//! Rule documentation: one entry per rule id for `flcheck --explain`
+//! and the README rule table.
+//!
+//! Every rule in [`crate::report::ALL_RULES`] has exactly one
+//! [`RuleDoc`] here (enforced by test), so adding a rule without
+//! documenting it fails the build's own test suite — the same
+//! can't-forget property the harness gate gives the summary counts.
+
+/// Documentation for one rule id.
+#[derive(Debug)]
+pub struct RuleDoc {
+    /// Rule id, e.g. `pf-unwrap`.
+    pub rule: &'static str,
+    /// Rule family, e.g. `panic-freedom`.
+    pub family: &'static str,
+    /// PR that introduced the rule (`1`-based growth sequence).
+    pub since: u32,
+    /// One-line summary for the README table.
+    pub summary: &'static str,
+    /// One-paragraph description for `--explain`.
+    pub detail: &'static str,
+    /// A minimal triggering example.
+    pub example: &'static str,
+}
+
+/// All rule docs, sorted by rule id (same order as
+/// [`crate::report::ALL_RULES`]).
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        rule: "ct-branch",
+        family: "ct-discipline",
+        since: 1,
+        summary: "secret-dependent `if`/`match` inside a ct-fn",
+        detail: "Inside a fn marked `// flcheck: ct-fn`, branching on a value \
+                 derived from a secret leaks it through the timing/branch-predictor \
+                 side channel: the two arms take different time and leave different \
+                 microarchitectural traces. Constant-time code must replace the \
+                 branch with masked selection (e.g. `ct_select`).",
+        example: "// flcheck: ct-fn\nfn cmp(secret: u64) -> u64 {\n    if secret == 0 { 1 } else { 0 } // ct-branch + ct-compare\n}",
+    },
+    RuleDoc {
+        rule: "ct-compare",
+        family: "ct-discipline",
+        since: 1,
+        summary: "variable-time comparison on secret data in a ct-fn",
+        detail: "`==`, `!=`, `<`, `>`, `.min()`, `.max()` and friends on secret \
+                 values compile to early-exit comparisons whose duration depends \
+                 on the operands. Inside a ct-fn these must go through the \
+                 constant-time primitives (`ct_eq`, `ct_lt`), which always scan \
+                 every limb.",
+        example: "// flcheck: ct-fn\nfn check(tag: &[u8], other: &[u8]) -> bool {\n    tag == other // ct-compare\n}",
+    },
+    RuleDoc {
+        rule: "ct-return",
+        family: "ct-discipline",
+        since: 1,
+        summary: "early return inside a ct-fn",
+        detail: "An early `return` inside a ct-fn makes execution time depend on \
+                 which path ran — the classic padding-oracle shape. Constant-time \
+                 fns compute both outcomes and select at the end.",
+        example: "// flcheck: ct-fn\nfn reduce(x: u64, m: u64) -> u64 {\n    if x < m { return x; } // ct-return (after ct-branch)\n    x - m\n}",
+    },
+    RuleDoc {
+        rule: "ct-shortcircuit",
+        family: "ct-discipline",
+        since: 1,
+        summary: "short-circuiting `&&`/`||` in a ct-fn",
+        detail: "`&&` and `||` skip evaluating their right operand depending on \
+                 the left, so the time taken reveals the left operand. In a ct-fn \
+                 use the bitwise `&`/`|` forms on fully-evaluated masks instead.",
+        example: "// flcheck: ct-fn\nfn both(a: bool, b: bool) -> bool {\n    a && b // ct-shortcircuit\n}",
+    },
+    RuleDoc {
+        rule: "ct-taint",
+        family: "ct-discipline",
+        since: 3,
+        summary: "secret value flowing into a variable-time operation",
+        detail: "Interprocedural taint: values seeded by `// flcheck: secret(x)` \
+                 are propagated through assignments, arithmetic, and resolved \
+                 calls across the workspace call graph. Reaching a timing sink — \
+                 a branch predicate, slice index, early-return condition, loop \
+                 bound, or a call into a non-ct fn — fires with the full \
+                 propagation chain.",
+        example: "// flcheck: secret(key)\nfn seal(key: u64) -> u64 { whiten(key) }\nfn whiten(x: u64) -> u64 {\n    if x == 0 { return 1; } // ct-taint: `key` reached a branch via `whiten`\n    x\n}",
+    },
+    RuleDoc {
+        rule: "guard-across-steal",
+        family: "lock-discipline",
+        since: 5,
+        summary: "pool worker holding its deque guard across park/steal",
+        detail: "A work-stealing worker that parks or steals from another deque \
+                 while still holding its own deque's guard can deadlock the pool: \
+                 the thief blocks on a lock whose owner is itself blocked. Guards \
+                 in the rayon shim must be dropped before blocking or stealing.",
+        example: "fn run(&self) {\n    let q = self.deques[w].lock();\n    park(); // guard-across-steal: `deques` held across blocking park\n}",
+    },
+    RuleDoc {
+        rule: "guard-escape",
+        family: "lock-discipline",
+        since: 6,
+        summary: "lock guard escaping the analyzer's tracking",
+        detail: "The lock graph tracks guards from acquisition to drop. A guard \
+                 stored into a struct field or passed by value into an untracked \
+                 fn outlives what held-set analysis can see, so every downstream \
+                 deadlock check would be unsound. Returned guards are followed \
+                 into callers; other escapes must be restructured or allowed with \
+                 justification.",
+        example: "fn stash(&self) {\n    let g = self.inner.lock();\n    self.slot.guard = g; // guard-escape: stored in struct field\n}",
+    },
+    RuleDoc {
+        rule: "ld-wait",
+        family: "lock-discipline",
+        since: 1,
+        summary: "condvar wait while holding a second lock",
+        detail: "Waiting on a condition variable releases only the mutex passed \
+                 to `wait`; any other lock held at that point stays held for the \
+                 whole sleep, starving or deadlocking its other users.",
+        example: "let stats = self.stats.lock();\nlet q = self.queue.lock();\nself.cv.wait(q); // ld-wait: `stats` still held",
+    },
+    RuleDoc {
+        rule: "lock-across-hotpath",
+        family: "lock-discipline",
+        since: 5,
+        summary: "guard held across a call chain reaching a MAC kernel",
+        detail: "Holding a lock across a call chain that reaches a `mac-prim` \
+                 hot-path kernel (Montgomery multiply, CIOS squaring) serializes \
+                 the most parallel part of the workload: every other thread \
+                 queues behind a guard held for the kernel's full duration. \
+                 Charge/record under the guard, compute outside it.",
+        example: "fn hot(&self) {\n    let s = self.stats.lock();\n    helper(); // lock-across-hotpath: chain reaches mont_mul\n}",
+    },
+    RuleDoc {
+        rule: "lock-cycle",
+        family: "lock-discipline",
+        since: 5,
+        summary: "cyclic lock-acquisition order across the workspace",
+        detail: "Builds the workspace lock graph from guard bindings, \
+                 `lock(a, b)` directives, and declared `lock-order` edges, \
+                 propagating held sets over the call graph. Any cycle means two \
+                 threads can each hold one lock and block on the other. The \
+                 finding reports the cycle with each edge's acquisition site.",
+        example: "// thread A: memory then stats; thread B: stats then memory\n// lock-cycle: gpu-sim::memory -> gpu-sim::stats -> gpu-sim::memory",
+    },
+    RuleDoc {
+        rule: "lossy-narrow",
+        family: "width",
+        since: 8,
+        summary: "narrowing cast reaching codec geometry, op-cost, or net accounting",
+        detail: "An `as` cast down the width lattice (u8 < u16 < u32 < u64 ≈ \
+                 usize < u128) silently truncates. On the scale-out paths — codec \
+                 pack/unpack geometry, `*_estimate`/`*_ops`/`*_mac_count` \
+                 accounting, `fl::net` byte counters — a truncated count corrupts \
+                 results or charging with no panic, and only at large scale. \
+                 Casts whose fn computes inside those sinks, or that flow as \
+                 arguments into them, fire with the full path. Pure-literal \
+                 sources are exempt; `widen-ok(name)` exempts value-range-safe \
+                 identifiers; `narrow(reason)` sanctions a deliberately narrowing \
+                 fn (e.g. masked limb splits).",
+        example: "fn pack(values: &[u64], slots: usize) -> u32 {\n    (slots * values.len()) as u32 // lossy-narrow: geometry overflows at scale\n}",
+    },
+    RuleDoc {
+        rule: "nondet-in-result",
+        family: "determinism",
+        since: 6,
+        summary: "nondeterminism source flowing into a result constructor",
+        detail: "Hash-order iteration, wall-clock reads, thread identity, and \
+                 declared `nondet(..)` sources are propagated over the call graph. \
+                 Reaching a `det-sink` result constructor means reported numbers \
+                 can differ run to run — the bit-identical-output invariant every \
+                 bench gate relies on breaks. `det-absorb` marks fns that consume \
+                 nondeterminism without letting it into results (e.g. stopwatches).",
+        example: "fn summarize(m: &HashMap<u32, u64>) -> u64 {\n    m.values().sum() // nondet-in-result when this feeds a det-sink\n}",
+    },
+    RuleDoc {
+        rule: "pf-assert",
+        family: "panic-freedom",
+        since: 1,
+        summary: "assert!/assert_eq! on a library path",
+        detail: "Asserts abort the process mid-epoch in a long-running training \
+                 job. Library crates must return `Result` instead; \
+                 `debug_assert!` stays allowed (compiled out in release).",
+        example: "pub fn split(n: usize, k: usize) -> usize {\n    assert!(k > 0); // pf-assert\n    n / k\n}",
+    },
+    RuleDoc {
+        rule: "pf-expect",
+        family: "panic-freedom",
+        since: 1,
+        summary: "`.expect(..)` on a library path",
+        detail: "Same failure mode as `pf-unwrap` with a nicer message — still a \
+                 process abort. Convert to `ok_or`/`map_err` and propagate.",
+        example: "pub fn parse(s: &str) -> u32 {\n    s.parse().expect(\"bad int\") // pf-expect\n}",
+    },
+    RuleDoc {
+        rule: "pf-index",
+        family: "panic-freedom",
+        since: 1,
+        summary: "panicking slice/array index on a library path",
+        detail: "`v[i]` panics on out-of-bounds. Library paths must bound-check \
+                 (`get`, `get_mut`) or carry an inline \
+                 `// flcheck: allow(pf-index)` with a justification for why the \
+                 index is provably in range.",
+        example: "pub fn first(v: &[u8]) -> u8 {\n    v[0] // pf-index\n}",
+    },
+    RuleDoc {
+        rule: "pf-panic",
+        family: "panic-freedom",
+        since: 1,
+        summary: "explicit panic!/unreachable!/todo! on a library path",
+        detail: "An explicit panic is an abort by design; library code must \
+                 surface an `Error` variant instead so the training loop can \
+                 recover or report.",
+        example: "pub fn select(mode: Mode) -> u8 {\n    match mode { Mode::A => 1, _ => panic!(\"bad mode\") } // pf-panic\n}",
+    },
+    RuleDoc {
+        rule: "pf-reach",
+        family: "panic-freedom",
+        since: 3,
+        summary: "public API transitively reaching a panic site",
+        detail: "Panic facts (the pf-* sites plus allows' residue) are closed \
+                 over the workspace call graph by BFS. A public entry point whose \
+                 call chain can reach a panic fires once at the entry, with the \
+                 full chain down to the underlying site — so the fix can happen \
+                 at whichever layer owns the invariant.",
+        example: "pub fn api(v: &[u8]) -> u8 { middle(v) } // pf-reach: 2 calls deep\nfn middle(v: &[u8]) -> u8 { deep(v) }\nfn deep(v: &[u8]) -> u8 { v.first().unwrap() }",
+    },
+    RuleDoc {
+        rule: "pf-unwrap",
+        family: "panic-freedom",
+        since: 1,
+        summary: "`.unwrap()` on a library path",
+        detail: "`unwrap` aborts the process on `None`/`Err`. Library crates in \
+                 the panic-freedom perimeter must propagate errors; test code is \
+                 exempt.",
+        example: "pub fn head(v: &[u8]) -> u8 {\n    *v.first().unwrap() // pf-unwrap\n}",
+    },
+    RuleDoc {
+        rule: "race-cell-steal",
+        family: "races",
+        since: 8,
+        summary: "Cell/RefCell/Rc capture crossing the work-stealing boundary",
+        detail: "`Cell`, `RefCell`, and `Rc` are single-threaded interior \
+                 mutability: they trade the `Sync` bound for zero-cost borrows. \
+                 A closure that captures one and is scheduled onto the \
+                 work-stealing pool moves that value across threads — in real \
+                 rayon this fails to compile, but the dependency-free shim's \
+                 looser bounds let it slip through to runtime corruption. Use \
+                 `Mutex`/`RwLock`/atomics, or keep the value thread-local.",
+        example: "let hits = RefCell::new(0u64);\nitems.par_iter().for_each(|x| {\n    hits.borrow(); // race-cell-steal\n});",
+    },
+    RuleDoc {
+        rule: "race-shared-mut",
+        family: "races",
+        since: 8,
+        summary: "captured binding mutated inside a pool-scheduled closure",
+        detail: "A closure scheduled onto the pool (`spawn`, the `par_iter` \
+                 family) runs concurrently with other instances of itself. \
+                 Writing a captured enclosing binding (`x = ..`, `x += ..`, \
+                 handing out `&mut x`) aliases it mutably across those \
+                 instances — a data race the shim's relaxed bounds won't reject \
+                 at compile time. Reduce with `fold`/`reduce`, or guard the \
+                 state with a lock.",
+        example: "let mut total = 0u64;\nitems.par_iter().for_each(|x| {\n    total += x; // race-shared-mut\n});",
+    },
+    RuleDoc {
+        rule: "race-unsynced-write",
+        family: "races",
+        since: 8,
+        summary: "unguarded interior write to captured state from the pool",
+        detail: "An interior write (`x.push(..)`, `x.field = ..`) to captured \
+                 shared state inside a pool-scheduled closure, with no lock \
+                 acquisition covering the write — neither the capture being the \
+                 lock itself (`stats.lock().push(..)`) nor a guard held around \
+                 the statement. The check follows captures passed whole-arg or \
+                 as receivers into resolved callees, so a helper that does the \
+                 unguarded write is reported with the capture-site → spawn-site \
+                 → write-site chain.",
+        example: "let mut log = Vec::new();\nspawn(move || {\n    log.push(1); // race-unsynced-write: no guard covers the write\n});",
+    },
+    RuleDoc {
+        rule: "stale-estimate",
+        family: "cost-model",
+        since: 5,
+        summary: "estimates(..) pairing drifted from its kernel",
+        detail: "`// flcheck: estimates(kernel, arity)` declares which kernel an \
+                 op-cost estimator models and how many parameters that kernel \
+                 took when the estimate was written. If the kernel vanishes or \
+                 its arity changes, the estimator is silently modeling stale \
+                 code and every simulated timing derived from it is wrong.",
+        example: "// flcheck: estimates(kernel, 5)\npub fn kernel_op_estimate() -> u64 { .. } // stale-estimate if `kernel` now takes 2",
+    },
+    RuleDoc {
+        rule: "uncharged-work",
+        family: "cost-model",
+        since: 5,
+        summary: "public entry reaching MAC work with no charge-sink path",
+        detail: "Public he/gpu-sim/core entry points whose call chains reach a \
+                 `mac-prim` kernel must have some path into a `charge-sink` \
+                 accounting call — otherwise the simulated clock never advances \
+                 for that work and every derived throughput number silently \
+                 flatters the system (PR 5 caught core's rsa_decrypt doing \
+                 exactly this).",
+        example: "pub fn uncharged_entry(x: &N) -> N {\n    kernel(x) // uncharged-work: reaches mont_mul, never charges\n}",
+    },
+];
+
+/// Looks up the doc for a rule id.
+pub fn doc_for(rule: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.rule == rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ALL_RULES;
+
+    #[test]
+    fn every_rule_is_documented_exactly_once_in_order() {
+        let docs: Vec<&str> = RULE_DOCS.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            docs, ALL_RULES,
+            "RULE_DOCS must cover ALL_RULES 1:1 in sorted order"
+        );
+    }
+
+    #[test]
+    fn docs_have_substance() {
+        for d in RULE_DOCS {
+            assert!(!d.family.is_empty(), "{}: family", d.rule);
+            assert!(d.since >= 1 && d.since <= 8, "{}: since", d.rule);
+            assert!(
+                d.summary.len() < 80,
+                "{}: summary must fit a table cell",
+                d.rule
+            );
+            assert!(
+                d.detail.len() > 100,
+                "{}: detail must be a paragraph",
+                d.rule
+            );
+            assert!(!d.example.is_empty(), "{}: example", d.rule);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_and_rejects_unknown() {
+        assert_eq!(doc_for("pf-unwrap").unwrap().family, "panic-freedom");
+        assert_eq!(doc_for("lossy-narrow").unwrap().since, 8);
+        assert!(doc_for("no-such-rule").is_none());
+    }
+}

@@ -16,15 +16,18 @@
 //! | lock-discipline | `ld-wait` (per-file), `lock-cycle`, `lock-across-hotpath`, `guard-across-steal`, `guard-escape` |
 //! | cost-model      | `uncharged-work`, `stale-estimate`                       |
 //! | determinism     | `nondet-in-result` (source-to-result-sink flow)          |
+//! | races           | `race-shared-mut`, `race-unsynced-write`, `race-cell-steal` (closure captures crossing the pool) |
+//! | width           | `lossy-narrow` (narrowing casts reaching codec/cost/net sinks) |
 //! | interprocedural | `ct-taint` (secret propagation), `pf-reach` (transitive panics) |
 //!
 //! The ct- and pf- families plus `ld-wait` are per-file lexer passes; the
 //! rest run on a workspace call graph built by the item-level parser
 //! ([`parse`], [`callgraph`], [`taint`], [`detflow`], [`escape`],
-//! [`lockgraph`], [`costmodel`]) and report full call/lock chains. See
-//! [`rules`] for rule semantics and [`source`] for the directive grammar
-//! (`ct-fn`, `secret(..)`, `lock(..)`, `mac-prim`, `charge-sink`,
-//! `estimates(..)`, `det-sink`, `det-absorb`, and `nondet(..)` markers,
+//! [`lockgraph`], [`costmodel`], [`races`], [`width`]) and report full
+//! call/lock/capture chains. See [`rules`] for rule semantics and
+//! [`source`] for the directive grammar (`ct-fn`, `secret(..)`,
+//! `lock(..)`, `mac-prim`, `charge-sink`, `estimates(..)`, `det-sink`,
+//! `det-absorb`, `nondet(..)`, `widen-ok(..)`, and `narrow(..)` markers,
 //! `allow` / `allow-file` suppressions, `lock-order` declarations).
 //!
 //! The analyzer's own sources are excluded from the default walk: they
@@ -42,13 +45,16 @@ pub mod callgraph;
 pub mod costmodel;
 pub mod detflow;
 pub mod escape;
+pub mod explain;
 pub mod lexer;
 pub mod lockgraph;
 pub mod parse;
+pub mod races;
 pub mod report;
 pub mod rules;
 pub mod source;
 pub mod taint;
+pub mod width;
 
 use rayon::prelude::*;
 use report::{Finding, Report};
@@ -117,6 +123,11 @@ pub struct ScanStats {
     pub lockgraph: Duration,
     /// Cost-model pass (`uncharged-work`, `stale-estimate`).
     pub costmodel: Duration,
+    /// Race pass (`race-shared-mut`, `race-unsynced-write`,
+    /// `race-cell-steal`).
+    pub races: Duration,
+    /// Width pass (`lossy-narrow`).
+    pub width: Duration,
     /// Whole scan, including sort.
     pub total: Duration,
 }
@@ -125,7 +136,8 @@ pub struct ScanStats {
 /// pairs: the per-file rule families (fanned out over the rayon
 /// work-stealing pool), then the call graph and the interprocedural
 /// passes (`ct-taint`, `pf-reach`, `nondet-in-result`, `guard-escape`,
-/// the lock-graph rules, and the cost-model rules) on top.
+/// the lock-graph rules, the cost-model rules, the race rules, and the
+/// width rules) on top.
 pub fn check_workspace(inputs: &[(String, String)]) -> Report {
     check_workspace_with_stats(inputs).0
 }
@@ -180,6 +192,14 @@ pub fn check_workspace_with_stats(inputs: &[(String, String)]) -> (Report, ScanS
     let t = Instant::now();
     costmodel::check_cost_model(&parsed, &graph, &mut report.findings);
     stats.costmodel = t.elapsed();
+
+    let t = Instant::now();
+    races::check_races(&parsed, &graph, &mut report.findings);
+    stats.races = t.elapsed();
+
+    let t = Instant::now();
+    width::check_width(&parsed, &graph, &mut report.findings);
+    stats.width = t.elapsed();
 
     report.sort();
     stats.total = start.elapsed();

@@ -232,7 +232,7 @@ fn collect_held(
 /// `if let` / `match` on the guarded value — Rust 2021 extends the
 /// temporary through the body), ending at a top-level `;` or when such a
 /// block closes with no `else` continuation.
-fn live_end(toks: &[Token], a: &Acquisition, fn_end: usize) -> usize {
+pub(crate) fn live_end(toks: &[Token], a: &Acquisition, fn_end: usize) -> usize {
     let limit = fn_end.min(toks.len());
     let mut depth = 0i32;
     let mut i = a.idx;

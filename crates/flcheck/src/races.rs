@@ -1,0 +1,674 @@
+//! Closure-capture race detection for the work-stealing pool.
+//!
+//! The workspace's parallelism all funnels through the hand-rolled rayon
+//! shim: closures handed to `spawn` or to combinators downstream of the
+//! `par_iter` family run concurrently on pool workers, so any shared
+//! mutable state they capture is a data race unless synchronized. The
+//! item parser records every closure with its capture list and
+//! per-capture write classification ([`crate::parse::ClosureSite`]);
+//! this pass identifies which of those closures are *pool-scheduled* and
+//! applies three rules to their captures:
+//!
+//! - **race-shared-mut** — a pool-scheduled closure performs a *binding*
+//!   write to a capture (`x = ..`, `x += ..`, or takes `&mut x`):
+//!   concurrently-running instances alias the same place mutably. A
+//!   `par_iter` body closure runs as many concurrent instances, so a
+//!   single mutating closure suffices.
+//! - **race-unsynced-write** — an *interior* write through a capture
+//!   (`x.field = ..`, `x.push(..)`, `x[i] = ..`) with no `Mutex` /
+//!   `RwLock` guard covering the write: exempt when a lock acquisition
+//!   (per [`crate::rules::find_acquisitions`], with
+//!   [`crate::lockgraph::live_end`] liveness) covers the write site or
+//!   the capture itself is the lock (`x.lock().push(..)`). The write
+//!   chain is followed interprocedurally: a capture passed whole-arg
+//!   (optionally `&` / `&mut`-prefixed) or as a method receiver into a
+//!   resolved callee is checked for writes to the corresponding
+//!   parameter, recursively to a small depth.
+//! - **race-cell-steal** — a single-threaded interior-mutability value
+//!   (`Cell`, `RefCell`, `Rc`) captured by a pool-scheduled closure:
+//!   these types are not `Sync`, and even when the borrow checker is
+//!   satisfied via `unsafe` shims, crossing the steal boundary breaks
+//!   their aliasing contract.
+//!
+//! Pool scheduling is identified by *name*, mirroring
+//! `lockgraph::BLOCKING_CALLS`: a closure is pool-scheduled when it is
+//! an argument of a `spawn(..)` call, an argument of a method whose
+//! receiver chain contains a `par_iter`-family adapter, or a let-bound
+//! closure passed by name into either. `install(..)` and the `scope`
+//! closure itself run on the calling thread and are not scheduled.
+//! Soundness boundary (DESIGN §17): closures flowing into *unresolved,
+//! non-pool* calls (std iterator adapters, `Option::map`, ...) are
+//! assumed serially executed and not flagged — the pool entry points are
+//! all first-party or name-matched, so the concurrent set is closed.
+
+use crate::callgraph::{hop, CallGraph, Edge, NodeId};
+use crate::lexer::{TokKind, Token};
+use crate::lockgraph::live_end;
+use crate::parse::{Capture, CaptureWrite, ClosureSite, FnItem, ParsedFile, MUT_METHODS};
+use crate::report::Finding;
+use crate::rules::{find_acquisitions, Acquisition};
+use std::collections::BTreeSet;
+
+/// Adapters that move iteration onto the pool: a closure handed to any
+/// method whose receiver chain contains one of these runs concurrently.
+const PAR_DRIVERS: &[&str] = &[
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_iter",
+    "par_iter_mut",
+];
+
+/// Types whose values must not cross the steal boundary.
+const CELL_TYPES: &[&str] = &["Cell", "Rc", "RefCell"];
+
+/// Max depth for following a capture through whole-arg parameter passing.
+const FOLLOW_DEPTH: usize = 4;
+
+/// One pool-scheduled closure: the closure plus its scheduling call.
+struct Scheduled<'a> {
+    closure: &'a ClosureSite,
+    /// Callee name of the scheduling call (`spawn`, `map`, ...).
+    via: &'a str,
+    /// 1-based line of the scheduling call.
+    via_line: u32,
+}
+
+/// Runs the three closure-capture race rules.
+pub fn check_races(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    for (fi, pf) in files.iter().enumerate() {
+        let cells = cell_bindings(&pf.src.tokens);
+        for (gi, f) in pf.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for sched in scheduled_closures(pf, f) {
+                check_one(files, graph, (fi, gi), pf, f, &sched, &cells, out);
+            }
+        }
+    }
+}
+
+/// Identifiers bound to `Cell` / `RefCell` / `Rc` values anywhere in the
+/// file: type ascriptions (`x: RefCell<..>`) and constructor bindings
+/// (`let x = RefCell::new(..)`).
+fn cell_bindings(toks: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !CELL_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name : Cell <` (field or local ascription).
+        if i >= 2
+            && toks[i - 1].is_op(":")
+            && toks[i - 2].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_op("<"))
+        {
+            out.insert(toks[i - 2].text.clone());
+        }
+        // `let [mut] name = Cell :: new`.
+        if i >= 2
+            && toks[i - 1].is_op("=")
+            && toks[i - 2].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_op("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("new"))
+        {
+            out.insert(toks[i - 2].text.clone());
+        }
+    }
+    out
+}
+
+/// Closures of `f` that are scheduled onto the pool: direct closure
+/// arguments of `spawn(..)` / par-driver chains, plus let-bound closures
+/// passed by name into the same entry points.
+fn scheduled_closures<'a>(pf: &'a ParsedFile, f: &'a FnItem) -> Vec<Scheduled<'a>> {
+    let toks = &pf.src.tokens;
+    let mut out = Vec::new();
+    for cs in &f.calls {
+        let is_pool = cs.callee == "spawn"
+            || (cs.is_method
+                && cs.recv.is_some_and(|(s, e)| {
+                    toks[s..e.min(toks.len())]
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && PAR_DRIVERS.contains(&t.text.as_str()))
+                }));
+        if !is_pool {
+            continue;
+        }
+        for &(s, e) in &cs.args {
+            // A closure literal starting inside this argument span.
+            for c in &f.closures {
+                if c.start >= s && c.start < e {
+                    out.push(Scheduled {
+                        closure: c,
+                        via: &cs.callee,
+                        via_line: cs.line,
+                    });
+                }
+            }
+            // A let-bound closure passed by name.
+            if e == s + 1 && toks[s].kind == TokKind::Ident {
+                for c in &f.closures {
+                    if c.bound_name.as_deref() == Some(toks[s].text.as_str()) {
+                        out.push(Scheduled {
+                            closure: c,
+                            via: &cs.callee,
+                            via_line: cs.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Nested closures inside a scheduled closure are scheduled too only
+    // if they hit their own pool entry, which the call scan above already
+    // covers; dedup by closure start in case both paths matched.
+    out.sort_by_key(|s| (s.closure.start, s.via_line));
+    out.dedup_by_key(|s| s.closure.start);
+    out
+}
+
+/// Applies the three rules to one scheduled closure.
+#[allow(clippy::too_many_arguments)]
+fn check_one(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    n: NodeId,
+    pf: &ParsedFile,
+    f: &FnItem,
+    sched: &Scheduled<'_>,
+    cells: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let rel = &pf.src.rel_path;
+    let c = sched.closure;
+    let acqs = find_acquisitions(&pf.src, c.body_start, c.body_end);
+    for cap in &c.captures {
+        let base_chain = |w: Option<&CaptureWrite>| {
+            let mut chain = vec![
+                format!("capture of `{}` ({rel}:{})", cap.name, cap.line),
+                format!(
+                    "scheduled onto the pool via `{}` ({rel}:{})",
+                    sched.via, sched.via_line
+                ),
+            ];
+            if let Some(w) = w {
+                chain.push(format!("write: {} ({rel}:{})", w.desc, w.line));
+            }
+            chain
+        };
+        // race-cell-steal: a cell-typed capture crossing the boundary.
+        if cells.contains(&cap.name) && !pf.src.is_allowed("race-cell-steal", cap.line) {
+            out.push(Finding::with_chain(
+                "race-cell-steal",
+                rel,
+                cap.line,
+                format!(
+                    "single-threaded interior-mutability value `{}` (Cell/RefCell/Rc) \
+                     captured by a closure scheduled onto the pool via `{}` in `{}`",
+                    cap.name, sched.via, f.name
+                ),
+                base_chain(None),
+            ));
+        }
+        for w in &cap.writes {
+            if w.direct {
+                // race-shared-mut: a binding write races against every
+                // concurrent instance of the closure.
+                if !pf.src.is_allowed("race-shared-mut", w.line) {
+                    out.push(Finding::with_chain(
+                        "race-shared-mut",
+                        rel,
+                        w.line,
+                        format!(
+                            "captured binding `{}` mutated ({}) inside a closure scheduled \
+                             onto the pool via `{}` in `{}`: concurrent instances alias it \
+                             mutably",
+                            cap.name, w.desc, sched.via, f.name
+                        ),
+                        base_chain(Some(w)),
+                    ));
+                }
+            } else if !write_is_synchronized(&pf.src.tokens, &acqs, &cap.name, w.idx, c.body_end)
+                && !pf.src.is_allowed("race-unsynced-write", w.line)
+            {
+                // race-unsynced-write: an unguarded interior write.
+                out.push(Finding::with_chain(
+                    "race-unsynced-write",
+                    rel,
+                    w.line,
+                    format!(
+                        "unsynchronized write to captured `{}` ({}) inside a closure \
+                         scheduled onto the pool via `{}` in `{}`: no lock guard covers \
+                         the write",
+                        cap.name, w.desc, sched.via, f.name
+                    ),
+                    base_chain(Some(w)),
+                ));
+            }
+        }
+        // Interprocedural: the capture handed whole-arg (or as receiver)
+        // into a resolved callee that writes the corresponding parameter.
+        check_interproc(files, graph, n, pf, f, sched, cap, &acqs, out);
+    }
+}
+
+/// True when an interior write at token `idx` is covered by a lock: the
+/// capture itself is the acquired lock (`x.lock().push(..)`), or any
+/// acquisition's live range covers the write site (a guard held around
+/// the statement).
+fn write_is_synchronized(
+    toks: &[Token],
+    acqs: &[Acquisition],
+    cap: &str,
+    idx: usize,
+    body_end: usize,
+) -> bool {
+    acqs.iter()
+        .any(|a| a.name == cap || (a.idx <= idx && idx < live_end(toks, a, body_end)))
+}
+
+/// Follows captures through whole-arg / receiver passing into resolved
+/// callees, flagging unguarded parameter writes with the full chain.
+#[allow(clippy::too_many_arguments)]
+fn check_interproc(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    n: NodeId,
+    pf: &ParsedFile,
+    f: &FnItem,
+    sched: &Scheduled<'_>,
+    cap: &Capture,
+    acqs: &[Acquisition],
+    out: &mut Vec<Finding>,
+) {
+    let toks = &pf.src.tokens;
+    let c = sched.closure;
+    let rel = &pf.src.rel_path;
+    for (ci, cs) in f.calls.iter().enumerate() {
+        if cs.name_idx < c.body_start || cs.name_idx >= c.body_end {
+            continue;
+        }
+        // Covered by a guard held around the call? Then the callee's
+        // writes run under it.
+        let guarded = acqs
+            .iter()
+            .any(|a| a.idx <= cs.name_idx && cs.name_idx < live_end(toks, a, c.body_end));
+        if guarded {
+            continue;
+        }
+        let edges: Vec<&Edge> = graph.out(n).iter().filter(|e| e.call == ci).collect();
+        if edges.is_empty() {
+            continue;
+        }
+        // Which callee parameter receives the capture?
+        let mut targets: Vec<(NodeId, String)> = Vec::new();
+        for e in &edges {
+            let callee = &files[e.to.0].fns[e.to.1];
+            let offset = usize::from(callee.is_method && cs.is_method);
+            for (ai, &(s, arg_end)) in cs.args.iter().enumerate() {
+                if whole_arg_is(toks, s, arg_end, &cap.name) {
+                    if let Some(p) = callee.params.get(ai + offset) {
+                        targets.push((e.to, p.clone()));
+                    }
+                }
+            }
+            // The capture as method receiver: `x.update(..)` writing self.
+            if cs.is_method
+                && callee.is_method
+                && !MUT_METHODS.contains(&cs.callee.as_str())
+                && cs
+                    .recv
+                    .is_some_and(|(s, e2)| whole_arg_is(toks, s, e2, &cap.name))
+            {
+                targets.push((e.to, "self".to_string()));
+            }
+        }
+        for (to, param) in targets {
+            let mut visited = BTreeSet::new();
+            if let Some(tail) =
+                param_write_chain(files, graph, to, &param, FOLLOW_DEPTH, &mut visited)
+            {
+                if pf.src.is_allowed("race-unsynced-write", cs.line) {
+                    continue;
+                }
+                let mut chain = vec![
+                    format!("capture of `{}` ({rel}:{})", cap.name, cap.line),
+                    format!(
+                        "scheduled onto the pool via `{}` ({rel}:{})",
+                        sched.via, sched.via_line
+                    ),
+                    format!("passed to `{}` ({rel}:{})", cs.callee, cs.line),
+                ];
+                chain.extend(tail);
+                out.push(Finding::with_chain(
+                    "race-unsynced-write",
+                    rel,
+                    cs.line,
+                    format!(
+                        "captured `{}` passed from a pool-scheduled closure in `{}` into \
+                         `{}`, which writes it without a lock guard",
+                        cap.name, f.name, cs.callee
+                    ),
+                    chain,
+                ));
+            }
+        }
+    }
+}
+
+/// True when `[s, e)` is exactly `name`, optionally `&`- or
+/// `&mut`-prefixed.
+fn whole_arg_is(toks: &[Token], s: usize, e: usize, name: &str) -> bool {
+    let mut s = s;
+    if toks.get(s).is_some_and(|t| t.is_op("&")) {
+        s += 1;
+        if toks.get(s).is_some_and(|t| t.is_ident("mut")) {
+            s += 1;
+        }
+    }
+    e == s + 1 && toks.get(s).is_some_and(|t| t.is_ident(name))
+}
+
+/// Finds an unguarded write to `param` in `node`'s body, directly or via
+/// recursive whole-arg pass-through (bounded depth, cycle-safe). Returns
+/// the chain hops from `node` down to the write site.
+fn param_write_chain(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    node: NodeId,
+    param: &str,
+    depth: usize,
+    visited: &mut BTreeSet<(NodeId, String)>,
+) -> Option<Vec<String>> {
+    if !visited.insert((node, param.to_string())) {
+        return None;
+    }
+    let pf = &files[node.0];
+    let f = &pf.fns[node.1];
+    let toks = &pf.src.tokens;
+    let acqs = find_acquisitions(&pf.src, f.body_start, f.body_end);
+    // Direct / interior writes to the parameter in this body.
+    let mut k = f.body_start;
+    while k < f.body_end.min(toks.len()) {
+        if let Some(&(_, nend)) = f.nested.iter().find(|&&(ns, ne)| k >= ns && k < ne) {
+            k = nend;
+            continue;
+        }
+        let t = &toks[k];
+        // `let param = ..` shadows the parameter: the binding ident is
+        // not a write, and later uses refer to the new local.
+        if t.is_ident(param)
+            && k > 0
+            && (toks[k - 1].is_ident("let")
+                || (toks[k - 1].is_ident("mut") && k > 1 && toks[k - 2].is_ident("let")))
+        {
+            break;
+        }
+        let is_use = t.is_ident(param)
+            && !(k > 0 && (toks[k - 1].is_op(".") || toks[k - 1].is_op("::")))
+            && !toks
+                .get(k + 1)
+                .is_some_and(|nx| nx.is_op("::") || nx.text == "(");
+        if is_use {
+            if let Some(w) = crate::parse::classify_capture_use(toks, k, f.body_end) {
+                let synced =
+                    !w.direct && write_is_synchronized(toks, &acqs, param, w.idx, f.body_end);
+                if !synced {
+                    return Some(vec![
+                        hop(files, node),
+                        format!("write: {} ({}:{})", w.desc, pf.src.rel_path, w.line),
+                    ]);
+                }
+            }
+        }
+        k += 1;
+    }
+    // Pass-through: the parameter handed whole-arg to a deeper callee.
+    if depth == 0 {
+        return None;
+    }
+    for (ci, cs) in f.calls.iter().enumerate() {
+        for e in graph.out(node).iter().filter(|e| e.call == ci) {
+            let callee = &files[e.to.0].fns[e.to.1];
+            let offset = usize::from(callee.is_method && cs.is_method);
+            for (ai, &(s, arg_end)) in cs.args.iter().enumerate() {
+                if !whole_arg_is(toks, s, arg_end, param) {
+                    continue;
+                }
+                let Some(p) = callee.params.get(ai + offset) else {
+                    continue;
+                };
+                if let Some(mut tail) = param_write_chain(files, graph, e.to, p, depth - 1, visited)
+                {
+                    let mut chain = vec![hop(files, node)];
+                    chain.append(&mut tail);
+                    return Some(chain);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
+        let graph = CallGraph::build(&parsed);
+        let mut out = Vec::new();
+        check_races(&parsed, &graph, &mut out);
+        out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+        out
+    }
+
+    #[test]
+    fn par_iter_binding_write_is_shared_mut() {
+        let src = "\
+fn total(items: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    items.par_iter().for_each(|x| {
+        sum += x;
+    });
+    sum
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        let hits: Vec<&Finding> = got.iter().filter(|f| f.rule == "race-shared-mut").collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`sum`"), "{}", hits[0].message);
+        assert_eq!(hits[0].chain.len(), 3, "{:?}", hits[0].chain);
+    }
+
+    #[test]
+    fn spawn_closure_push_without_lock_is_unsynced() {
+        let src = "\
+fn fanout(scope: &Scope, results: &SharedVec) {
+    scope.spawn(move || {
+        results.push(compute());
+    });
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        let hits: Vec<&Finding> = got
+            .iter()
+            .filter(|f| f.rule == "race-unsynced-write")
+            .collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn locked_write_is_synchronized() {
+        let src = "\
+fn fanout(scope: &Scope, results: &Shared) {
+    scope.spawn(move || {
+        results.lock().push(compute());
+    });
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(
+            got.iter().all(|f| f.rule != "race-unsynced-write"),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn guard_held_around_write_is_synchronized() {
+        let src = "\
+fn fanout(scope: &Scope, table: &Shared, m: &M) {
+    scope.spawn(move || {
+        let g = m.lock();
+        table.extend(g.batch());
+    });
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(
+            got.iter().all(|f| f.rule != "race-unsynced-write"),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn refcell_capture_crossing_steal_boundary_is_flagged() {
+        let src = "\
+fn drive(items: &[u64]) {
+    let cache = RefCell::new(Vec::new());
+    items.par_iter().map(|x| {
+        cache.borrow();
+        x
+    }).sum::<u64>();
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        let hits: Vec<&Finding> = got.iter().filter(|f| f.rule == "race-cell-steal").collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert!(hits[0].message.contains("`cache`"));
+    }
+
+    #[test]
+    fn read_only_captures_are_clean() {
+        let src = "\
+fn map_all(items: &[u64], key: &Key) -> Vec<u64> {
+    items.par_iter().map(|x| key.apply(x)).collect()
+}
+fn scoped(scope: &Scope, shared: &State, w: usize, f: &F) {
+    scope.spawn(move || worker_loop(shared, w, f));
+}
+fn worker_loop(shared: &State, w: usize, f: &F) {}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn serial_iterator_closures_are_not_pool_scheduled() {
+        let src = "\
+fn serial(items: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    items.iter().for_each(|x| {
+        acc += x;
+    });
+    acc
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn let_bound_closure_passed_by_name_is_traced() {
+        let src = "\
+fn fanout(scope: &Scope) {
+    let mut count = 0u64;
+    let work = move || {
+        count += 1;
+    };
+    scope.spawn(work);
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        let hits: Vec<&Finding> = got.iter().filter(|f| f.rule == "race-shared-mut").collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn interprocedural_write_through_helper_is_traced() {
+        let src = "\
+fn fanout(scope: &Scope, stats: &Stats) {
+    scope.spawn(move || record(stats));
+}
+fn record(stats: &Stats) {
+    stats.push(1);
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        let hits: Vec<&Finding> = got
+            .iter()
+            .filter(|f| f.rule == "race-unsynced-write")
+            .collect();
+        assert_eq!(hits.len(), 1, "{got:?}");
+        assert_eq!(hits[0].line, 2);
+        assert!(
+            hits[0].chain.iter().any(|h| h.contains("record")),
+            "{:?}",
+            hits[0].chain
+        );
+    }
+
+    #[test]
+    fn interprocedural_locked_helper_is_clean() {
+        let src = "\
+fn fanout(scope: &Scope, stats: &Stats) {
+    scope.spawn(move || record(stats));
+}
+fn record(stats: &Stats) {
+    stats.lock().push(1);
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(
+            got.iter().all(|f| f.rule != "race-unsynced-write"),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn allow_suppresses_each_rule() {
+        let src = "\
+fn total(items: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    items.par_iter().for_each(|x| {
+        // flcheck: allow(race-shared-mut)
+        sum += x;
+    });
+    sum
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn test_fns_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(items: &[u64]) {
+        let mut sum = 0u64;
+        items.par_iter().for_each(|x| { sum += x; });
+    }
+}
+";
+        let got = run(&[("crates/core/src/a.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

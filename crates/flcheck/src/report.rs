@@ -1,7 +1,7 @@
 //! Findings and report serialization (human text + hand-rolled JSON —
 //! the crate carries no serde).
 //!
-//! The JSON report is **schema 4**: every finding carries a `chain`
+//! The JSON report is **schema 5**: every finding carries a `chain`
 //! array (empty for intraprocedural rules, the full call/lock chain for
 //! the interprocedural rules), findings are sorted by (file, line, rule,
 //! message) so output is byte-identical regardless of scan order or
@@ -9,15 +9,17 @@
 //! explicit count (zero included) — so a gate greping for one rule's
 //! count cannot silently miss a rule the analyzer stopped running.
 //! Schema 4 added the determinism-flow rule `nondet-in-result` and the
-//! guard-escape rule `guard-escape` to the enumeration.
+//! guard-escape rule `guard-escape`; schema 5 adds the closure-capture
+//! race family (`race-shared-mut`, `race-unsynced-write`,
+//! `race-cell-steal`) and the integer-width rule `lossy-narrow`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// JSON report schema version emitted by [`Report::render_json`].
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
-/// Every rule id the analyzer can emit, sorted. The schema-4 summary
+/// Every rule id the analyzer can emit, sorted. The schema-5 summary
 /// lists each with an explicit (possibly zero) count; keep in sync with
 /// the rule table in the crate docs.
 pub const ALL_RULES: &[&str] = &[
@@ -31,6 +33,7 @@ pub const ALL_RULES: &[&str] = &[
     "ld-wait",
     "lock-across-hotpath",
     "lock-cycle",
+    "lossy-narrow",
     "nondet-in-result",
     "pf-assert",
     "pf-expect",
@@ -38,6 +41,9 @@ pub const ALL_RULES: &[&str] = &[
     "pf-panic",
     "pf-reach",
     "pf-unwrap",
+    "race-cell-steal",
+    "race-shared-mut",
+    "race-unsynced-write",
     "stale-estimate",
     "uncharged-work",
 ];
@@ -218,7 +224,7 @@ mod tests {
         };
         r.sort();
         let j = r.render_json();
-        assert!(j.contains("\"schema\": 4"));
+        assert!(j.contains("\"schema\": 5"));
         assert!(j.contains("\"rule\": \"pf-unwrap\""));
         assert!(j.contains("a \\\"b\\\".rs"));
         assert!(j.contains("line1\\nline2"));
@@ -245,6 +251,10 @@ mod tests {
         assert!(j.contains("\"ld-wait\": 0"));
         assert!(j.contains("\"nondet-in-result\": 0"));
         assert!(j.contains("\"guard-escape\": 0"));
+        assert!(j.contains("\"race-shared-mut\": 0"));
+        assert!(j.contains("\"race-unsynced-write\": 0"));
+        assert!(j.contains("\"race-cell-steal\": 0"));
+        assert!(j.contains("\"lossy-narrow\": 0"));
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! flcheck: nondet(description)        the next `fn` contains a nondeterminism
 //!                                     source the token scan cannot see
 //!                                     (e.g. behind FFI); repeatable
+//! flcheck: widen-ok(a, b)             narrowing `as` casts in the next `fn`
+//!                                     whose source expression mentions one of
+//!                                     these identifiers are value-range safe
+//!                                     (the named quantity provably fits)
+//! flcheck: narrow(description)        the next `fn` performs intentional,
+//!                                     justified narrowing (e.g. masked limb
+//!                                     splitting); all its narrowing casts
+//!                                     are sanctioned
 //! ```
 
 use crate::lexer::{lex, Comment, TokKind, Token};
@@ -68,6 +76,13 @@ pub struct FnSpan {
     /// Descriptions from `// flcheck: nondet(..)` markers: opaque
     /// nondeterminism sources the token scan cannot see.
     pub nondets: Vec<String>,
+    /// Identifiers named by `// flcheck: widen-ok(..)` markers: narrowing
+    /// casts whose source expression mentions one of these are exempt
+    /// (the named quantity is known to fit the target width).
+    pub widen_ok: Vec<String>,
+    /// Descriptions from `// flcheck: narrow(..)` markers: the fn performs
+    /// intentional narrowing and all its narrowing casts are sanctioned.
+    pub narrows: Vec<String>,
 }
 
 /// A declared lock-order chain with the line it was declared on.
@@ -178,6 +193,22 @@ impl SourceFile {
                     markers.push(FnMarker {
                         line: c.line,
                         kind: MarkerKind::Nondet(desc.to_string()),
+                    });
+                }
+            } else if let Some(args) = strip_call(body, "widen-ok") {
+                let names = split_names(args);
+                if !names.is_empty() {
+                    markers.push(FnMarker {
+                        line: c.line,
+                        kind: MarkerKind::WidenOk(names),
+                    });
+                }
+            } else if let Some(args) = strip_call(body, "narrow") {
+                let desc = args.trim();
+                if !desc.is_empty() {
+                    markers.push(FnMarker {
+                        line: c.line,
+                        kind: MarkerKind::Narrow(desc.to_string()),
                     });
                 }
             } else if let Some(args) = strip_call(body, "secret") {
@@ -295,6 +326,8 @@ impl SourceFile {
                 is_det_sink: false,
                 is_det_absorb: false,
                 nondets: Vec::new(),
+                widen_ok: Vec::new(),
+                narrows: Vec::new(),
             });
             i = body_start + 1; // nested fns get their own entries
         }
@@ -318,6 +351,8 @@ impl SourceFile {
                     MarkerKind::DetSink => f.is_det_sink = true,
                     MarkerKind::DetAbsorb => f.is_det_absorb = true,
                     MarkerKind::Nondet(desc) => f.nondets.push(desc.clone()),
+                    MarkerKind::WidenOk(names) => f.widen_ok.extend(names.iter().cloned()),
+                    MarkerKind::Narrow(desc) => f.narrows.push(desc.clone()),
                 }
             }
         }
@@ -397,6 +432,8 @@ enum MarkerKind {
     DetSink,
     DetAbsorb,
     Nondet(String),
+    WidenOk(Vec<String>),
+    Narrow(String),
 }
 
 /// Splits a comma-separated directive argument list into non-empty names.
@@ -543,6 +580,38 @@ fn unmarked() {}
         );
         let u = by_name("unmarked");
         assert!(!u.is_det_sink && !u.is_det_absorb && u.nondets.is_empty());
+    }
+
+    #[test]
+    fn width_markers_attach_to_the_next_fn() {
+        let src = "\
+// flcheck: widen-ok(slot_bits, r_bits)
+pub fn pack() {}
+// flcheck: narrow(masked limb split: low 32 bits extracted explicitly)
+fn split_limb() {}
+fn unmarked() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).expect(n);
+        assert_eq!(by_name("pack").widen_ok, vec!["slot_bits", "r_bits"]);
+        assert!(by_name("pack").narrows.is_empty());
+        assert_eq!(
+            by_name("split_limb").narrows,
+            vec!["masked limb split: low 32 bits extracted explicitly"]
+        );
+        let u = by_name("unmarked");
+        assert!(u.widen_ok.is_empty() && u.narrows.is_empty());
+    }
+
+    #[test]
+    fn narrow_does_not_shadow_nondet_or_lock() {
+        // Prefix-dispatch sanity: `nondet(..)` and `lock(..)` still parse
+        // as themselves with the width directives in the chain.
+        let src = "// flcheck: nondet(ffi)\n// flcheck: lock(stats)\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.fns[0].nondets, vec!["ffi"]);
+        assert_eq!(f.fns[0].locks, vec!["stats"]);
+        assert!(f.fns[0].narrows.is_empty() && f.fns[0].widen_ok.is_empty());
     }
 
     #[test]

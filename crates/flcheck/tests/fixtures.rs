@@ -518,17 +518,205 @@ fn guard_escape_fixture_reports_unfollowable_escapes_only() {
 }
 
 #[test]
+fn races_fixture_reports_all_three_rules_with_capture_chains() {
+    let src = include_str!("fixtures/races.rs");
+    let path = "crates/core/src/races_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    // `locked_is_clean` must stay silent: the capture is the lock itself.
+    assert_eq!(
+        got,
+        vec![
+            ("race-shared-mut".to_string(), 7),
+            ("race-unsynced-write".to_string(), 14),
+            ("race-cell-steal".to_string(), 21),
+            ("race-unsynced-write".to_string(), 26),
+        ]
+    );
+
+    let shared = &report.findings[0];
+    assert!(
+        shared
+            .message
+            .contains("captured binding `total` mutated (assignment `total += ..`)")
+            && shared.message.contains("via `for_each` in `shared_mut`"),
+        "unexpected message: {}",
+        shared.message
+    );
+    assert_eq!(
+        shared.chain,
+        vec![
+            format!("capture of `total` ({path}:7)"),
+            format!("scheduled onto the pool via `for_each` ({path}:6)"),
+            format!("write: assignment `total += ..` ({path}:7)"),
+        ]
+    );
+
+    let unsynced = &report.findings[1];
+    assert!(
+        unsynced
+            .message
+            .contains("unsynchronized write to captured `log`")
+            && unsynced.message.contains("no lock guard covers the write"),
+        "unexpected message: {}",
+        unsynced.message
+    );
+    assert_eq!(
+        unsynced.chain,
+        vec![
+            format!("capture of `log` ({path}:14)"),
+            format!("scheduled onto the pool via `spawn` ({path}:13)"),
+            format!("write: mutating call `.push(..)` on `log` ({path}:14)"),
+        ]
+    );
+
+    let cell = &report.findings[2];
+    assert!(
+        cell.message
+            .contains("single-threaded interior-mutability value `hits`"),
+        "unexpected message: {}",
+        cell.message
+    );
+    assert_eq!(
+        cell.chain,
+        vec![
+            format!("capture of `hits` ({path}:21)"),
+            format!("scheduled onto the pool via `for_each` ({path}:20)"),
+        ]
+    );
+
+    // The interprocedural chain walks capture -> pool entry -> helper ->
+    // the unguarded write inside it.
+    let interproc = &report.findings[3];
+    assert!(
+        interproc.message.contains(
+            "captured `stats` passed from a pool-scheduled closure in `fanout` into `record`"
+        ),
+        "unexpected message: {}",
+        interproc.message
+    );
+    assert_eq!(
+        interproc.chain,
+        vec![
+            format!("capture of `stats` ({path}:26)"),
+            format!("scheduled onto the pool via `spawn` ({path}:26)"),
+            format!("passed to `record` ({path}:26)"),
+            format!("record ({path}:29)"),
+            format!("write: mutating call `.push(..)` on `stats` ({path}:30)"),
+        ]
+    );
+}
+
+#[test]
+fn width_fixture_reports_lossy_narrows_with_sink_chains() {
+    let src = include_str!("fixtures/width_violations.rs");
+    let path = "crates/he/src/width_fixture.rs";
+    let report = workspace(&[(path, src)]);
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    // `high_half` (narrow directive), `slots` (widen-ok), `fixed` (pure
+    // literal), and the widening `n as usize` must all stay silent.
+    assert_eq!(
+        got,
+        vec![
+            ("lossy-narrow".to_string(), 5),
+            ("lossy-narrow".to_string(), 14),
+            ("lossy-narrow".to_string(), 18),
+        ]
+    );
+
+    // Case (a): a cast inside the sink's own computation.
+    let inside = &report.findings[0];
+    assert!(
+        inside.message.contains("`as u32`")
+            && inside.message.contains("op-cost accounting")
+            && inside.message.contains("`kernel_op_estimate`"),
+        "unexpected message: {}",
+        inside.message
+    );
+    assert_eq!(
+        inside.chain,
+        vec![
+            format!("cast `mac_per_limb ( limbs ) as u32` ({path}:5)"),
+            format!("kernel_op_estimate ({path}:4)"),
+        ]
+    );
+
+    // Case (b): a cast flowing as an argument straight into the sink.
+    let direct_arg = &report.findings[1];
+    assert!(
+        direct_arg
+            .message
+            .contains("in `plan` passed into `kernel_op_estimate`"),
+        "unexpected message: {}",
+        direct_arg.message
+    );
+    assert_eq!(
+        direct_arg.chain,
+        vec![
+            format!("cast `terms as u32` ({path}:14)"),
+            format!("plan ({path}:13)"),
+            format!("kernel_op_estimate ({path}:4)"),
+        ]
+    );
+
+    // Case (b), transitively: the callee still reaches the sink.
+    let transitive = &report.findings[2];
+    assert!(
+        transitive
+            .message
+            .contains("in `stage` passed into `tally`"),
+        "unexpected message: {}",
+        transitive.message
+    );
+    assert_eq!(
+        transitive.chain,
+        vec![
+            format!("cast `limbs as u16` ({path}:18)"),
+            format!("stage ({path}:17)"),
+            format!("tally ({path}:21)"),
+            format!("kernel_op_estimate ({path}:4)"),
+        ]
+    );
+}
+
+#[test]
 fn workspace_report_is_deterministic_across_input_order() {
     let taint = include_str!("fixtures/taint_leak.rs");
     let reach = include_str!("fixtures/reach_violations.rs");
+    let races = include_str!("fixtures/races.rs");
+    let width = include_str!("fixtures/width_violations.rs");
     let fwd = workspace(&[
         ("crates/mpint/src/taint_fixture.rs", taint),
         ("crates/core/src/reach_fixture.rs", reach),
+        ("crates/core/src/races_fixture.rs", races),
+        ("crates/he/src/width_fixture.rs", width),
     ]);
     let rev = workspace(&[
+        ("crates/he/src/width_fixture.rs", width),
+        ("crates/core/src/races_fixture.rs", races),
         ("crates/core/src/reach_fixture.rs", reach),
         ("crates/mpint/src/taint_fixture.rs", taint),
     ]);
     assert_eq!(fwd.render_json(), rev.render_json());
-    assert!(fwd.render_json().contains("\"schema\": 4"));
+    assert!(fwd.render_json().contains("\"schema\": 5"));
+    // The new rule families are enumerated in the summary even at zero.
+    for rule in [
+        "race-shared-mut",
+        "race-unsynced-write",
+        "race-cell-steal",
+        "lossy-narrow",
+    ] {
+        assert!(
+            fwd.render_json().contains(&format!("\"{rule}\"")),
+            "summary must enumerate {rule}"
+        );
+    }
 }

@@ -1,0 +1,37 @@
+//! Race fixture: closure captures crossing the work-stealing pool.
+//! Exercised by tests/fixtures.rs through the workspace analysis.
+
+fn shared_mut(items: &[u64]) {
+    let mut total = 0u64;
+    items.par_iter().for_each(|x| {
+        total += x;
+    });
+}
+
+fn unsynced_push(items: &[u64]) {
+    let mut log = Vec::new();
+    spawn(move || {
+        log.push(items.len());
+    });
+}
+
+fn cell_steal(items: &[u64]) {
+    let hits = RefCell::new(0u64);
+    items.par_iter().for_each(|x| {
+        hits.borrow();
+    });
+}
+
+fn fanout(scope: &Scope, stats: &Stats) {
+    scope.spawn(move || record(stats));
+}
+
+fn record(stats: &Stats) {
+    stats.push(1);
+}
+
+fn locked_is_clean(items: &[u64], stats: &Mutex) {
+    items.par_iter().for_each(|x| {
+        stats.lock().push(*x);
+    });
+}

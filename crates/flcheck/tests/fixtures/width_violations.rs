@@ -1,0 +1,37 @@
+//! Width fixture: lossy narrowing casts reaching op-cost accounting.
+//! Exercised by tests/fixtures.rs through the workspace analysis.
+
+fn kernel_op_estimate(limbs: usize, terms: usize) -> u64 {
+    let per_term = mac_per_limb(limbs) as u32;
+    (per_term as u64) * (terms as u64)
+}
+
+fn mac_per_limb(limbs: usize) -> usize {
+    limbs * limbs + limbs
+}
+
+fn plan(terms: usize) -> u64 {
+    kernel_op_estimate(64, terms as u32)
+}
+
+fn stage(limbs: usize) -> u64 {
+    tally(limbs as u16)
+}
+
+fn tally(n: u16) -> u64 {
+    kernel_op_estimate(n as usize, 1)
+}
+
+// flcheck: narrow(high half dropped deliberately after the shift)
+fn high_half(total: u64) -> u64 {
+    kernel_op_estimate((total >> 32) as u32, 1)
+}
+
+// flcheck: widen-ok(slot_bits)
+fn slots(slot_bits: usize) -> u64 {
+    kernel_op_estimate(slot_bits as u32, 1)
+}
+
+fn fixed() -> u64 {
+    kernel_op_estimate(64 as u32, 1)
+}

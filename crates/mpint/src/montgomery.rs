@@ -42,6 +42,9 @@ pub struct MontgomeryCtx {
 
 impl MontgomeryCtx {
     /// Builds a context for odd `n > 1`.
+    // `width` is the modulus limb count — a few dozen limbs for any real
+    // key size, nowhere near 2^32 — so the bit-count cast cannot truncate.
+    // flcheck: widen-ok(width)
     pub fn new(n: &Natural) -> Result<Self> {
         if n.is_even() || n.is_one() || n.is_zero() {
             return Err(Error::EvenModulus);

@@ -81,21 +81,27 @@ pub fn straus_window_for_arity(max_bits: u32, arity: usize) -> u32 {
     best_w
 }
 
-/// Splits `len` items into at most `shards` contiguous near-equal spans
-/// (ceiling division: early spans carry the extra items). Deterministic
-/// in its arguments; never emits an empty span, so the result holds
-/// `min(shards.max(1), ⌈len/per⌉)` ranges — and none at all for
-/// `len = 0`.
+/// Splits `len` items into at most `shards` contiguous balanced spans:
+/// the first `len % shards` spans carry one extra item, so sizes differ
+/// by at most 1 and the widest span is exactly `⌈len/shards⌉` (the
+/// critical path of a parallel fold). Deterministic in its arguments;
+/// never emits an empty span, so the result holds
+/// `min(shards.max(1), len)` ranges — and none at all for `len = 0`.
 pub fn shard_spans(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
     let shards = shards.clamp(1, len);
-    let per = len.div_ceil(shards);
-    (0..shards)
-        .map(|i| i * per..((i + 1) * per).min(len))
-        .filter(|r| !r.is_empty())
-        .collect()
+    let base = len / shards;
+    let extra = len % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        spans.push(start..start + size);
+        start += size;
+    }
+    spans
 }
 
 /// Interleaved multi-exponentiation over Montgomery-form bases: returns
@@ -328,19 +334,56 @@ mod tests {
                 }
                 assert_eq!(next, len, "coverage at len {len} shards {shards}");
                 if len > 0 {
-                    assert!(spans.len() <= shards.max(1));
-                    // Ceiling split: every span but the tail is exactly
-                    // ⌈len/shards⌉ wide, and the tail never exceeds it.
-                    let per = len.div_ceil(shards.clamp(1, len));
-                    for s in &spans[..spans.len() - 1] {
-                        assert_eq!(s.len(), per, "len {len} shards {shards}");
-                    }
-                    assert!(spans.last().unwrap().len() <= per);
+                    assert_eq!(spans.len(), shards.clamp(1, len));
+                    // Balanced split: sizes differ by at most 1 and the
+                    // widest span is exactly ⌈len/shards⌉ (the parallel
+                    // fold's critical path).
+                    let min = spans.iter().map(|s| s.len()).min().unwrap();
+                    let max = spans.iter().map(|s| s.len()).max().unwrap();
+                    assert!(max - min <= 1, "len {len} shards {shards}");
+                    assert_eq!(max, len.div_ceil(shards.clamp(1, len)));
                 } else {
                     assert!(spans.is_empty());
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_spans_zero_items_is_empty() {
+        assert!(shard_spans(0, 0).is_empty());
+        assert!(shard_spans(0, 1).is_empty());
+        assert!(shard_spans(0, 17).is_empty());
+    }
+
+    #[test]
+    fn shard_spans_one_item_is_one_span() {
+        for shards in 0..5usize {
+            assert_eq!(shard_spans(1, shards), vec![0..1], "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_spans_more_shards_than_items_degenerates_to_singletons() {
+        let spans = shard_spans(3, 8);
+        assert_eq!(spans, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn shard_spans_are_disjoint_covering_and_balanced() {
+        // A non-divisible case: 10 items over 4 shards must come out as
+        // 3/3/2/2 — never the lopsided 3/3/3/1 a naive ceiling tiling
+        // produces (the last worker would idle while the rest run long).
+        assert_eq!(shard_spans(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        // Disjointness + coverage as an explicit element-level check.
+        let mut seen = [false; 10];
+        for s in shard_spans(10, 4) {
+            for i in s {
+                assert!(!seen[i], "element {i} covered twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
     }
 
     #[test]

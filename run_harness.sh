@@ -119,18 +119,17 @@ if ! cargo test -q --release 2>&1 | tail -40; then
 fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
-# Single source of truth: the schema-4 JSON summary enumerates every rule
+# Single source of truth: the schema-5 JSON summary enumerates every rule
 # with an explicit count, so the gate loops over total plus each rule id
 # and fails if any count is missing (schema drift / crash / unwritable
-# report) or non-zero. Rule ids come from the binary itself (--help lists
-# them via report::ALL_RULES) and are mirrored here.
+# report) or non-zero. The rule list comes from the binary itself
+# (`flcheck --rules` prints report::ALL_RULES one per line), so adding a
+# pass without a gate is impossible: a new rule id appears here
+# automatically, and a rule missing from the summary fails the loop.
 echo "=== flcheck: static analysis ==="
 ./target/release/flcheck --root . --json $R/flcheck_report.json | tee $R/flcheck.txt
 fl_status=${PIPESTATUS[0]}
-fl_rules="total ct-branch ct-compare ct-return ct-shortcircuit ct-taint \
-  guard-across-steal guard-escape ld-wait lock-across-hotpath lock-cycle \
-  nondet-in-result pf-assert pf-expect pf-index pf-panic pf-reach pf-unwrap \
-  stale-estimate uncharged-work"
+fl_rules="total $(./target/release/flcheck --rules)"
 fl_bad=0
 echo "--- flcheck summary by rule ---"
 for rule in $fl_rules; do
@@ -151,11 +150,13 @@ if [ "$fl_status" -ne 0 ] || [ "$fl_bad" -ne 0 ]; then
 fi
 
 # Analyzer self-benchmark: files/sec and per-pass wall-clock
-# (results/BENCH_flcheck.json). Reporting-only — no floor, the numbers
-# feed the README table.
-echo "=== bench_flcheck: analyzer self-benchmark ==="
+# (results/BENCH_flcheck.json). The binary exits non-zero if measured
+# files/sec falls under 0.4x the committed
+# results/bench_flcheck_baseline.json — a wide band that still catches
+# an accidentally quadratic pass.
+echo "=== bench_flcheck: analyzer self-benchmark + throughput gate ==="
 if ! ./target/release/bench_flcheck --iters 3 2>&1 | tee $R/bench_flcheck.txt; then
-  echo "HARNESS_FAILED: bench_flcheck"
+  echo "HARNESS_FAILED: bench_flcheck throughput gate"
   exit 1
 fi
 echo

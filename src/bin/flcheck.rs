@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release --bin flcheck -- [--root DIR] [--json FILE] [--rule NAME] [--quiet]
+//! cargo run --release --bin flcheck -- --rules | --explain RULE
 //! ```
 //!
 //! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
@@ -9,6 +10,10 @@
 //! (the harness points it at `results/flcheck_report.json`). `--rule`
 //! restricts the report — findings, summary, and exit code — to one rule
 //! id (repeatable), handy when iterating on a single discipline.
+//! `--rules` prints every rule id, one per line (the harness drives its
+//! per-rule gate loop off this, so a new pass can't ship without a
+//! gate); `--explain RULE` prints the rule's family, a one-paragraph
+//! description, and a minimal triggering example.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +35,37 @@ fn main() -> ExitCode {
                 Some(v) => json_path = Some(PathBuf::from(v)),
                 None => return usage("--json requires a file path"),
             },
+            "--rules" => {
+                for rule in flcheck::report::ALL_RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => match args.next() {
+                Some(v) => match flcheck::explain::doc_for(&v) {
+                    Some(doc) => {
+                        println!(
+                            "{} ({} family, since PR {})",
+                            doc.rule, doc.family, doc.since
+                        );
+                        println!();
+                        println!("{}", doc.detail);
+                        println!();
+                        println!("example:");
+                        for line in doc.example.lines() {
+                            println!("    {line}");
+                        }
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        return usage(&format!(
+                            "unknown rule `{v}` (known: {})",
+                            flcheck::report::ALL_RULES.join(", ")
+                        ))
+                    }
+                },
+                None => return usage("--explain requires a rule id"),
+            },
             "--rule" => match args.next() {
                 Some(v) if flcheck::report::ALL_RULES.contains(&v.as_str()) => rules.push(v),
                 Some(v) => {
@@ -44,9 +80,13 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: flcheck [--root DIR] [--json FILE] [--rule NAME] [--quiet]\n\
+                     \x20      flcheck --rules | --explain RULE\n\
                      Static analysis: constant-time discipline, panic freedom, \
-                     lock discipline, cost-model conformance.\n\
-                     --rule NAME   keep only findings for this rule id (repeatable)"
+                     lock discipline, cost-model conformance, determinism flow, \
+                     race detection, width conformance.\n\
+                     --rule NAME    keep only findings for this rule id (repeatable)\n\
+                     --rules        print every rule id, one per line\n\
+                     --explain RULE print a rule's description and example"
                 );
                 return ExitCode::SUCCESS;
             }
