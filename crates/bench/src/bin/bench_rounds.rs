@@ -1,0 +1,244 @@
+//! **Round-engine pipelining benchmark**: modeled secure-aggregation
+//! round time with the event-driven engine overlapping client encrypt,
+//! transfer, and server folds, versus the same round run strictly
+//! sequentially. Results go to `results/BENCH_rounds.json`.
+//!
+//! Each cell runs *real* crypto — every client encrypts its gradient
+//! vector, the server folds ciphertexts as they arrive, one decrypt
+//! closes the round — through [`fl::engine::run_round`] twice over the
+//! same parties and seeds:
+//!
+//! * **sequential** — `EngineConfig::sequential()` on a single-stream
+//!   NIC: the classic loop's accounting (elapsed == work).
+//! * **pipelined** — `EngineConfig::default()` on a 4-stream duplex
+//!   NIC with mild compute heterogeneity: encrypts stagger, transfers
+//!   overlap, folds stream behind the uplink.
+//!
+//! The *modeled speedup* is sequential elapsed over pipelined elapsed
+//! (simulated seconds — deterministic on any host); wall-clock
+//! rounds/sec is recorded for the curious.
+//!
+//! Gates (exit 1 on failure; `run_harness.sh` traps them):
+//!
+//! 1. **Bit identity** — the pipelined round's decrypted sums must equal
+//!    the sequential round's exactly, at every client count.
+//! 2. **Speedup floor** — modeled round-time reduction must be ≥ 1.5×
+//!    at every swept client count (all are ≥ 64).
+//!
+//! ```text
+//! cargo run -p flbooster-bench --release --bin bench_rounds -- \
+//!     [--keys 256] [--quick] [--out results/BENCH_rounds.json]
+//! ```
+
+use std::time::Instant;
+
+use fl::engine::{run_round, EngineConfig};
+use fl::metrics::EpochBreakdown;
+use fl::train::{FlEnv, TrainConfig};
+use fl::{BackendKind, Network};
+use flbooster_bench::table::Table;
+use flbooster_bench::{backend, Args};
+
+/// Gradient components per client (packed to a couple of ciphertexts).
+const VALUES_PER_CLIENT: usize = 8;
+/// Local-compute flops per client per round.
+const FLOPS_PER_CLIENT: u64 = 50_000;
+/// NIC streams the pipelined configuration may overlap.
+const DUPLEX_STREAMS: u32 = 4;
+/// Modeled round-time reduction floor at 64+ clients.
+const SPEEDUP_FLOOR: f64 = 1.5;
+/// Compute heterogeneity profile tiled over the clients.
+const MULTIPLIERS: [f64; 4] = [0.7, 1.0, 1.15, 1.3];
+
+struct Row {
+    clients: usize,
+    work_seconds: f64,
+    sequential_seconds: f64,
+    pipelined_seconds: f64,
+    speedup: f64,
+    wall_rounds_per_sec: f64,
+    identical: bool,
+}
+
+/// Deterministic per-client gradient vectors.
+fn parties(clients: usize) -> Vec<Vec<f64>> {
+    (0..clients)
+        .map(|k| {
+            (0..VALUES_PER_CLIENT)
+                .map(|i| ((k * VALUES_PER_CLIENT + i) as f64 * 0.173).sin() * 0.6)
+                .collect()
+        })
+        .collect()
+}
+
+// The sweep tops out at 1024 clients — nowhere near 2^32 — so the
+// backend party-count cast cannot truncate.
+// flcheck: widen-ok(clients)
+fn engine_env(key_bits: u32, clients: usize, duplex: u32) -> FlEnv {
+    let accel = backend(BackendKind::FlBooster, key_bits, clients as u32);
+    let profile = accel.network_profile().with_duplex_streams(duplex);
+    FlEnv {
+        network: Network::new(profile, 0x0E7),
+        accel,
+    }
+}
+
+// flcheck: det-absorb — the only wall-clock read is the stopwatch around
+// the pipelined round; it feeds the informational rounds/sec column and
+// never the simulated timings, the sums, or the gate decisions.
+fn measure(key_bits: u32, clients: usize) -> Row {
+    let grads = parties(clients);
+    let flops = vec![FLOPS_PER_CLIENT; clients];
+    let tcfg = TrainConfig::default();
+    let seed = 0xB00 + clients as u64;
+
+    let seq_env = engine_env(key_bits, clients, 1);
+    let mut seq_b = EpochBreakdown::default();
+    let seq = run_round(
+        &seq_env,
+        &EngineConfig::sequential().with_compute_multipliers(MULTIPLIERS.to_vec()),
+        &tcfg,
+        &grads,
+        &flops,
+        seed,
+        &mut seq_b,
+    )
+    .expect("sequential round");
+
+    let pipe_env = engine_env(key_bits, clients, DUPLEX_STREAMS);
+    let mut pipe_b = EpochBreakdown::default();
+    // Wall-clock around the pipelined round: real encrypts + streaming
+    // folds. One round is plenty of work at every swept client count.
+    let started = Instant::now();
+    let pipe = run_round(
+        &pipe_env,
+        &EngineConfig::default().with_compute_multipliers(MULTIPLIERS.to_vec()),
+        &tcfg,
+        &grads,
+        &flops,
+        seed,
+        &mut pipe_b,
+    )
+    .expect("pipelined round");
+    let wall = started.elapsed().as_secs_f64();
+
+    Row {
+        clients,
+        work_seconds: seq.round_seconds,
+        sequential_seconds: seq.round_seconds,
+        pipelined_seconds: pipe.round_seconds,
+        speedup: seq.round_seconds / pipe.round_seconds,
+        wall_rounds_per_sec: if wall > 0.0 { 1.0 / wall } else { 0.0 },
+        identical: pipe.sums == seq.sums,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has("quick");
+    let key_bits = args.key_sizes_or(&[256])[0];
+    let client_sweep: Vec<usize> = if quick {
+        vec![64, 128]
+    } else {
+        vec![64, 256, 1024]
+    };
+    let out_path = args
+        .get("out")
+        .unwrap_or("results/BENCH_rounds.json")
+        .to_string();
+
+    println!(
+        "Round-engine pipelining — {key_bits}-bit keys, {VALUES_PER_CLIENT} values/client, \
+         duplex {DUPLEX_STREAMS}, clients {client_sweep:?}\n"
+    );
+
+    let rows: Vec<Row> = client_sweep.iter().map(|&c| measure(key_bits, c)).collect();
+
+    let mut table = Table::new([
+        "Clients",
+        "Work sim s",
+        "Sequential sim s",
+        "Pipelined sim s",
+        "Speedup",
+        "Wall rounds/s",
+        "Identical",
+    ]);
+    for r in &rows {
+        table.row([
+            r.clients.to_string(),
+            format!("{:.4}", r.work_seconds),
+            format!("{:.4}", r.sequential_seconds),
+            format!("{:.4}", r.pipelined_seconds),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}", r.wall_rounds_per_sec),
+            r.identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    // JSON artifact (hand-rolled; the offline workspace has no serde).
+    let mut json = format!(
+        "{{\n  \"key_bits\": {key_bits},\n  \"values_per_client\": {VALUES_PER_CLIENT},\n  \
+         \"flops_per_client\": {FLOPS_PER_CLIENT},\n  \"duplex_streams\": {DUPLEX_STREAMS},\n  \
+         \"speedup_floor\": {SPEEDUP_FLOOR},\n  \"rounds\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"work_sim_seconds\": {:.6}, \
+             \"sequential_sim_seconds\": {:.6}, \"pipelined_sim_seconds\": {:.6}, \
+             \"modeled_speedup\": {:.3}, \"wall_rounds_per_sec\": {:.3}, \
+             \"identical_to_sequential\": {}}}{}\n",
+            r.clients,
+            r.work_seconds,
+            r.sequential_seconds,
+            r.pipelined_seconds,
+            r.speedup,
+            r.wall_rounds_per_sec,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("\nWrote {out_path}");
+
+    let mut failed = false;
+
+    // Gate 1: pipelined sums bit-identical to sequential sums.
+    for r in &rows {
+        if !r.identical {
+            println!(
+                "GATE FAILED: pipelined sums diverged from sequential at {} clients",
+                r.clients
+            );
+            failed = true;
+        }
+    }
+    if !failed {
+        println!("gate ok: pipelined sums bit-identical to sequential at every client count");
+    }
+
+    // Gate 2: modeled round-time reduction floor.
+    for r in &rows {
+        if r.speedup < SPEEDUP_FLOOR {
+            println!(
+                "GATE FAILED: modeled speedup {:.2}x at {} clients < required {SPEEDUP_FLOOR}x",
+                r.speedup, r.clients
+            );
+            failed = true;
+        } else {
+            println!(
+                "gate ok: modeled speedup {:.2}x at {} clients >= {SPEEDUP_FLOOR}x",
+                r.speedup, r.clients
+            );
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("All round-engine gates passed.");
+}

@@ -297,10 +297,33 @@ impl Accelerator {
         &self.codec
     }
 
-    /// Quantizes, packs (if enabled), and encrypts a gradient vector.
+    /// Quantizes, packs (if enabled), and encrypts a gradient vector,
+    /// charging the cost to the shared accumulator. Equivalent to
+    /// [`Accelerator::encrypt_timed`] followed by
+    /// [`Accelerator::charge_accel`].
+    pub fn encrypt(&self, values: &[f64], seed: u64) -> Result<EncryptedVector> {
+        let (ev, t) = self.encrypt_timed(values, seed)?;
+        self.charge_accel(&t);
+        Ok(ev)
+    }
+
+    /// Quantizes, packs (if enabled), and encrypts a gradient vector,
+    /// returning this call's cost alongside the ciphertexts instead of
+    /// charging the shared accumulator.
+    ///
+    /// The round engine needs the *per-client* cost to lay client
+    /// encrypts out on its simulated timeline, and it runs client
+    /// encrypts concurrently on the work-stealing pool — a take-timing
+    /// dance around the shared [`Mutex`] accumulator would interleave
+    /// clients. Callers must charge the returned timing themselves (the
+    /// engine charges it to the epoch breakdown).
     // flcheck: secret(values)
     // flcheck: det-sink — EncryptedVector construction
-    pub fn encrypt(&self, values: &[f64], seed: u64) -> Result<EncryptedVector> {
+    pub fn encrypt_timed(
+        &self,
+        values: &[f64],
+        seed: u64,
+    ) -> Result<(EncryptedVector, AccelTiming)> {
         let plaintexts: Vec<Natural> = if self.batch_compression {
             // Quantize-and-pack runs on the data owner's host before
             // encryption; its timing is visible only to the plaintext owner.
@@ -337,11 +360,14 @@ impl Accelerator {
         // `t` is the simulated timing record — a function of batch size and
         // key width, not of the plaintext values.
         // flcheck: allow(ct-taint)
-        self.charge(&t, values.len());
-        Ok(EncryptedVector {
-            cts,
-            count: values.len(),
-        })
+        let timing = Self::accel_timing(&t, values.len());
+        Ok((
+            EncryptedVector {
+                cts,
+                count: values.len(),
+            },
+            timing,
+        ))
     }
 
     /// Homomorphically folds several participants' vectors into one,
@@ -502,11 +528,42 @@ impl Accelerator {
         }
     }
 
+    /// One homomorphic addition of two same-shaped encrypted vectors,
+    /// returning the cost alongside the sum instead of charging the
+    /// shared accumulator. This is the streaming-fold step the round
+    /// engine performs each time a ciphertext arrives at an aggregator
+    /// node; the engine charges the returned timing itself.
+    // flcheck: det-sink — aggregate EncryptedVector construction
+    pub fn add_timed(
+        &self,
+        acc: &EncryptedVector,
+        v: &EncryptedVector,
+    ) -> Result<(EncryptedVector, AccelTiming)> {
+        // Protocol invariant: every party submits same-shaped vectors.
+        // flcheck: allow(pf-assert)
+        assert_eq!(v.count, acc.count, "aggregating vectors of different sizes");
+        let (cts, t) = self.he.add_batch(&self.keys.public, &acc.cts, &v.cts)?;
+        Ok((
+            EncryptedVector {
+                cts,
+                count: acc.count,
+            },
+            Self::accel_timing(&t, 0),
+        ))
+    }
+
     /// Decrypts an aggregated vector whose slots hold sums of `terms`
-    /// contributions.
-    pub fn decrypt_sum(&self, vector: &EncryptedVector, terms: u32) -> Result<Vec<f64>> {
+    /// contributions, returning the cost alongside the values instead of
+    /// charging the shared accumulator (see
+    /// [`Accelerator::encrypt_timed`] for why the round engine needs
+    /// uncharged variants).
+    pub fn decrypt_sum_timed(
+        &self,
+        vector: &EncryptedVector,
+        terms: u32,
+    ) -> Result<(Vec<f64>, AccelTiming)> {
         let (plaintexts, t) = self.he.decrypt_batch(&self.keys.private, &vector.cts)?;
-        self.charge(&t, vector.count);
+        let timing = Self::accel_timing(&t, vector.count);
         let values = if self.batch_compression {
             self.codec.unpack_sums(&plaintexts, vector.count, terms)?
         } else {
@@ -520,6 +577,14 @@ impl Accelerator {
                 .map(|m| self.codec.quantizer().dequantize_sum(m.low_u64(), terms))
                 .collect()
         };
+        Ok((values, timing))
+    }
+
+    /// Decrypts an aggregated vector whose slots hold sums of `terms`
+    /// contributions, charging the cost to the shared accumulator.
+    pub fn decrypt_sum(&self, vector: &EncryptedVector, terms: u32) -> Result<Vec<f64>> {
+        let (values, t) = self.decrypt_sum_timed(vector, terms)?;
+        self.charge_accel(&t);
         Ok(values)
     }
 
@@ -551,13 +616,31 @@ impl Accelerator {
         self.device.as_ref().map(|d| d.stats())
     }
 
+    /// Converts an HE-layer timing plus a codec value count into the
+    /// accelerator's cost record without charging it anywhere.
+    fn accel_timing(t: &HeTiming, values: usize) -> AccelTiming {
+        AccelTiming {
+            he_seconds: t.sim_seconds,
+            codec_seconds: values as f64 * CODEC_SECONDS_PER_VALUE,
+            he_items: t.items,
+            he_ops: t.ops,
+        }
+    }
+
+    /// Charges a cost record produced by one of the `*_timed` entry
+    /// points to the shared accumulator.
+    // flcheck: charge-sink
+    pub fn charge_accel(&self, t: &AccelTiming) {
+        let mut timing = self.timing.lock();
+        timing.he_seconds += t.he_seconds;
+        timing.he_items += t.he_items;
+        timing.he_ops += t.he_ops;
+        timing.codec_seconds += t.codec_seconds;
+    }
+
     // flcheck: charge-sink
     fn charge(&self, t: &HeTiming, values: usize) {
-        let mut timing = self.timing.lock();
-        timing.he_seconds += t.sim_seconds;
-        timing.he_items += t.items;
-        timing.he_ops += t.ops;
-        timing.codec_seconds += values as f64 * CODEC_SECONDS_PER_VALUE;
+        self.charge_accel(&Self::accel_timing(t, values));
     }
 
     /// Raw access to the HE engine, for protocols (e.g. SecureBoost's

@@ -1,0 +1,1071 @@
+//! Event-driven pipelined round engine.
+//!
+//! The classic loop in [`FlEnv::aggregation_round`] runs one secure-
+//! aggregation round as four sequential barriers: *every* client
+//! encrypts, then *every* ciphertext crosses the wire, then the server
+//! folds, then the broadcast. Real deployments overlap those stages —
+//! client 0's ciphertext is folding at the server while client 7 is
+//! still encrypting. This module reproduces that overlap on a
+//! deterministic simulated timeline.
+//!
+//! # Event model
+//!
+//! Each client advances through a small state machine
+//! (`local-compute → encrypt → uplink → server-aggregate → downlink →
+//! decrypt`), and every transition is an [`Event`] on a simulated-time
+//! min-heap. The *real* cryptographic work (encrypt, homomorphic adds,
+//! decrypt) executes eagerly — client encrypts concurrently on the
+//! work-stealing pool, folds as ciphertexts arrive — while the event
+//! queue only decides *when* each step lands on the timeline. Uplink,
+//! edge-tree hops, and downlink transfers are laid out on a
+//! [`LinkSchedule`] honouring the network's configured
+//! `duplex_streams`, so concurrent transfers overlap exactly as far as
+//! the modeled NIC allows.
+//!
+//! # Determinism
+//!
+//! Results and timings are invariant to the pool's thread count:
+//!
+//! - Encryption is deterministic per `(values, seed)` and runs under an
+//!   order-preserving parallel map, so the ciphertext vector is the
+//!   same in any pool.
+//! - The event queue is ordered by `(time, sequence)` with
+//!   [`f64::total_cmp`], and is drained single-threaded; no event time
+//!   ever depends on wall clock.
+//! - Paillier aggregation multiplies canonical residues mod `n²` — a
+//!   commutative, associative product — so folding ciphertexts in
+//!   *arrival* order is bit-identical to the sequential index-order
+//!   fold, and every add costs the same simulated seconds regardless of
+//!   order.
+//!
+//! # Charging
+//!
+//! The engine charges exactly the component totals the sequential loop
+//! charges — work is invariant under reordering; only the *elapsed*
+//! [`round_seconds`](crate::metrics::EpochBreakdown::round_seconds)
+//! (the event timeline's critical path) shrinks when `pipelined` is
+//! set. With `pipelined` off the engine charges elapsed equal to the
+//! phase total, matching the classic loop bit-for-bit on the default
+//! flat topology. (On tree topologies the engine charges each hop at
+//! the *partial* aggregate's true wire size where the classic loop
+//! approximates every hop at the root aggregate's size — the engine is
+//! the more faithful account.)
+//!
+//! # Stragglers
+//!
+//! With a `straggler_timeout`, any client whose *local* deadline slips
+//! (`compute + encrypt` exceeding the timeout) is dropped from the
+//! round before its upload is admitted — the rule is local by design so
+//! that NIC contention can never change membership, keeping the
+//! survivor set identical at every thread count and duplex setting.
+//! The server cannot finalize before the deadline when anyone dropped
+//! (it waited that long to learn the stragglers' fate); survivors below
+//! the quorum abandon the round with
+//! [`Error::StragglerTimeout`](crate::Error::StragglerTimeout) naming
+//! the first straggler. Dropped clients rejoin at the next round —
+//! membership is recomputed per call.
+
+// flcheck: allow-file(pf-index) — every index in this module is either a
+// client index `k < parties.len()` produced by enumerating the party
+// vectors themselves, or a node index yielded by the tree builder over
+// `nodes`; both are in-bounds by construction.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
+
+use crate::backend::EncryptedVector;
+use crate::metrics::EpochBreakdown;
+use crate::net::LinkSchedule;
+use crate::train::{FlEnv, TrainConfig};
+use crate::{Error, Result};
+
+/// Round-engine configuration, carried by
+/// [`TrainConfig::engine`](crate::train::TrainConfig::engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Overlap phases on the event timeline. When false the engine
+    /// still runs the event machinery (and straggler semantics) but
+    /// charges elapsed time equal to the work total, reproducing the
+    /// sequential loop's accounting.
+    pub pipelined: bool,
+    /// Local deadline in simulated seconds: a client whose
+    /// `compute + encrypt` exceeds it is dropped from the round.
+    /// `None` disables dropping.
+    pub straggler_timeout: Option<f64>,
+    /// Per-client compute heterogeneity: client `k`'s local compute is
+    /// scaled by `compute_multipliers[k % len]`. Empty means every
+    /// client runs at 1.0 (homogeneous).
+    pub compute_multipliers: Vec<f64>,
+    /// Minimum surviving clients for the round to count (clamped to at
+    /// least 1). Fewer survivors abort the round with
+    /// [`Error::StragglerTimeout`].
+    pub min_clients: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pipelined: true,
+            straggler_timeout: None,
+            compute_multipliers: Vec::new(),
+            min_clients: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A non-overlapping engine: same event machinery and straggler
+    /// rules, sequential-loop accounting.
+    pub fn sequential() -> Self {
+        EngineConfig {
+            pipelined: false,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Sets the straggler deadline (simulated seconds).
+    pub fn with_straggler_timeout(mut self, seconds: f64) -> Self {
+        self.straggler_timeout = Some(seconds);
+        self
+    }
+
+    /// Sets the per-client compute heterogeneity multipliers.
+    pub fn with_compute_multipliers(mut self, multipliers: Vec<f64>) -> Self {
+        self.compute_multipliers = multipliers;
+        self
+    }
+
+    /// Sets the survival quorum.
+    pub fn with_min_clients(mut self, min: usize) -> Self {
+        self.min_clients = min;
+        self
+    }
+
+    /// Client `k`'s compute multiplier.
+    fn multiplier_for(&self, client: usize) -> f64 {
+        if self.compute_multipliers.is_empty() {
+            1.0
+        } else {
+            self.compute_multipliers[client % self.compute_multipliers.len()]
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        for &m in &self.compute_multipliers {
+            if !(m.is_finite() && m > 0.0) {
+                return Err(Error::BadConfig(format!(
+                    "compute multipliers must be finite and positive, got {m}"
+                )));
+            }
+        }
+        if let Some(t) = self.straggler_timeout {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(Error::BadConfig(format!(
+                    "straggler timeout must be finite and positive, got {t}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a client is in the round's state machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ClientPhase {
+    /// Running its local mini-batch computation.
+    #[default]
+    Computing,
+    /// Quantizing/packing/encrypting its gradient.
+    Encrypting,
+    /// Its ciphertext is on (or queued for) the uplink.
+    Uploading,
+    /// Its ciphertext reached an aggregator node.
+    Delivered,
+    /// It received the broadcast and decrypted the new model.
+    Finished,
+    /// It missed the straggler deadline and sat this round out.
+    Dropped,
+}
+
+/// One client's simulated-time trace through the round. Times are
+/// absolute simulated seconds from round start; stages the client never
+/// reached stay 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientTimeline {
+    /// Final state-machine phase ([`Finished`](ClientPhase::Finished)
+    /// or [`Dropped`](ClientPhase::Dropped)).
+    pub phase: ClientPhase,
+    /// Local compute done.
+    pub compute_done: f64,
+    /// Encryption done (the straggler deadline is checked here).
+    pub encrypt_done: f64,
+    /// Uplink transfer admitted onto a NIC stream.
+    pub uplink_start: f64,
+    /// Ciphertext delivered to its aggregator.
+    pub uplink_done: f64,
+    /// Broadcast of the aggregate received.
+    pub downlink_done: f64,
+    /// New model decrypted and installed.
+    pub decrypt_done: f64,
+}
+
+/// What one engine round produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Element-wise sums over the *survivors'* vectors (divide by
+    /// `survivors.len()` for the mean).
+    pub sums: Vec<f64>,
+    /// Clients that made the round, ascending.
+    pub survivors: Vec<usize>,
+    /// Clients dropped at the straggler deadline, ascending.
+    pub dropped: Vec<usize>,
+    /// Elapsed simulated seconds for the round: the event timeline's
+    /// critical path when pipelined, the work total otherwise.
+    pub round_seconds: f64,
+    /// Per-client traces, indexed by client.
+    pub timelines: Vec<ClientTimeline>,
+}
+
+impl RoundOutcome {
+    fn empty() -> Self {
+        RoundOutcome {
+            sums: Vec::new(),
+            survivors: Vec::new(),
+            dropped: Vec::new(),
+            round_seconds: 0.0,
+            timelines: Vec::new(),
+        }
+    }
+}
+
+/// Mean per-client local-compute seconds:
+/// `(Σ flops[k] · multipliers[k % len]) / n · sec_per_flop`.
+///
+/// Both the engine and the classic Homo LR loop charge local compute
+/// through this exact expression, so their "Others" attribution stays
+/// bit-identical when the engine runs with homogeneous clients.
+pub fn mean_compute_seconds(client_flops: &[u64], multipliers: &[f64], sec_per_flop: f64) -> f64 {
+    if client_flops.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (k, &flops) in client_flops.iter().enumerate() {
+        let m = if multipliers.is_empty() {
+            1.0
+        } else {
+            multipliers[k % multipliers.len()]
+        };
+        sum += flops as f64 * m;
+    }
+    sum / client_flops.len() as f64 * sec_per_flop
+}
+
+/// Which pipeline phase a charge belongs to.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Compute,
+    Encrypt,
+    Uplink,
+    Aggregate,
+    Downlink,
+    Decrypt,
+}
+
+/// Routes every simulated second to its component (HE / comm / other),
+/// its pipeline phase, and — in sequential mode — straight into
+/// `round_seconds`, preserving the classic loop's exact add order.
+struct Charger<'a> {
+    breakdown: &'a mut EpochBreakdown,
+    sequential: bool,
+    /// Total work charged (the sequential-mode elapsed time).
+    work: f64,
+}
+
+impl Charger<'_> {
+    // flcheck: charge-sink
+    fn he(&mut self, seconds: f64, phase: Phase) {
+        self.breakdown.he_seconds += seconds;
+        self.attribute(seconds, phase);
+    }
+
+    // flcheck: charge-sink
+    fn comm(&mut self, seconds: f64, phase: Phase) {
+        self.breakdown.comm_seconds += seconds;
+        self.attribute(seconds, phase);
+    }
+
+    // flcheck: charge-sink
+    fn other(&mut self, seconds: f64, phase: Phase) {
+        self.breakdown.other_seconds += seconds;
+        self.attribute(seconds, phase);
+    }
+
+    // flcheck: charge-sink
+    fn wire(&mut self, bytes: u64, ciphertexts: u64) {
+        self.breakdown.comm_bytes += bytes;
+        self.breakdown.ciphertexts += ciphertexts;
+    }
+
+    fn attribute(&mut self, seconds: f64, phase: Phase) {
+        let slot = match phase {
+            Phase::Compute => &mut self.breakdown.phases.compute_seconds,
+            Phase::Encrypt => &mut self.breakdown.phases.encrypt_seconds,
+            Phase::Uplink => &mut self.breakdown.phases.uplink_seconds,
+            Phase::Aggregate => &mut self.breakdown.phases.aggregate_seconds,
+            Phase::Downlink => &mut self.breakdown.phases.downlink_seconds,
+            Phase::Decrypt => &mut self.breakdown.phases.decrypt_seconds,
+        };
+        *slot += seconds;
+        self.work += seconds;
+        if self.sequential {
+            self.breakdown.round_seconds += seconds;
+        }
+    }
+}
+
+/// Who delivered a ciphertext to an aggregator node.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// A client's uplink.
+    Client(usize),
+    /// A child aggregator's hop.
+    Node(usize),
+}
+
+/// A state-machine transition on the simulated timeline.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A client finished its local mini-batch computation.
+    ComputeDone { client: usize },
+    /// A client finished encrypting (straggler deadline checked here).
+    EncryptDone { client: usize },
+    /// A ciphertext landed at an aggregator node.
+    Arrive { node: usize, source: Source },
+    /// An aggregator folded its whole fan-in.
+    NodeDone { node: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: simulated time, then insertion sequence — ties
+        // resolve identically on every run and at every thread count.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The (time, sequence)-ordered event queue.
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+/// One aggregator in the fold tree (the flat topology is a single
+/// root). Folds stream: each arrival is added into the node's partial
+/// as soon as the node is free.
+struct AggNode {
+    parent: Option<usize>,
+    fan_in: usize,
+    received: usize,
+    /// When the node's serial fold unit frees up.
+    busy_until: f64,
+    /// The streaming partial aggregate.
+    acc: Option<EncryptedVector>,
+}
+
+fn internal_error(what: &str) -> Error {
+    Error::BadConfig(format!("round engine internal invariant broken: {what}"))
+}
+
+/// Runs one pipelined secure-aggregation round over `parties` gradient
+/// vectors, charging `breakdown` and returning the surviving sums.
+///
+/// `client_flops` holds each client's local-compute cost for the round
+/// (same length as `parties`); the engine scales it by the configured
+/// heterogeneity multipliers to stagger the timeline.
+pub fn run_round(
+    env: &FlEnv,
+    engine: &EngineConfig,
+    cfg: &TrainConfig,
+    parties: &[Vec<f64>],
+    client_flops: &[u64],
+    seed: u64,
+    breakdown: &mut EpochBreakdown,
+) -> Result<RoundOutcome> {
+    engine.validate()?;
+    let p = parties.len();
+    if p == 0 {
+        return Ok(RoundOutcome::empty());
+    }
+    if client_flops.len() != p {
+        return Err(Error::BadConfig(format!(
+            "engine round: {} parties but {} flop counts",
+            p,
+            client_flops.len()
+        )));
+    }
+
+    // --- Real work, phase 1: every client encrypts on the pool. ---
+    // Order-preserving parallel map: ciphertexts are a deterministic
+    // function of (values, seed), so the vector is thread-count
+    // invariant. Timings come back per client instead of through the
+    // shared accumulator.
+    let encrypted: Vec<Result<_>> = parties
+        .par_iter()
+        .enumerate()
+        .map(|(k, v)| env.accel.encrypt_timed(v, seed.wrapping_add(k as u64)))
+        .collect();
+    let mut client_cts = Vec::with_capacity(p);
+    let mut enc_timings = Vec::with_capacity(p);
+    for r in encrypted {
+        let (ev, t) = r?;
+        client_cts.push(Some(ev));
+        enc_timings.push(t);
+    }
+
+    // --- Timeline durations and straggler membership. ---
+    let mut compute_dur = Vec::with_capacity(p);
+    let mut enc_dur = Vec::with_capacity(p);
+    for k in 0..p {
+        compute_dur.push(client_flops[k] as f64 * engine.multiplier_for(k) * cfg.sec_per_flop);
+        enc_dur.push(enc_timings[k].he_seconds + enc_timings[k].codec_seconds);
+    }
+    let mut timelines = vec![ClientTimeline::default(); p];
+    let mut survivors = Vec::with_capacity(p);
+    let mut dropped = Vec::new();
+    let mut is_dropped = vec![false; p];
+    for k in 0..p {
+        timelines[k].compute_done = compute_dur[k];
+        timelines[k].encrypt_done = compute_dur[k] + enc_dur[k];
+        let late = matches!(engine.straggler_timeout, Some(t) if timelines[k].encrypt_done > t);
+        if late {
+            dropped.push(k);
+            is_dropped[k] = true;
+        } else {
+            survivors.push(k);
+        }
+    }
+    if survivors.len() < engine.min_clients.max(1) {
+        return match dropped.first() {
+            Some(&client) => Err(Error::StragglerTimeout { client }),
+            None => Err(Error::BadConfig(format!(
+                "engine round: min_clients {} exceeds party count {}",
+                engine.min_clients, p
+            ))),
+        };
+    }
+    let n = survivors.len() as f64;
+
+    let mut charger = Charger {
+        breakdown,
+        sequential: !engine.pipelined,
+        work: 0.0,
+    };
+
+    // --- Client-side charges (survivor means, classic-loop order). ---
+    let mut flops_sum = 0.0;
+    let mut enc_he_sum = 0.0;
+    let mut enc_codec_sum = 0.0;
+    for &k in &survivors {
+        flops_sum += client_flops[k] as f64 * engine.multiplier_for(k);
+        enc_he_sum += enc_timings[k].he_seconds;
+        enc_codec_sum += enc_timings[k].codec_seconds;
+    }
+    charger.other(flops_sum / n * cfg.sec_per_flop, Phase::Compute);
+    charger.he(enc_he_sum / n, Phase::Encrypt);
+    charger.other(enc_codec_sum / n, Phase::Encrypt);
+    charger.breakdown.he_values += parties[0].len() as u64;
+
+    // --- Uplink costs, charged in client index order (the network's
+    // drop-retry randomness, when enabled, must consume its stream in
+    // the same order as the sequential loop). ---
+    let mut uplink_dur = vec![0.0f64; p];
+    for &k in &survivors {
+        let Some(ev) = client_cts[k].as_ref() else {
+            return Err(internal_error("survivor ciphertext missing"));
+        };
+        let d = env.network.send(ev.ciphertext_count(), ev.bytes())?;
+        charger.comm(d, Phase::Uplink);
+        charger.wire(ev.bytes(), ev.ciphertext_count());
+        uplink_dur[k] = d;
+    }
+
+    // --- Fold tree over survivor positions (flat = one root). ---
+    let topology = env.accel.topology();
+    let groups = topology.leaf_groups(survivors.len());
+    let mut nodes: Vec<AggNode> = Vec::new();
+    let mut leaf_of_client = vec![0usize; p];
+    for (g_idx, g) in groups.iter().enumerate() {
+        for pos in g.clone() {
+            leaf_of_client[survivors[pos]] = g_idx;
+        }
+        nodes.push(AggNode {
+            parent: None,
+            fan_in: g.len(),
+            received: 0,
+            busy_until: 0.0,
+            acc: None,
+        });
+    }
+    let mut level: Vec<usize> = (0..groups.len()).collect();
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for g in topology.leaf_groups(level.len()) {
+            let parent = nodes.len();
+            nodes.push(AggNode {
+                parent: None,
+                fan_in: g.len(),
+                received: 0,
+                busy_until: 0.0,
+                acc: None,
+            });
+            for pos in g {
+                nodes[level[pos]].parent = Some(parent);
+            }
+            next.push(parent);
+        }
+        level = next;
+    }
+    if level.is_empty() {
+        return Err(internal_error("empty fold tree"));
+    }
+
+    // --- Event loop: drain the timeline. ---
+    let mut queue = EventQueue::new();
+    for (k, &t) in compute_dur.iter().enumerate() {
+        queue.push(t, EventKind::ComputeDone { client: k });
+    }
+    let mut link = LinkSchedule::for_config(env.network.config());
+    let mut agg_he_total = 0.0;
+    let mut root_acc: Option<EncryptedVector> = None;
+    let mut root_done_at: Option<f64> = None;
+    while let Some(event) = queue.pop() {
+        let now = event.time;
+        match event.kind {
+            EventKind::ComputeDone { client } => {
+                timelines[client].phase = ClientPhase::Encrypting;
+                queue.push(now + enc_dur[client], EventKind::EncryptDone { client });
+            }
+            EventKind::EncryptDone { client } => {
+                if is_dropped[client] {
+                    timelines[client].phase = ClientPhase::Dropped;
+                    continue;
+                }
+                timelines[client].phase = ClientPhase::Uploading;
+                let (start, finish) = link.admit(now, uplink_dur[client]);
+                timelines[client].uplink_start = start;
+                timelines[client].uplink_done = finish;
+                queue.push(
+                    finish,
+                    EventKind::Arrive {
+                        node: leaf_of_client[client],
+                        source: Source::Client(client),
+                    },
+                );
+            }
+            EventKind::Arrive { node, source } => {
+                let payload = match source {
+                    Source::Client(k) => {
+                        timelines[k].phase = ClientPhase::Delivered;
+                        client_cts[k].take()
+                    }
+                    Source::Node(child) => nodes[child].acc.take(),
+                };
+                let Some(payload) = payload else {
+                    return Err(internal_error("arrival without a ciphertext"));
+                };
+                if nodes[node].busy_until < now {
+                    nodes[node].busy_until = now;
+                }
+                match nodes[node].acc.take() {
+                    None => nodes[node].acc = Some(payload),
+                    Some(acc) => {
+                        // Real work, phase 2: one streaming fold step.
+                        // Arrival-order folding is bit-identical to the
+                        // index-order fold (commutative product of
+                        // canonical residues), and each add's simulated
+                        // cost is shape-determined, so the charged total
+                        // is order-invariant too.
+                        let (sum, t) = env.accel.add_timed(&acc, &payload)?;
+                        agg_he_total += t.he_seconds;
+                        nodes[node].busy_until += t.he_seconds;
+                        nodes[node].acc = Some(sum);
+                    }
+                }
+                nodes[node].received += 1;
+                if nodes[node].received == nodes[node].fan_in {
+                    queue.push(nodes[node].busy_until, EventKind::NodeDone { node });
+                }
+            }
+            EventKind::NodeDone { node } => match nodes[node].parent {
+                Some(parent) => {
+                    let (cts, bytes) = match nodes[node].acc.as_ref() {
+                        Some(part) => (part.ciphertext_count(), part.bytes()),
+                        None => return Err(internal_error("edge node finished empty")),
+                    };
+                    // Hop one level up: charged at the partial's true
+                    // wire size, overlapped on the same link schedule.
+                    let d = env.network.send(cts, bytes)?;
+                    charger.comm(d, Phase::Uplink);
+                    charger.wire(bytes, cts);
+                    let (_start, finish) = link.admit(now, d);
+                    queue.push(
+                        finish,
+                        EventKind::Arrive {
+                            node: parent,
+                            source: Source::Node(node),
+                        },
+                    );
+                }
+                None => {
+                    // The server cannot close the round before the
+                    // straggler deadline when anyone dropped: it waited
+                    // until then to learn who was coming.
+                    let deadline = engine.straggler_timeout.unwrap_or(0.0);
+                    let closes = if dropped.is_empty() {
+                        now
+                    } else {
+                        now.max(deadline)
+                    };
+                    root_done_at = Some(closes);
+                    root_acc = nodes[node].acc.take();
+                }
+            },
+        }
+    }
+    let (agg, root_done) = match (root_acc, root_done_at) {
+        (Some(a), Some(t)) => (a, t),
+        _ => return Err(internal_error("aggregation never completed")),
+    };
+    charger.he(agg_he_total, Phase::Aggregate);
+
+    // --- Downlink: broadcast the aggregate to every survivor. ---
+    let mut broadcast_total = 0.0;
+    let mut last_downlink = root_done;
+    for &k in &survivors {
+        let d = env.network.send(agg.ciphertext_count(), agg.bytes())?;
+        broadcast_total += d;
+        let (_start, finish) = link.admit(root_done, d);
+        timelines[k].downlink_done = finish;
+        if finish > last_downlink {
+            last_downlink = finish;
+        }
+    }
+    charger.comm(broadcast_total, Phase::Downlink);
+    charger.wire(
+        survivors.len() as u64 * agg.bytes(),
+        survivors.len() as u64 * agg.ciphertext_count(),
+    );
+
+    // --- Real work, phase 3: decrypt (clients are symmetric; one
+    // client's cost is charged, as in the classic loop). ---
+    let (sums, dec_t) = env
+        .accel
+        .decrypt_sum_timed(&agg, crate::count_u32(survivors.len()))?;
+    charger.he(dec_t.he_seconds, Phase::Decrypt);
+    charger.other(dec_t.codec_seconds, Phase::Decrypt);
+    let decrypt_dur = dec_t.he_seconds + dec_t.codec_seconds;
+    for &k in &survivors {
+        timelines[k].decrypt_done = timelines[k].downlink_done + decrypt_dur;
+        timelines[k].phase = ClientPhase::Finished;
+    }
+
+    let round_seconds = if engine.pipelined {
+        last_downlink + decrypt_dur
+    } else {
+        charger.work
+    };
+    if engine.pipelined {
+        charger.breakdown.round_seconds += round_seconds;
+    }
+
+    Ok(RoundOutcome {
+        sums,
+        survivors,
+        dropped,
+        round_seconds,
+        timelines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Accelerator, BackendKind};
+    use crate::topology::AggregationTopology;
+    use he::paillier::PaillierKeyPair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE17);
+        PaillierKeyPair::generate(&mut rng, 128).unwrap()
+    }
+
+    fn env_with(kind: BackendKind, duplex: u32) -> FlEnv {
+        let accel = Accelerator::new(kind, keys(), 8).unwrap();
+        let profile = accel.network_profile().with_duplex_streams(duplex);
+        let network = crate::net::Network::new(profile, 1);
+        FlEnv { accel, network }
+    }
+
+    fn parties(p: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..p)
+            .map(|k| {
+                (0..len)
+                    .map(|i| ((k * len + i) as f64 * 0.31).sin() * 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        let out = run_round(
+            &env,
+            &EngineConfig::default(),
+            &TrainConfig::default(),
+            &[],
+            &[],
+            1,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(out, RoundOutcome::empty());
+        assert_eq!(b, EpochBreakdown::default());
+    }
+
+    #[test]
+    fn flop_count_mismatch_is_rejected() {
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        let err = run_round(
+            &env,
+            &EngineConfig::default(),
+            &TrainConfig::default(),
+            &parties(2, 4),
+            &[100],
+            1,
+            &mut b,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::BadConfig(_)));
+    }
+
+    #[test]
+    fn bad_multipliers_are_rejected() {
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = EngineConfig::default().with_compute_multipliers(vec![bad]);
+            let err = run_round(
+                &env,
+                &cfg,
+                &TrainConfig::default(),
+                &parties(2, 4),
+                &[100, 100],
+                1,
+                &mut b,
+            )
+            .unwrap_err();
+            assert!(matches!(err, Error::BadConfig(_)), "multiplier {bad}");
+        }
+    }
+
+    #[test]
+    fn sequential_engine_matches_classic_loop_exactly() {
+        // Same keys, same seeds, same parties: the engine with
+        // pipelining off must reproduce the classic loop's sums and its
+        // breakdown bit-for-bit (components, phases, round_seconds).
+        let grads = parties(5, 12);
+        let flops: Vec<u64> = (0..5).map(|k| 4000 + 137 * k as u64).collect();
+        let tcfg = TrainConfig::default();
+
+        let classic_env = env_with(BackendKind::FlBooster, 1);
+        let mut classic = EpochBreakdown::default();
+        classic_env.charge_local_seconds(
+            mean_compute_seconds(&flops, &[], tcfg.sec_per_flop),
+            &mut classic,
+        );
+        let classic_sums = classic_env
+            .aggregation_round(&grads, 99, &mut classic)
+            .unwrap();
+
+        let engine_env = env_with(BackendKind::FlBooster, 1);
+        let mut engined = EpochBreakdown::default();
+        let out = run_round(
+            &engine_env,
+            &EngineConfig::sequential(),
+            &tcfg,
+            &grads,
+            &flops,
+            99,
+            &mut engined,
+        )
+        .unwrap();
+
+        assert_eq!(out.sums, classic_sums);
+        assert_eq!(out.survivors, vec![0, 1, 2, 3, 4]);
+        assert!(out.dropped.is_empty());
+        assert_eq!(engined, classic);
+        assert_eq!(engine_env.network.stats(), classic_env.network.stats());
+        assert_eq!(out.round_seconds, engined.round_seconds);
+    }
+
+    #[test]
+    fn pipelined_round_is_shorter_but_charges_identical_work() {
+        let grads = parties(8, 12);
+        let flops = vec![60_000u64; 8];
+        let tcfg = TrainConfig::default();
+        let hetero: Vec<f64> = (0..8).map(|k| 1.0 + 0.35 * k as f64).collect();
+
+        let seq_env = env_with(BackendKind::Fate, 4);
+        let mut seq_b = EpochBreakdown::default();
+        let seq = run_round(
+            &seq_env,
+            &EngineConfig::sequential().with_compute_multipliers(hetero.clone()),
+            &tcfg,
+            &grads,
+            &flops,
+            7,
+            &mut seq_b,
+        )
+        .unwrap();
+
+        let pipe_env = env_with(BackendKind::Fate, 4);
+        let mut pipe_b = EpochBreakdown::default();
+        let pipe = run_round(
+            &pipe_env,
+            &EngineConfig::default().with_compute_multipliers(hetero),
+            &tcfg,
+            &grads,
+            &flops,
+            7,
+            &mut pipe_b,
+        )
+        .unwrap();
+
+        // Same work, same results...
+        assert_eq!(pipe.sums, seq.sums);
+        assert_eq!(pipe_b.he_seconds, seq_b.he_seconds);
+        assert_eq!(pipe_b.comm_seconds, seq_b.comm_seconds);
+        assert_eq!(pipe_b.other_seconds, seq_b.other_seconds);
+        assert_eq!(pipe_b.phases, seq_b.phases);
+        // ...but the pipelined critical path is strictly shorter.
+        assert!(
+            pipe.round_seconds < seq.round_seconds,
+            "pipelined {} !< sequential {}",
+            pipe.round_seconds,
+            seq.round_seconds
+        );
+        assert!(pipe_b.overlap_speedup() > 1.0);
+        assert!((seq_b.overlap_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_topology_streams_to_the_same_sums() {
+        let grads = parties(7, 10);
+        let flops = vec![5000u64; 7];
+        let tcfg = TrainConfig::default();
+
+        let flat_env = env_with(BackendKind::Fate, 2);
+        let mut flat_b = EpochBreakdown::default();
+        let flat = run_round(
+            &flat_env,
+            &EngineConfig::default(),
+            &tcfg,
+            &grads,
+            &flops,
+            3,
+            &mut flat_b,
+        )
+        .unwrap();
+
+        let accel = Accelerator::new(BackendKind::Fate, keys(), 8)
+            .unwrap()
+            .with_topology(AggregationTopology::tree(3));
+        let profile = accel.network_profile().with_duplex_streams(2);
+        let tree_env = FlEnv {
+            network: crate::net::Network::new(profile, 1),
+            accel,
+        };
+        let mut tree_b = EpochBreakdown::default();
+        let tree = run_round(
+            &tree_env,
+            &EngineConfig::default(),
+            &tcfg,
+            &grads,
+            &flops,
+            3,
+            &mut tree_b,
+        )
+        .unwrap();
+
+        assert_eq!(tree.sums, flat.sums);
+        // Tree hops are extra wire traffic the flat round doesn't pay.
+        assert!(tree_b.comm_bytes > flat_b.comm_bytes);
+        assert_eq!(tree_b.he_seconds, flat_b.he_seconds);
+    }
+
+    #[test]
+    fn stragglers_drop_and_the_round_waits_for_the_deadline() {
+        let grads = parties(4, 8);
+        let flops = vec![1_000_000u64; 4];
+        let tcfg = TrainConfig::default();
+        let env = env_with(BackendKind::Fate, 1);
+
+        // Client 3 runs 50x slower than the rest; pick a deadline that
+        // only it misses.
+        let ecfg = EngineConfig::default().with_compute_multipliers(vec![1.0, 1.0, 1.0, 50.0]);
+        let mut probe = EpochBreakdown::default();
+        let full = run_round(&env, &ecfg, &tcfg, &grads, &flops, 11, &mut probe).unwrap();
+        let fast = full.timelines[2].encrypt_done;
+        let slow = full.timelines[3].encrypt_done;
+        assert!(slow > fast);
+        let deadline = (fast + slow) / 2.0;
+
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        let out = run_round(
+            &env,
+            &ecfg.clone().with_straggler_timeout(deadline),
+            &tcfg,
+            &grads,
+            &flops,
+            11,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(out.survivors, vec![0, 1, 2]);
+        assert_eq!(out.dropped, vec![3]);
+        assert_eq!(out.timelines[3].phase, ClientPhase::Dropped);
+        assert_eq!(out.timelines[3].uplink_start, 0.0);
+        // The server learned about the straggler only at the deadline.
+        assert!(out.round_seconds > deadline);
+        for &k in &out.survivors {
+            assert!(out.timelines[k].downlink_done >= deadline);
+        }
+
+        // The surviving sums are the 3-party aggregate.
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b3 = EpochBreakdown::default();
+        let three = run_round(
+            &env,
+            &EngineConfig::default(),
+            &tcfg,
+            &grads[..3],
+            &flops[..3],
+            11,
+            &mut b3,
+        )
+        .unwrap();
+        assert_eq!(out.sums, three.sums);
+    }
+
+    #[test]
+    fn quorum_failure_names_the_first_straggler() {
+        let grads = parties(3, 6);
+        let flops = vec![1_000_000u64; 3];
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        // Everyone has the same deadline-busting profile except client 0.
+        let ecfg = EngineConfig::default()
+            .with_compute_multipliers(vec![1.0, 400.0, 400.0])
+            .with_min_clients(2);
+        let mut probe = EpochBreakdown::default();
+        let full = run_round(
+            &env,
+            &ecfg,
+            &TrainConfig::default(),
+            &grads,
+            &flops,
+            5,
+            &mut probe,
+        )
+        .unwrap();
+        let deadline = full.timelines[0].encrypt_done * 2.0;
+        assert!(deadline < full.timelines[1].encrypt_done);
+
+        let env = env_with(BackendKind::Fate, 1);
+        let err = run_round(
+            &env,
+            &ecfg.with_straggler_timeout(deadline),
+            &TrainConfig::default(),
+            &grads,
+            &flops,
+            5,
+            &mut b,
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::StragglerTimeout { client: 1 });
+    }
+
+    #[test]
+    fn impossible_quorum_without_stragglers_is_a_config_error() {
+        let env = env_with(BackendKind::Fate, 1);
+        let mut b = EpochBreakdown::default();
+        let err = run_round(
+            &env,
+            &EngineConfig::default().with_min_clients(5),
+            &TrainConfig::default(),
+            &parties(2, 4),
+            &[100, 100],
+            1,
+            &mut b,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::BadConfig(_)));
+    }
+
+    #[test]
+    fn mean_compute_seconds_tiles_multipliers() {
+        assert_eq!(mean_compute_seconds(&[], &[], 1.0), 0.0);
+        assert_eq!(mean_compute_seconds(&[10, 10], &[], 0.5), 5.0);
+        // Multipliers tile: [2, 4, 2, 4].
+        let m = mean_compute_seconds(&[10, 10, 10, 10], &[2.0, 4.0], 1.0);
+        assert_eq!(m, 30.0);
+    }
+}

@@ -19,6 +19,14 @@ pub enum Error {
         /// Attempts made.
         attempts: u32,
     },
+    /// Too few clients beat the round engine's straggler deadline: the
+    /// round was abandoned. Like
+    /// [`he::Error::AggregandKeyMismatch`], the variant keeps the
+    /// position, so a wide round can name an offending participant.
+    StragglerTimeout {
+        /// Zero-based index of the first client dropped from the round.
+        client: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -29,6 +37,12 @@ impl fmt::Display for Error {
             Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             Error::NetworkFailure { attempts } => {
                 write!(f, "network send failed after {attempts} attempts")
+            }
+            Error::StragglerTimeout { client } => {
+                write!(
+                    f,
+                    "client {client} missed the straggler deadline and the round lost quorum"
+                )
             }
         }
     }
@@ -74,5 +88,15 @@ mod tests {
         assert!(Error::NetworkFailure { attempts: 3 }
             .to_string()
             .contains("3"));
+    }
+
+    #[test]
+    fn straggler_timeout_message_names_the_client() {
+        // Pinned like `AggregandKeyMismatch{index}`: the message must
+        // carry the offending client index verbatim.
+        assert_eq!(
+            Error::StragglerTimeout { client: 41 }.to_string(),
+            "client 41 missed the straggler deadline and the round lost quorum"
+        );
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod backend;
 pub mod data;
+pub mod engine;
 mod error;
 pub mod metrics;
 pub mod models;
@@ -38,6 +39,7 @@ pub mod topology;
 pub mod train;
 
 pub use backend::{Accelerator, BackendKind};
+pub use engine::{EngineConfig, RoundOutcome};
 pub use error::{Error, Result};
 pub use metrics::{EpochBreakdown, TrainReport};
 pub use net::{Network, NetworkConfig};

@@ -9,6 +9,58 @@
 // flcheck: allow-file(pf-index) — rank-loop indices in `auc` are bounded by
 // `pairs.len()` in the loop conditions.
 
+/// Simulated seconds of one epoch attributed to the six per-round
+/// pipeline phases the round engine overlaps: local gradient compute,
+/// client-side encrypt (incl. quantize/pack), uplink transfer, server
+/// aggregation, downlink transfer, and client-side decrypt (incl.
+/// unpack).
+///
+/// Every simulated second charged to the classic three-component split
+/// ([`EpochBreakdown::he_seconds`] / `comm_seconds` / `other_seconds`) is
+/// also charged to exactly one phase, so [`PhaseBreakdown::total`] always
+/// matches [`EpochBreakdown::total_seconds`] (up to f64 re-association)
+/// — pinned by a regression test. The phases exist so pipeline overlap is
+/// directly measurable: phase totals are *work*, while
+/// [`EpochBreakdown::round_seconds`] is *elapsed* simulated time, and the
+/// gap between them is exactly what the event-driven engine hides.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Local model computation (gradients, encode-side flops).
+    pub compute_seconds: f64,
+    /// Client-side quantize + pack + encrypt.
+    pub encrypt_seconds: f64,
+    /// Client → aggregator transfers (incl. edge-aggregator hops).
+    pub uplink_seconds: f64,
+    /// Homomorphic folding at the aggregator(s).
+    pub aggregate_seconds: f64,
+    /// Aggregator → client broadcasts.
+    pub downlink_seconds: f64,
+    /// Client-side decrypt + unpack.
+    pub decrypt_seconds: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total work across all six phases.
+    pub fn total(&self) -> f64 {
+        self.compute_seconds
+            + self.encrypt_seconds
+            + self.uplink_seconds
+            + self.aggregate_seconds
+            + self.downlink_seconds
+            + self.decrypt_seconds
+    }
+
+    /// Accumulates another phase breakdown.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.compute_seconds += other.compute_seconds;
+        self.encrypt_seconds += other.encrypt_seconds;
+        self.uplink_seconds += other.uplink_seconds;
+        self.aggregate_seconds += other.aggregate_seconds;
+        self.downlink_seconds += other.downlink_seconds;
+        self.decrypt_seconds += other.decrypt_seconds;
+    }
+}
+
 /// Simulated seconds of one epoch, attributed to the paper's three
 /// components.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -26,6 +78,14 @@ pub struct EpochBreakdown {
     pub ciphertexts: u64,
     /// Gradient components that passed through HE.
     pub he_values: u64,
+    /// The same seconds re-attributed to the six pipeline phases.
+    pub phases: PhaseBreakdown,
+    /// *Elapsed* simulated seconds: the critical path after the round
+    /// engine overlaps phases on the event timeline. Sequential paths
+    /// charge this equal to the phase total (no overlap), so
+    /// [`EpochBreakdown::overlap_speedup`] is 1.0 unless the pipelined
+    /// engine ran.
+    pub round_seconds: f64,
 }
 
 impl EpochBreakdown {
@@ -57,6 +117,18 @@ impl EpochBreakdown {
         }
     }
 
+    /// Work-over-elapsed ratio: how much simulated time phase overlap
+    /// removed. 1.0 for purely sequential execution; >1 when the
+    /// pipelined round engine hid work behind transfers. Returns 1.0
+    /// when no elapsed time was recorded.
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.round_seconds <= 0.0 {
+            1.0
+        } else {
+            self.total_seconds() / self.round_seconds
+        }
+    }
+
     /// Accumulates another breakdown.
     pub fn merge(&mut self, other: &EpochBreakdown) {
         self.he_seconds += other.he_seconds;
@@ -65,6 +137,8 @@ impl EpochBreakdown {
         self.comm_bytes += other.comm_bytes;
         self.ciphertexts += other.ciphertexts;
         self.he_values += other.he_values;
+        self.phases.merge(&other.phases);
+        self.round_seconds += other.round_seconds;
     }
 }
 
@@ -160,6 +234,13 @@ mod tests {
             comm_bytes: 100,
             ciphertexts: 10,
             he_values: 50,
+            phases: PhaseBreakdown {
+                compute_seconds: other,
+                encrypt_seconds: he,
+                uplink_seconds: comm,
+                ..PhaseBreakdown::default()
+            },
+            round_seconds: he + comm + other,
         }
     }
 
@@ -192,6 +273,34 @@ mod tests {
         assert_eq!(a.total_seconds(), 9.0);
         assert_eq!(a.comm_bytes, 200);
         assert_eq!(a.he_values, 100);
+        assert_eq!(a.phases.total(), 9.0);
+        assert_eq!(a.round_seconds, 9.0);
+    }
+
+    #[test]
+    fn phase_total_sums_all_six_phases() {
+        let p = PhaseBreakdown {
+            compute_seconds: 1.0,
+            encrypt_seconds: 2.0,
+            uplink_seconds: 4.0,
+            aggregate_seconds: 8.0,
+            downlink_seconds: 16.0,
+            decrypt_seconds: 32.0,
+        };
+        assert_eq!(p.total(), 63.0);
+        let mut q = p;
+        q.merge(&p);
+        assert_eq!(q.total(), 126.0);
+    }
+
+    #[test]
+    fn overlap_speedup_is_work_over_elapsed() {
+        let mut b = breakdown(2.0, 3.0, 5.0);
+        assert_eq!(b.overlap_speedup(), 1.0, "sequential: elapsed == work");
+        b.round_seconds = 4.0;
+        assert_eq!(b.overlap_speedup(), 2.5);
+        b.round_seconds = 0.0;
+        assert_eq!(b.overlap_speedup(), 1.0, "no elapsed recorded");
     }
 
     #[test]

@@ -323,8 +323,13 @@ impl FlModel for HeteroSbt {
             .encrypt_batch(pk, &plaintexts, seed)
             .map_err(flbooster_core::Error::from)?;
         breakdown.he_seconds += t.sim_seconds;
+        breakdown.phases.encrypt_seconds += t.sim_seconds;
+        breakdown.round_seconds += t.sim_seconds;
         breakdown.he_values += 2 * n as u64;
-        breakdown.other_seconds += n as f64 * 4.0e-8; // encode/pack
+        let encode_t = n as f64 * 4.0e-8; // encode/pack
+        breakdown.other_seconds += encode_t;
+        breakdown.phases.encrypt_seconds += encode_t;
+        breakdown.round_seconds += encode_t;
 
         let gh_bytes: u64 = gh_cts.iter().map(|c| c.wire_size_bytes() as u64).sum();
         let passive = self.shards.len().saturating_sub(1) as u32;
@@ -333,6 +338,8 @@ impl FlModel for HeteroSbt {
                 .network
                 .broadcast(passive, gh_cts.len() as u64, gh_bytes)?;
             breakdown.comm_seconds += t;
+            breakdown.phases.downlink_seconds += t;
+            breakdown.round_seconds += t;
             breakdown.comm_bytes += passive as u64 * gh_bytes;
             breakdown.ciphertexts += passive as u64 * gh_cts.len() as u64;
         }
@@ -465,11 +472,15 @@ impl HeteroSbt {
                     .fold_groups(pk, &groups)
                     .map_err(flbooster_core::Error::from)?;
                 breakdown.he_seconds += t.sim_seconds;
+                breakdown.phases.aggregate_seconds += t.sim_seconds;
+                breakdown.round_seconds += t.sim_seconds;
 
                 // Bucket sums travel back to the active party...
                 let bytes: u64 = folded.iter().map(|c| c.wire_size_bytes() as u64).sum();
                 let ts = env.network.send(folded.len() as u64, bytes)?;
                 breakdown.comm_seconds += ts;
+                breakdown.phases.uplink_seconds += ts;
+                breakdown.round_seconds += ts;
                 breakdown.comm_bytes += bytes;
                 breakdown.ciphertexts += folded.len() as u64;
 
@@ -478,6 +489,8 @@ impl HeteroSbt {
                     .decrypt_batch(sk, &folded)
                     .map_err(flbooster_core::Error::from)?;
                 breakdown.he_seconds += t.sim_seconds;
+                breakdown.phases.decrypt_seconds += t.sim_seconds;
+                breakdown.round_seconds += t.sim_seconds;
                 breakdown.he_values += (features.len() * self.bins * 2) as u64;
 
                 for (fi, per_bin) in bucket_members.iter().enumerate() {

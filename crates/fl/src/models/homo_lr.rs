@@ -106,21 +106,46 @@ impl FlModel for HomoLr {
 
         for round in 0..rounds {
             let mut grads = Vec::with_capacity(p);
-            let mut flops = 0u64;
+            let mut flops = Vec::with_capacity(p);
             for k in 0..p {
                 let n = self.parts[k].len();
                 let lo = (round * cfg.batch_size).min(n);
                 let hi = ((round + 1) * cfg.batch_size).min(n);
                 let (g, f) = self.local_gradient(k, lo..hi);
                 grads.push(g);
-                flops += f;
+                flops.push(f);
             }
-            // Clients compute in parallel: charge the mean per-client cost.
-            env.charge_local_compute(flops / p as u64, cfg, &mut breakdown);
 
             let seed = cfg.seed ^ ((epoch as u64) << 24) ^ (round as u64);
-            let sums = env.aggregation_round(&grads, seed, &mut breakdown)?;
-            let grad: Vec<f64> = sums.iter().map(|s| s / p as f64).collect();
+            let grad: Vec<f64> = match &cfg.engine {
+                // Event-driven round: the engine charges local compute
+                // (with its heterogeneity multipliers), overlaps the
+                // phases, and may drop stragglers — average over the
+                // clients that actually made the round.
+                Some(ecfg) => {
+                    let out = crate::engine::run_round(
+                        env,
+                        ecfg,
+                        cfg,
+                        &grads,
+                        &flops,
+                        seed,
+                        &mut breakdown,
+                    )?;
+                    let n = out.survivors.len().max(1) as f64;
+                    out.sums.iter().map(|s| s / n).collect()
+                }
+                // Classic sequential round. Clients compute in parallel:
+                // charge the mean per-client cost.
+                None => {
+                    env.charge_local_seconds(
+                        crate::engine::mean_compute_seconds(&flops, &[], cfg.sec_per_flop),
+                        &mut breakdown,
+                    );
+                    let sums = env.aggregation_round(&grads, seed, &mut breakdown)?;
+                    sums.iter().map(|s| s / p as f64).collect()
+                }
+            };
             self.opt.step(&mut self.weights, &grad);
         }
 

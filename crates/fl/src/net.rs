@@ -34,6 +34,13 @@ pub struct NetworkConfig {
     pub drop_probability: f64,
     /// Maximum send attempts before reporting failure.
     pub max_attempts: u32,
+    /// Transfers the link can carry simultaneously (duplex / multi-queue
+    /// NIC factor). This never changes what a message *costs* — per-message
+    /// seconds and byte accounting are identical at any value — only how
+    /// many in-flight transfers a [`LinkSchedule`] overlaps when the round
+    /// engine lays messages out on simulated time. The default of 1 is
+    /// today's strictly serial NIC.
+    pub duplex_streams: u32,
 }
 
 impl NetworkConfig {
@@ -50,6 +57,7 @@ impl NetworkConfig {
             per_ciphertext_seconds: 4.5e-4,
             drop_probability: 0.0,
             max_attempts: 5,
+            duplex_streams: 1,
         }
     }
 
@@ -68,6 +76,92 @@ impl NetworkConfig {
     pub fn with_drop_probability(mut self, p: f64) -> Self {
         self.drop_probability = p;
         self
+    }
+
+    /// Sets the number of concurrent transfers the link can overlap
+    /// (clamped up to 1). Cost accounting is unchanged; only the round
+    /// engine's simulated-time layout reads this.
+    pub fn with_duplex_streams(mut self, streams: u32) -> Self {
+        self.duplex_streams = streams.max(1);
+        self
+    }
+}
+
+/// Simulated-time occupancy of one link with a fixed number of
+/// concurrent streams ([`NetworkConfig::duplex_streams`]).
+///
+/// The round engine asks the schedule to *admit* each transfer: given the
+/// instant the payload became ready and the per-message duration (from
+/// [`Network::send`], which also does all byte/seconds accounting), the
+/// schedule picks the stream that frees up earliest and returns the
+/// transfer's `(start, finish)` on simulated time. With one stream and
+/// every payload ready at the same instant this reproduces today's
+/// strictly sequential NIC layout exactly: transfer `k` starts when
+/// transfer `k − 1` finishes, and the last finish equals the sum of
+/// durations.
+///
+/// Admission is deterministic: the earliest-free stream wins ties by
+/// lowest index, and the caller admits transfers in a deterministic
+/// order, so the layout never depends on host thread count.
+#[derive(Debug, Clone)]
+pub struct LinkSchedule {
+    free_at: Vec<f64>,
+}
+
+impl LinkSchedule {
+    /// A schedule over `streams` concurrent channels (clamped up to 1),
+    /// all idle at simulated time zero.
+    pub fn new(streams: u32) -> Self {
+        LinkSchedule {
+            free_at: vec![0.0; streams.max(1) as usize],
+        }
+    }
+
+    /// A schedule sized from a link configuration.
+    pub fn for_config(cfg: &NetworkConfig) -> Self {
+        Self::new(cfg.duplex_streams)
+    }
+
+    /// Concurrent streams this schedule overlaps.
+    pub fn streams(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Admits a transfer that becomes ready at `ready` and occupies one
+    /// stream for `duration` simulated seconds; returns its
+    /// `(start, finish)` instants.
+    pub fn admit(&mut self, ready: f64, duration: f64) -> (f64, f64) {
+        let mut best = 0usize;
+        for (i, &free) in self.free_at.iter().enumerate().skip(1) {
+            // Strict less-than: ties resolve to the lowest stream index.
+            // `free_at` entries are finite sums of finite durations, so
+            // total_cmp is a plain numeric comparison here.
+            // `best` stays inside `free_at`: it only ever holds indices
+            // yielded by this enumeration (or 0, and the vec is built
+            // non-empty).
+            // flcheck: allow(pf-index)
+            if free.total_cmp(&self.free_at[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        // flcheck: allow(pf-index) — same bound as above.
+        let free = self.free_at[best];
+        let start = if ready > free { ready } else { free };
+        let finish = start + duration;
+        // flcheck: allow(pf-index) — same bound as above.
+        self.free_at[best] = finish;
+        (start, finish)
+    }
+
+    /// The instant every admitted transfer has finished.
+    pub fn quiescent_at(&self) -> f64 {
+        let mut t = 0.0f64;
+        for &f in &self.free_at {
+            if f > t {
+                t = f;
+            }
+        }
+        t
     }
 }
 
@@ -253,5 +347,63 @@ mod tests {
         let b = NetworkConfig::flbooster_profile();
         assert!(b.per_ciphertext_seconds < f.per_ciphertext_seconds);
         assert_eq!(b.bandwidth_bytes_per_sec, f.bandwidth_bytes_per_sec);
+    }
+
+    #[test]
+    fn default_profiles_are_single_stream_and_accounting_is_unchanged() {
+        // The duplex factor must not disturb the per-message cost model:
+        // both built-in profiles stay at one stream, and `send` charges
+        // the same seconds and bytes regardless of the factor.
+        assert_eq!(NetworkConfig::fate_profile().duplex_streams, 1);
+        assert_eq!(NetworkConfig::flbooster_profile().duplex_streams, 1);
+        let serial = Network::new(NetworkConfig::fate_profile(), 1);
+        let duplex = Network::new(NetworkConfig::fate_profile().with_duplex_streams(8), 1);
+        let a = serial.send(10, 125_000_000).unwrap();
+        let b = duplex.send(10, 125_000_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(serial.stats(), duplex.stats());
+    }
+
+    #[test]
+    fn duplex_streams_clamp_to_one() {
+        assert_eq!(
+            NetworkConfig::fate_profile()
+                .with_duplex_streams(0)
+                .duplex_streams,
+            1
+        );
+        assert_eq!(LinkSchedule::new(0).streams(), 1);
+    }
+
+    #[test]
+    fn single_stream_schedule_reproduces_sequential_layout() {
+        // Three messages ready at t=0 on one stream: back to back, last
+        // finish equals the duration sum — today's serial NIC exactly.
+        let mut link = LinkSchedule::new(1);
+        assert_eq!(link.admit(0.0, 2.0), (0.0, 2.0));
+        assert_eq!(link.admit(0.0, 3.0), (2.0, 5.0));
+        assert_eq!(link.admit(0.0, 1.0), (5.0, 6.0));
+        assert_eq!(link.quiescent_at(), 6.0);
+    }
+
+    #[test]
+    fn multi_stream_schedule_overlaps_and_breaks_ties_by_index() {
+        let mut link = LinkSchedule::new(2);
+        // Both streams idle: the tie goes to stream 0, the next transfer
+        // overlaps on stream 1.
+        assert_eq!(link.admit(0.0, 4.0), (0.0, 4.0));
+        assert_eq!(link.admit(0.0, 4.0), (0.0, 4.0));
+        // Third transfer waits for the earliest-free stream.
+        assert_eq!(link.admit(1.0, 1.0), (4.0, 5.0));
+        // A transfer that becomes ready after every stream frees starts
+        // at its ready instant, not earlier.
+        assert_eq!(link.admit(10.0, 0.5), (10.0, 10.5));
+        assert_eq!(link.quiescent_at(), 10.5);
+    }
+
+    #[test]
+    fn for_config_reads_the_duplex_factor() {
+        let cfg = NetworkConfig::fate_profile().with_duplex_streams(3);
+        assert_eq!(LinkSchedule::for_config(&cfg).streams(), 3);
     }
 }

@@ -9,6 +9,7 @@
 //! is less than 1e-6, the model reaches convergence") or an epoch cap.
 
 use crate::backend::{Accelerator, EncryptedVector};
+use crate::engine::EngineConfig;
 use crate::metrics::{EpochBreakdown, EpochResult, TrainReport};
 use crate::net::Network;
 use crate::Result;
@@ -32,6 +33,11 @@ pub struct TrainConfig {
     /// model for the "Others" component (calibrated to FATE's effective
     /// local-compute rate).
     pub sec_per_flop: f64,
+    /// When set, models that support it (currently Homo LR) drive their
+    /// secure-aggregation rounds through the event-driven
+    /// [round engine](crate::engine) instead of the sequential in-process
+    /// loop. `None` (the default) keeps the classic loop untouched.
+    pub engine: Option<EngineConfig>,
 }
 
 impl Default for TrainConfig {
@@ -44,6 +50,7 @@ impl Default for TrainConfig {
             tolerance: 1e-6,
             seed: 0xF1,
             sec_per_flop: 4.0e-9,
+            engine: None,
         }
     }
 }
@@ -98,12 +105,18 @@ impl FlEnv {
         let enc_t = self.accel.take_timing();
         breakdown.he_seconds += enc_t.he_seconds / p as f64;
         breakdown.other_seconds += enc_t.codec_seconds / p as f64;
+        breakdown.phases.encrypt_seconds += enc_t.he_seconds / p as f64;
+        breakdown.phases.encrypt_seconds += enc_t.codec_seconds / p as f64;
+        breakdown.round_seconds += enc_t.he_seconds / p as f64;
+        breakdown.round_seconds += enc_t.codec_seconds / p as f64;
         breakdown.he_values += values;
 
         // Uploads: p messages hit the server NIC serially.
         for ev in &encrypted {
             let t = self.network.send(ev.ciphertext_count(), ev.bytes())?;
             breakdown.comm_seconds += t;
+            breakdown.phases.uplink_seconds += t;
+            breakdown.round_seconds += t;
             breakdown.comm_bytes += ev.bytes();
             breakdown.ciphertexts += ev.ciphertext_count();
         }
@@ -113,6 +126,8 @@ impl FlEnv {
         let agg = self.accel.aggregate(&encrypted)?;
         let agg_t = self.accel.take_timing();
         breakdown.he_seconds += agg_t.he_seconds;
+        breakdown.phases.aggregate_seconds += agg_t.he_seconds;
+        breakdown.round_seconds += agg_t.he_seconds;
 
         // Tree topologies push each edge aggregator's partial one hop up
         // the tree; every hop carries an aggregate-shaped message and is
@@ -121,6 +136,8 @@ impl FlEnv {
         for _ in 0..self.accel.topology().uplink_messages(p) {
             let t = self.network.send(agg.ciphertext_count(), agg.bytes())?;
             breakdown.comm_seconds += t;
+            breakdown.phases.uplink_seconds += t;
+            breakdown.round_seconds += t;
             breakdown.comm_bytes += agg.bytes();
             breakdown.ciphertexts += agg.ciphertext_count();
         }
@@ -130,6 +147,8 @@ impl FlEnv {
             .network
             .broadcast(crate::count_u32(p), agg.ciphertext_count(), agg.bytes())?;
         breakdown.comm_seconds += t;
+        breakdown.phases.downlink_seconds += t;
+        breakdown.round_seconds += t;
         breakdown.comm_bytes += p as u64 * agg.bytes();
         breakdown.ciphertexts += p as u64 * agg.ciphertext_count();
 
@@ -138,6 +157,10 @@ impl FlEnv {
         let dec_t = self.accel.take_timing();
         breakdown.he_seconds += dec_t.he_seconds;
         breakdown.other_seconds += dec_t.codec_seconds;
+        breakdown.phases.decrypt_seconds += dec_t.he_seconds;
+        breakdown.phases.decrypt_seconds += dec_t.codec_seconds;
+        breakdown.round_seconds += dec_t.he_seconds;
+        breakdown.round_seconds += dec_t.codec_seconds;
 
         Ok(sums)
     }
@@ -154,14 +177,27 @@ impl FlEnv {
     ) -> Result<Vec<f64>> {
         self.accel.take_timing(); // drop any stale scratch
         let ev = self.accel.encrypt(values, seed)?;
+        let enc_t = self.accel.take_timing();
+        breakdown.he_seconds += enc_t.he_seconds;
+        breakdown.other_seconds += enc_t.codec_seconds;
+        breakdown.phases.encrypt_seconds += enc_t.he_seconds;
+        breakdown.phases.encrypt_seconds += enc_t.codec_seconds;
+        breakdown.round_seconds += enc_t.he_seconds;
+        breakdown.round_seconds += enc_t.codec_seconds;
         let t = self.network.send(ev.ciphertext_count(), ev.bytes())?;
         breakdown.comm_seconds += t;
+        breakdown.phases.uplink_seconds += t;
+        breakdown.round_seconds += t;
         breakdown.comm_bytes += ev.bytes();
         breakdown.ciphertexts += ev.ciphertext_count();
         let out = self.accel.decrypt_sum(&ev, 1)?;
-        let he_t = self.accel.take_timing();
-        breakdown.he_seconds += he_t.he_seconds;
-        breakdown.other_seconds += he_t.codec_seconds;
+        let dec_t = self.accel.take_timing();
+        breakdown.he_seconds += dec_t.he_seconds;
+        breakdown.other_seconds += dec_t.codec_seconds;
+        breakdown.phases.decrypt_seconds += dec_t.he_seconds;
+        breakdown.phases.decrypt_seconds += dec_t.codec_seconds;
+        breakdown.round_seconds += dec_t.he_seconds;
+        breakdown.round_seconds += dec_t.codec_seconds;
         breakdown.he_values += values.len() as u64;
         Ok(out)
     }
@@ -174,7 +210,17 @@ impl FlEnv {
         cfg: &TrainConfig,
         breakdown: &mut EpochBreakdown,
     ) {
-        breakdown.other_seconds += flops as f64 * cfg.sec_per_flop;
+        self.charge_local_seconds(flops as f64 * cfg.sec_per_flop, breakdown);
+    }
+
+    /// Charges `seconds` of local model computation to "Others". The
+    /// seconds variant exists for callers (Homo LR, the round engine)
+    /// whose per-client mean is computed in f64 before charging.
+    // flcheck: charge-sink
+    pub fn charge_local_seconds(&self, seconds: f64, breakdown: &mut EpochBreakdown) {
+        breakdown.other_seconds += seconds;
+        breakdown.phases.compute_seconds += seconds;
+        breakdown.round_seconds += seconds;
     }
 }
 

@@ -39,12 +39,14 @@ if [ "$QUICK" -eq 1 ]; then
   F8_ARGS="--epochs 2 --models homo-lr"
   BP_ITEMS=128
   BA_ARGS="--quick"
+  BR_ARGS="--quick"
 else
   T5_DATASETS=rcv1,synthetic
   T7_ARGS="--epochs 2 --models homo-lr,hetero-sbt --datasets rcv1,synthetic"
   F8_ARGS="--epochs 3 --models homo-lr,hetero-nn"
   BP_ITEMS=256
   BA_ARGS=""
+  BR_ARGS=""
 fi
 
 run fig1_fate_breakdown --quick
@@ -100,6 +102,18 @@ echo
 echo "=== bench_aggregate: sharded aggregation gates ==="
 if ! ./target/release/bench_aggregate $BA_ARGS 2>&1 | tee $R/bench_aggregate.txt; then
   echo "HARNESS_FAILED: bench_aggregate gate"
+  exit 1
+fi
+echo
+
+# Round-engine gate: event-driven pipelined rounds vs the sequential
+# loop over the same parties (results/BENCH_rounds.json). The binary
+# exits non-zero unless the pipelined round's decrypted sums are
+# bit-identical to the sequential round's and the modeled round-time
+# reduction clears 1.5x at every swept client count (all >= 64).
+echo "=== bench_rounds: round-engine pipelining gates ==="
+if ! ./target/release/bench_rounds $BR_ARGS 2>&1 | tee $R/bench_rounds.txt; then
+  echo "HARNESS_FAILED: bench_rounds gate"
   exit 1
 fi
 echo

@@ -243,3 +243,78 @@ fn hetero_models_train_through_all_ablations() {
         assert!(sbt.loss() < before, "{}: SBT failed to learn", kind.name());
     }
 }
+
+#[test]
+fn phase_breakdown_sums_to_the_component_totals_for_every_model() {
+    // The six-phase re-attribution must account for exactly the seconds
+    // already charged to Others/HE/Comm — nothing gained, nothing lost —
+    // and sequential paths must report elapsed == work (no overlap).
+    let data = dataset(16, 96);
+    let cfg = TrainConfig {
+        batch_size: 48,
+        ..TrainConfig::default()
+    };
+    let shared = keys();
+
+    type Builder = Box<dyn Fn(&fl::data::Dataset, &TrainConfig) -> Box<dyn FlModel>>;
+    let builders: Vec<(&str, Builder)> = vec![
+        (
+            "homo-lr",
+            Box::new(|d: &fl::data::Dataset, c: &TrainConfig| {
+                Box::new(HomoLr::new(d, 4, c)) as Box<dyn FlModel>
+            }),
+        ),
+        (
+            "hetero-lr",
+            Box::new(|d, c| Box::new(HeteroLr::new(d, 4, c).unwrap())),
+        ),
+        (
+            "hetero-sbt",
+            Box::new(|d, c| Box::new(HeteroSbt::new(d, 4, c).unwrap())),
+        ),
+        (
+            "hetero-nn",
+            Box::new(|d, c| Box::new(HeteroNn::new(d, 4, c).unwrap())),
+        ),
+    ];
+
+    for (name, build) in &builders {
+        let env = FlEnv::new(
+            Accelerator::new(BackendKind::FlBooster, shared.clone(), 4).unwrap(),
+            1,
+        );
+        let mut model = build(&data, &cfg);
+        let b = model.run_epoch(&env, &cfg, 0).unwrap().breakdown;
+        let total = b.total_seconds();
+        let phase_total = b.phases.total();
+        assert!(total > 0.0, "{name}: nothing charged");
+        // Same charges, different summation grouping: equal to ulps.
+        assert!(
+            (phase_total - total).abs() <= 1e-9 * total,
+            "{name}: phases {phase_total} != components {total}"
+        );
+        assert!(
+            (b.round_seconds - total).abs() <= 1e-9 * total,
+            "{name}: sequential elapsed {} != work {total}",
+            b.round_seconds
+        );
+        assert!((b.overlap_speedup() - 1.0).abs() < 1e-6, "{name}");
+    }
+
+    // The pipelined engine keeps the same phase accounting but reports a
+    // shorter elapsed round, so the speedup turns real.
+    let cfg_engine = TrainConfig {
+        engine: Some(fl::EngineConfig::default()),
+        ..cfg.clone()
+    };
+    let env = FlEnv::new(
+        Accelerator::new(BackendKind::FlBooster, shared, 4).unwrap(),
+        1,
+    );
+    let mut model = HomoLr::new(&data, 4, &cfg_engine);
+    let b = model.run_epoch(&env, &cfg_engine, 0).unwrap().breakdown;
+    let total = b.total_seconds();
+    assert!((b.phases.total() - total).abs() <= 1e-9 * total);
+    assert!(b.round_seconds < total, "engine must overlap phases");
+    assert!(b.overlap_speedup() > 1.0);
+}

@@ -430,3 +430,146 @@ fn dataset_generation_and_pooled_blinding_are_hash_order_free() {
     };
     assert_eq!(forward, backward, "take order must not affect ciphertexts");
 }
+
+#[test]
+fn round_engine_is_thread_count_invariant_and_matches_the_classic_loop() {
+    use fl::models::HomoLr;
+    use fl::train::{FlEnv, FlModel, TrainConfig};
+    use fl::{Accelerator, BackendKind, EngineConfig};
+
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x40B);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let mut spec = fl::data::generators::DatasetSpec::synthetic();
+    spec.features = 16;
+    spec.nnz_per_row = 16;
+    spec.instances = 160;
+    let data = spec.generate(1.0);
+
+    let run = |threads: Option<usize>, engine: Option<EngineConfig>| {
+        let keys = keys.clone();
+        let data = data.clone();
+        let body = move || {
+            let cfg = TrainConfig {
+                batch_size: 40,
+                engine,
+                ..TrainConfig::default()
+            };
+            let accel = Accelerator::new(BackendKind::FlBooster, keys, 4).expect("accel");
+            let env = FlEnv::new(accel, 1);
+            let mut model = HomoLr::new(&data, 4, &cfg);
+            let result = model.run_epoch(&env, &cfg, 0).expect("epoch");
+            (model.weights().to_vec(), result.breakdown)
+        };
+        match threads {
+            Some(t) => in_pool(t, body),
+            None => body(), // the process-global (unbounded) pool
+        }
+    };
+
+    // The classic sequential loop on one thread is the reference.
+    let (classic_w, classic_b) = run(Some(1), None);
+
+    let sweeps: [Option<usize>; 4] = [Some(1), Some(2), Some(8), None];
+    let mut pipelined_ref = None;
+    for threads in sweeps {
+        // Sequential engine: bit-identical weights AND bit-identical
+        // breakdown (components, phases, round_seconds) to the classic
+        // loop, at every thread count.
+        let (w, b) = run(threads, Some(EngineConfig::sequential()));
+        assert_eq!(w, classic_w, "sequential engine weights, {threads:?}");
+        assert_eq!(b, classic_b, "sequential engine breakdown, {threads:?}");
+
+        // Pipelined engine: same weights and same work, shorter round.
+        let (w, b) = run(threads, Some(EngineConfig::default()));
+        assert_eq!(w, classic_w, "pipelined engine weights, {threads:?}");
+        assert_eq!(b.he_seconds, classic_b.he_seconds, "{threads:?}");
+        assert_eq!(b.comm_seconds, classic_b.comm_seconds, "{threads:?}");
+        assert_eq!(b.other_seconds, classic_b.other_seconds, "{threads:?}");
+        assert_eq!(b.phases, classic_b.phases, "{threads:?}");
+        assert!(
+            b.round_seconds < classic_b.round_seconds,
+            "pipelined {} !< classic {} at {threads:?}",
+            b.round_seconds,
+            classic_b.round_seconds
+        );
+        match &pipelined_ref {
+            None => pipelined_ref = Some(b),
+            Some(r) => assert_eq!(&b, r, "pipelined breakdown drifted at {threads:?}"),
+        }
+    }
+}
+
+#[test]
+fn round_engine_straggler_outcomes_identical_at_every_thread_count() {
+    use fl::engine::{run_round, EngineConfig};
+    use fl::metrics::EpochBreakdown;
+    use fl::train::{FlEnv, TrainConfig};
+    use fl::{Accelerator, BackendKind};
+
+    let keys = {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x57AC);
+        PaillierKeyPair::generate(&mut rng, 128).expect("keygen")
+    };
+    let parties: Vec<Vec<f64>> = (0..6)
+        .map(|k| {
+            (0..10)
+                .map(|i| ((k * 10 + i) as f64 * 0.23).cos() * 0.4)
+                .collect()
+        })
+        .collect();
+    let flops = vec![200_000u64; 6];
+    let tcfg = TrainConfig::default();
+    // Clients 2 and 5 run 80x slower than the rest.
+    let multipliers = vec![1.0, 1.0, 80.0, 1.0, 1.0, 80.0];
+
+    let run = |threads: Option<usize>, ecfg: EngineConfig| {
+        let keys = keys.clone();
+        let parties = parties.clone();
+        let flops = flops.clone();
+        let tcfg = tcfg.clone();
+        let body = move || {
+            let accel = Accelerator::new(BackendKind::Fate, keys, 8).expect("accel");
+            let profile = accel.network_profile().with_duplex_streams(4);
+            let env = FlEnv {
+                network: fl::Network::new(profile, 1),
+                accel,
+            };
+            let mut b = EpochBreakdown::default();
+            let out = run_round(&env, &ecfg, &tcfg, &parties, &flops, 21, &mut b).expect("round");
+            (out, b)
+        };
+        match threads {
+            Some(t) => in_pool(t, body),
+            None => body(),
+        }
+    };
+
+    // Pick a deadline between the fast and slow groups from a probe run.
+    let probe = run(
+        Some(1),
+        EngineConfig::default().with_compute_multipliers(multipliers.clone()),
+    )
+    .0;
+    let deadline = (probe.timelines[1].encrypt_done + probe.timelines[2].encrypt_done) / 2.0;
+    let ecfg = EngineConfig::default()
+        .with_compute_multipliers(multipliers)
+        .with_straggler_timeout(deadline);
+
+    let mut reference = None;
+    for threads in [Some(1), Some(2), Some(8), None] {
+        let (out, b) = run(threads, ecfg.clone());
+        assert_eq!(out.dropped, vec![2, 5], "dropout set at {threads:?}");
+        assert_eq!(out.survivors, vec![0, 1, 3, 4], "survivors at {threads:?}");
+        match &reference {
+            None => reference = Some((out, b)),
+            Some((ro, rb)) => {
+                // Sums, timelines, and the charged breakdown are all
+                // bit-identical across pool widths.
+                assert_eq!(&out, ro, "outcome drifted at {threads:?}");
+                assert_eq!(&b, rb, "breakdown drifted at {threads:?}");
+            }
+        }
+    }
+}
