@@ -19,10 +19,13 @@ pub enum Error {
         /// Attempts made.
         attempts: u32,
     },
-    /// Too few clients beat the round engine's straggler deadline: the
-    /// round was abandoned. Like
-    /// [`he::Error::AggregandKeyMismatch`], the variant keeps the
-    /// position, so a wide round can name an offending participant.
+    /// Too few clients beat the round engine's straggler deadline (a
+    /// budget in **simulated seconds**, the same unit as every
+    /// `EpochBreakdown` accumulator — compared against each client's
+    /// simulated uplink-arrival time, never wall-clock): the round was
+    /// abandoned. Like [`he::Error::AggregandKeyMismatch`], the variant
+    /// keeps the position, so a wide round can name an offending
+    /// participant.
     StragglerTimeout {
         /// Zero-based index of the first client dropped from the round.
         client: usize,

@@ -78,7 +78,11 @@ pub struct EpochBreakdown {
     pub ciphertexts: u64,
     /// Gradient components that passed through HE.
     pub he_values: u64,
-    /// The same seconds re-attributed to the six pipeline phases.
+    /// The same seconds re-attributed to the six pipeline phases. Every
+    /// slot is **simulated seconds** (never bytes, limb-mults, or
+    /// message counts — the `charge-unphased` unit-flow rule holds the
+    /// charging paths to this), and each charged second lands in exactly
+    /// one slot.
     pub phases: PhaseBreakdown,
     /// *Elapsed* simulated seconds: the critical path after the round
     /// engine overlaps phases on the event timeline. Sequential paths

@@ -322,6 +322,9 @@ impl FlModel for HeteroSbt {
         let (gh_cts, t) = he
             .encrypt_batch(pk, &plaintexts, seed)
             .map_err(flbooster_core::Error::from)?;
+        // Direct he_backend() use must report back, or the accelerator's
+        // own timing accumulator misses every SBT HE operation.
+        env.accel.charge_external(&t, plaintexts.len());
         breakdown.he_seconds += t.sim_seconds;
         breakdown.phases.encrypt_seconds += t.sim_seconds;
         breakdown.round_seconds += t.sim_seconds;
@@ -471,6 +474,7 @@ impl HeteroSbt {
                 let (folded, t) = he
                     .fold_groups(pk, &groups)
                     .map_err(flbooster_core::Error::from)?;
+                env.accel.charge_external(&t, 0);
                 breakdown.he_seconds += t.sim_seconds;
                 breakdown.phases.aggregate_seconds += t.sim_seconds;
                 breakdown.round_seconds += t.sim_seconds;
@@ -488,6 +492,7 @@ impl HeteroSbt {
                 let (words, t) = he
                     .decrypt_batch(sk, &folded)
                     .map_err(flbooster_core::Error::from)?;
+                env.accel.charge_external(&t, words.len());
                 breakdown.he_seconds += t.sim_seconds;
                 breakdown.phases.decrypt_seconds += t.sim_seconds;
                 breakdown.round_seconds += t.sim_seconds;
@@ -691,6 +696,34 @@ mod tests {
         assert!(b.comm_seconds > 0.0);
         assert!(b.other_seconds > 0.0);
         assert!(b.he_values >= 2 * 150);
+    }
+
+    #[test]
+    fn direct_he_backend_use_reports_into_accelerator_timing() {
+        // SBT drives the HE engine through `he_backend()` directly; each
+        // site must report back via `charge_external`, or the
+        // accelerator's own accumulator misses every SBT HE operation
+        // while the breakdown still looks complete (the unit-flow audit
+        // caught exactly this).
+        let data = small_dataset();
+        let cfg = TrainConfig::default();
+        let env = env(BackendKind::FlBooster);
+        let mut model = HeteroSbt::new(&data, 3, &cfg).unwrap();
+        let b = model.run_epoch(&env, &cfg, 0).unwrap().breakdown;
+        let t = env.accel.timing();
+        assert!(
+            t.he_seconds > 0.0,
+            "direct he_backend() work never reached Accelerator::timing()"
+        );
+        assert!(t.he_ops > 0 && t.he_items > 0);
+        // The accumulator mirrors what the epoch charged into the
+        // breakdown: encrypt + fold + decrypt, nothing double-counted.
+        assert!(
+            t.he_seconds <= b.he_seconds + 1e-12,
+            "accumulator {} exceeds breakdown HE time {}",
+            t.he_seconds,
+            b.he_seconds
+        );
     }
 
     #[test]

@@ -208,6 +208,8 @@ impl Network {
     /// Sends one message carrying `ciphertexts` ciphertext objects and
     /// `bytes` payload bytes; returns the simulated seconds it took
     /// (including any retries).
+    // flcheck: convert(bytes->seconds) — THE transfer-time estimator:
+    // latency + per-ciphertext overhead + bytes / bandwidth.
     pub fn send(&self, ciphertexts: u64, bytes: u64) -> Result<f64> {
         let per_try = self.cfg.latency_seconds
             + ciphertexts as f64 * self.cfg.per_ciphertext_seconds
@@ -237,6 +239,7 @@ impl Network {
 
     /// Broadcast: the server sends the same message to `receivers` peers
     /// (sequentially on one NIC, as a parameter server does).
+    // flcheck: convert(bytes->seconds) — fan-out of `send`.
     pub fn broadcast(&self, receivers: u32, ciphertexts: u64, bytes: u64) -> Result<f64> {
         let mut total = 0.0;
         for _ in 0..receivers {

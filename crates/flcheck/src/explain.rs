@@ -27,6 +27,22 @@ pub struct RuleDoc {
 /// [`crate::report::ALL_RULES`]).
 pub const RULE_DOCS: &[RuleDoc] = &[
     RuleDoc {
+        rule: "charge-unphased",
+        family: "units",
+        since: 10,
+        summary: "reachable charge-sink whose seconds miss the phase slots",
+        detail: "A `charge-sink` fn reachable from `fl::engine` round execution \
+                 that takes a seconds-united amount must land it in exactly one \
+                 `EpochBreakdown` phase slot: either it takes a `phase` parameter \
+                 (the caller picks the slot) or it — or a transitive callee — \
+                 writes exactly one distinct `phases.*_seconds` field. Zero slots \
+                 is silently unattributed time (the per-phase breakdown no longer \
+                 sums to the totals); two or more is double-charging. Sinks whose \
+                 parameters carry no seconds unit (byte/ciphertext meters, \
+                 timing-struct ingestion) are exempt: they do not attribute time.",
+        example: "pub fn run_round() { charge_lost(1.0); }\n// flcheck: charge-sink\nfn charge_lost(seconds: f64) -> f64 {\n    seconds // charge-unphased: never lands in a phase slot\n}",
+    },
+    RuleDoc {
         rule: "ct-branch",
         family: "ct-discipline",
         since: 1,
@@ -301,6 +317,40 @@ pub const RULE_DOCS: &[RuleDoc] = &[
                  exactly this).",
         example: "pub fn uncharged_entry(x: &N) -> N {\n    kernel(x) // uncharged-work: reaches mont_mul, never charges\n}",
     },
+    RuleDoc {
+        rule: "unit-mismatch",
+        family: "units",
+        since: 10,
+        summary: "different physical units meeting in one expression",
+        detail: "Every fn parameter, return value, and field access is assigned \
+                 a unit from {seconds, bytes, limb_mults, messages, \
+                 dimensionless} by `unit(name, dim)` directives and naming \
+                 conventions (`*_seconds`, `*_bytes`, `*_ops`/`*_mac_count`, \
+                 `*_messages`), propagated over the call graph. Adding, \
+                 comparing, assigning, or accumulating two *different* known \
+                 units (`total_seconds += payload_bytes`) corrupts the cost \
+                 accounting silently — the numbers stay plausible and wrong. \
+                 Multiplication/division change dimension, so multiplicative \
+                 expressions are unit-unknown and never fire (the soundness \
+                 boundary); `dimensionless` is the explicit opt-out.",
+        example: "fn f(payload_bytes: u64) {\n    let mut total_seconds = 0.0;\n    total_seconds += payload_bytes as f64; // unit-mismatch\n}",
+    },
+    RuleDoc {
+        rule: "unit-unconverted",
+        family: "units",
+        since: 10,
+        summary: "call argument crossing dimensions without a converter",
+        detail: "A call argument whose unit differs from the callee parameter's \
+                 unit crosses dimensions without passing through a declared \
+                 `convert(from->to)` fn — e.g. handing a byte count to a \
+                 seconds-taking sleep instead of routing it through the \
+                 `fl::net` transfer-time estimator. Parameter units propagate \
+                 interprocedurally (fill-only) through unannotated wrappers, and \
+                 the finding carries the teaching chain plus the name of a \
+                 declared converter for the crossing when one exists anywhere in \
+                 the workspace.",
+        example: "fn sleep(seconds: f64) {}\nfn g(payload_bytes: f64) {\n    sleep(payload_bytes) // unit-unconverted: route through a convert(bytes->seconds) fn\n}",
+    },
 ];
 
 /// Looks up the doc for a rule id.
@@ -326,7 +376,7 @@ mod tests {
     fn docs_have_substance() {
         for d in RULE_DOCS {
             assert!(!d.family.is_empty(), "{}: family", d.rule);
-            assert!(d.since >= 1 && d.since <= 8, "{}: since", d.rule);
+            assert!(d.since >= 1 && d.since <= 10, "{}: since", d.rule);
             assert!(
                 d.summary.len() < 80,
                 "{}: summary must fit a table cell",

@@ -18,16 +18,18 @@
 //! | determinism     | `nondet-in-result` (source-to-result-sink flow)          |
 //! | races           | `race-shared-mut`, `race-unsynced-write`, `race-cell-steal` (closure captures crossing the pool) |
 //! | width           | `lossy-narrow` (narrowing casts reaching codec/cost/net sinks) |
+//! | units           | `unit-mismatch`, `unit-unconverted`, `charge-unphased` (dimensional analysis over charging) |
 //! | interprocedural | `ct-taint` (secret propagation), `pf-reach` (transitive panics) |
 //!
 //! The ct- and pf- families plus `ld-wait` are per-file lexer passes; the
 //! rest run on a workspace call graph built by the item-level parser
 //! ([`parse`], [`callgraph`], [`taint`], [`detflow`], [`escape`],
-//! [`lockgraph`], [`costmodel`], [`races`], [`width`]) and report full
-//! call/lock/capture chains. See [`rules`] for rule semantics and
-//! [`source`] for the directive grammar (`ct-fn`, `secret(..)`,
-//! `lock(..)`, `mac-prim`, `charge-sink`, `estimates(..)`, `det-sink`,
-//! `det-absorb`, `nondet(..)`, `widen-ok(..)`, and `narrow(..)` markers,
+//! [`lockgraph`], [`costmodel`], [`races`], [`width`], [`units`]) and
+//! report full call/lock/capture chains. See [`rules`] for rule
+//! semantics and [`source`] for the directive grammar (`ct-fn`,
+//! `secret(..)`, `lock(..)`, `mac-prim`, `charge-sink`,
+//! `estimates(..)`, `det-sink`, `det-absorb`, `nondet(..)`,
+//! `widen-ok(..)`, `narrow(..)`, `unit(..)`, and `convert(..)` markers,
 //! `allow` / `allow-file` suppressions, `lock-order` declarations).
 //!
 //! The analyzer's own sources are excluded from the default walk: they
@@ -54,6 +56,7 @@ pub mod report;
 pub mod rules;
 pub mod source;
 pub mod taint;
+pub mod units;
 pub mod width;
 
 use rayon::prelude::*;
@@ -128,6 +131,10 @@ pub struct ScanStats {
     pub races: Duration,
     /// Width pass (`lossy-narrow`).
     pub width: Duration,
+    /// Unit-flow pass (`unit-mismatch`, `unit-unconverted`).
+    pub units: Duration,
+    /// Charge-phase pass (`charge-unphased`).
+    pub charge_phase: Duration,
     /// Whole scan, including sort.
     pub total: Duration,
 }
@@ -136,8 +143,8 @@ pub struct ScanStats {
 /// pairs: the per-file rule families (fanned out over the rayon
 /// work-stealing pool), then the call graph and the interprocedural
 /// passes (`ct-taint`, `pf-reach`, `nondet-in-result`, `guard-escape`,
-/// the lock-graph rules, the cost-model rules, the race rules, and the
-/// width rules) on top.
+/// the lock-graph rules, the cost-model rules, the race rules, the
+/// width rules, and the unit-flow rules) on top.
 pub fn check_workspace(inputs: &[(String, String)]) -> Report {
     check_workspace_with_stats(inputs).0
 }
@@ -200,6 +207,14 @@ pub fn check_workspace_with_stats(inputs: &[(String, String)]) -> (Report, ScanS
     let t = Instant::now();
     width::check_width(&parsed, &graph, &mut report.findings);
     stats.width = t.elapsed();
+
+    let t = Instant::now();
+    units::check_units(&parsed, &graph, &mut report.findings);
+    stats.units = t.elapsed();
+
+    let t = Instant::now();
+    units::check_charge_phase(&parsed, &graph, &mut report.findings);
+    stats.charge_phase = t.elapsed();
 
     report.sort();
     stats.total = start.elapsed();

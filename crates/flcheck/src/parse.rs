@@ -208,6 +208,12 @@ pub struct FnItem {
     /// `// flcheck: narrow(..)` descriptions: the fn performs intentional
     /// narrowing and all its narrowing casts are sanctioned.
     pub narrows: Vec<String>,
+    /// `// flcheck: unit(name, dim)` declarations for params (or the
+    /// return value, under the name `return`).
+    pub units: Vec<(String, String)>,
+    /// `// flcheck: convert(from->to)` declarations: sanctioned dimension
+    /// conversions this fn performs.
+    pub converts: Vec<(String, String)>,
     /// Token index range `[body_start, body_end)` of the body (inside the
     /// braces).
     pub body_start: usize,
@@ -270,6 +276,8 @@ impl ParsedFile {
                 nondets: span.nondets.clone(),
                 widen_ok: span.widen_ok.clone(),
                 narrows: span.narrows.clone(),
+                units: span.units.clone(),
+                converts: span.converts.clone(),
                 body_start: span.body_start,
                 body_end: span.body_end,
                 nested,

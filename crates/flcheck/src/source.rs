@@ -36,6 +36,16 @@
 //!                                     justified narrowing (e.g. masked limb
 //!                                     splitting); all its narrowing casts
 //!                                     are sanctioned
+//! flcheck: unit(name, dim)            declare the physical unit of the next
+//!                                     fn's parameter `name` (or of its return
+//!                                     value when `name` is `return`); `dim`
+//!                                     is one of seconds, bytes, limb_mults,
+//!                                     messages, dimensionless; repeatable
+//! flcheck: convert(from->to)          the next `fn` is a sanctioned dimension
+//!                                     converter: it consumes `from`-united
+//!                                     inputs and returns a `to`-united value
+//!                                     (e.g. a bytes->seconds transfer-time
+//!                                     estimator); repeatable
 //! ```
 
 use crate::lexer::{lex, Comment, TokKind, Token};
@@ -83,6 +93,15 @@ pub struct FnSpan {
     /// Descriptions from `// flcheck: narrow(..)` markers: the fn performs
     /// intentional narrowing and all its narrowing casts are sanctioned.
     pub narrows: Vec<String>,
+    /// `// flcheck: unit(name, dim)` declarations: `(name, dim)` pairs
+    /// fixing the physical unit of a parameter (or of the return value,
+    /// when `name` is `return`). Explicit declarations beat suffix
+    /// inference.
+    pub units: Vec<(String, String)>,
+    /// `// flcheck: convert(from->to)` declarations: the fn is a
+    /// sanctioned dimension converter from `from`-united inputs to a
+    /// `to`-united return value.
+    pub converts: Vec<(String, String)>,
 }
 
 /// A declared lock-order chain with the line it was declared on.
@@ -211,6 +230,26 @@ impl SourceFile {
                         kind: MarkerKind::Narrow(desc.to_string()),
                     });
                 }
+            } else if let Some(args) = strip_call(body, "unit") {
+                let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+                if let [name, dim] = parts[..] {
+                    if !name.is_empty() && UNIT_DIMS.contains(&dim) {
+                        markers.push(FnMarker {
+                            line: c.line,
+                            kind: MarkerKind::Unit(name.to_string(), dim.to_string()),
+                        });
+                    }
+                }
+            } else if let Some(args) = strip_call(body, "convert") {
+                let parts: Vec<&str> = args.split("->").map(str::trim).collect();
+                if let [from, to] = parts[..] {
+                    if UNIT_DIMS.contains(&from) && UNIT_DIMS.contains(&to) && from != to {
+                        markers.push(FnMarker {
+                            line: c.line,
+                            kind: MarkerKind::Convert(from.to_string(), to.to_string()),
+                        });
+                    }
+                }
             } else if let Some(args) = strip_call(body, "secret") {
                 let names = split_names(args);
                 if !names.is_empty() {
@@ -328,6 +367,8 @@ impl SourceFile {
                 nondets: Vec::new(),
                 widen_ok: Vec::new(),
                 narrows: Vec::new(),
+                units: Vec::new(),
+                converts: Vec::new(),
             });
             i = body_start + 1; // nested fns get their own entries
         }
@@ -353,6 +394,8 @@ impl SourceFile {
                     MarkerKind::Nondet(desc) => f.nondets.push(desc.clone()),
                     MarkerKind::WidenOk(names) => f.widen_ok.extend(names.iter().cloned()),
                     MarkerKind::Narrow(desc) => f.narrows.push(desc.clone()),
+                    MarkerKind::Unit(name, dim) => f.units.push((name.clone(), dim.clone())),
+                    MarkerKind::Convert(from, to) => f.converts.push((from.clone(), to.clone())),
                 }
             }
         }
@@ -434,7 +477,18 @@ enum MarkerKind {
     Nondet(String),
     WidenOk(Vec<String>),
     Narrow(String),
+    Unit(String, String),
+    Convert(String, String),
 }
+
+/// The dimension names `unit(..)` / `convert(..)` directives accept.
+pub const UNIT_DIMS: &[&str] = &[
+    "seconds",
+    "bytes",
+    "limb_mults",
+    "messages",
+    "dimensionless",
+];
 
 /// Splits a comma-separated directive argument list into non-empty names.
 fn split_names(args: &str) -> Vec<String> {
@@ -601,6 +655,49 @@ fn unmarked() {}
         );
         let u = by_name("unmarked");
         assert!(u.widen_ok.is_empty() && u.narrows.is_empty());
+    }
+
+    #[test]
+    fn unit_markers_attach_to_the_next_fn() {
+        let src = "\
+// flcheck: unit(seconds, seconds)
+// flcheck: unit(return, seconds)
+fn comm(seconds: f64) -> f64 { seconds }
+// flcheck: convert(bytes->seconds)
+fn send(bytes: u64) -> f64 { 0.0 }
+fn unmarked() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).expect(n);
+        assert_eq!(
+            by_name("comm").units,
+            vec![
+                ("seconds".to_string(), "seconds".to_string()),
+                ("return".to_string(), "seconds".to_string()),
+            ]
+        );
+        assert_eq!(
+            by_name("send").converts,
+            vec![("bytes".to_string(), "seconds".to_string())]
+        );
+        let u = by_name("unmarked");
+        assert!(u.units.is_empty() && u.converts.is_empty());
+    }
+
+    #[test]
+    fn malformed_unit_directives_are_ignored() {
+        // Unknown dimensions, missing halves, and identity conversions all
+        // drop silently, like malformed estimates(..) pairings.
+        let src = "\
+// flcheck: unit(x, parsecs)
+// flcheck: unit(bytes)
+// flcheck: convert(bytes)
+// flcheck: convert(bytes->bytes)
+// flcheck: convert(bytes->parsecs)
+fn f() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.fns[0].units.is_empty() && f.fns[0].converts.is_empty());
     }
 
     #[test]

@@ -133,7 +133,7 @@ if ! cargo test -q --release 2>&1 | tail -40; then
 fi
 
 # Static-analysis gate: the tree must be clean under flcheck and rustfmt.
-# Single source of truth: the schema-5 JSON summary enumerates every rule
+# Single source of truth: the schema-6 JSON summary enumerates every rule
 # with an explicit count, so the gate loops over total plus each rule id
 # and fails if any count is missing (schema drift / crash / unwritable
 # report) or non-zero. The rule list comes from the binary itself
@@ -162,6 +162,31 @@ if [ "$fl_status" -ne 0 ] || [ "$fl_bad" -ne 0 ]; then
   echo "HARNESS_FAILED: flcheck gate (exit $fl_status)"
   exit 1
 fi
+
+# Deliberate-finding smoke check: prove the unit-flow rules can fire at
+# all — a pass that silently returned zero findings would keep the gate
+# above green forever. The committed fixture is scanned from a scratch
+# root so its synthetic `crates/fl/src/engine.rs` path anchors
+# charge-unphased exactly as the real round engine would.
+echo "=== flcheck: unit-flow smoke check (deliberate findings) ==="
+SMOKE=target/unit_smoke
+rm -rf $SMOKE
+mkdir -p $SMOKE/crates/fl/src
+cp crates/flcheck/tests/fixtures/unit_violations.rs $SMOKE/crates/fl/src/engine.rs
+if ./target/release/flcheck --root $SMOKE > $R/unit_smoke.txt 2>&1; then
+  echo "HARNESS_FAILED: unit-flow smoke check (flcheck exited 0 on a violating tree)"
+  cat $R/unit_smoke.txt
+  exit 1
+fi
+for rule in unit-mismatch unit-unconverted charge-unphased; do
+  if ! grep -q "\[$rule\]" $R/unit_smoke.txt; then
+    echo "HARNESS_FAILED: unit-flow smoke check (no $rule finding)"
+    cat $R/unit_smoke.txt
+    exit 1
+  fi
+done
+echo "  (all three unit-flow rules fired on the fixture)"
+rm -rf $SMOKE
 
 # Analyzer self-benchmark: files/sec and per-pass wall-clock
 # (results/BENCH_flcheck.json). The binary exits non-zero if measured

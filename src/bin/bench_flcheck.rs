@@ -4,7 +4,7 @@
 //! writes `results/BENCH_flcheck.json` with files/sec plus per-pass
 //! wall-clock (the `ScanStats` breakdown: per-file, call graph, taint,
 //! panic reachability, determinism flow, guard escape, lock graph, cost
-//! model, races, width). The timings are
+//! model, races, width, units, charge phase). The timings are
 //! reporting-only — they never feed back into the analysis, so the
 //! report stays byte-identical across runs and thread counts.
 //!
@@ -98,7 +98,7 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"findings\": {},", report.findings.len());
     let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1},");
     let _ = writeln!(json, "  \"wall_clock_seconds\": {{");
-    let passes: [(&str, Duration); 11] = [
+    let passes: [(&str, Duration); 13] = [
         ("per_file", stats.per_file),
         ("callgraph", stats.callgraph),
         ("taint", stats.taint),
@@ -109,6 +109,8 @@ fn main() -> ExitCode {
         ("costmodel", stats.costmodel),
         ("races", stats.races),
         ("width", stats.width),
+        ("units", stats.units),
+        ("charge_phase", stats.charge_phase),
         ("total", stats.total),
     ];
     for (i, (name, d)) in passes.iter().enumerate() {
